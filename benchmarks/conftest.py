@@ -1,0 +1,45 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper's evaluation.  The ``benchmark`` fixture times the full experiment
+(one round — these are simulations, not microbenchmarks); the printed
+output is the table/series the paper reports; the assertions encode the
+paper's *shape* claims (who wins, by roughly what factor, where crossovers
+fall), not its absolute testbed numbers.
+
+Default experiment scale is chosen so the whole directory regenerates on a
+laptop in minutes.  Set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.1``) to run
+closer to the paper's full dataset sizes.
+"""
+
+import os
+from typing import Iterable, Sequence
+
+#: Fraction of the full dataset size experiments run at by default.
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.01"))
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one experiment's output table to stdout."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def print_series(title: str, label: str, values: Sequence[float], fmt: str = "{:.3f}") -> None:
+    """Render a one-line numeric series (a figure's curve)."""
+    print(f"{title} [{label}]: " + " ".join(fmt.format(v) for v in values))
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` with a single round (simulations are not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

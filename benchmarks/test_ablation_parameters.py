@@ -1,0 +1,117 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+The paper motivates three design decisions experimentally but publishes
+only the conclusions; these ablations regenerate the evidence:
+
+* **α = 0.75** (Sec. 4.4) — "observing only the most recent observations
+  might in fact lead to unstable mirror sets"; heavy recency (low
+  retention in our aged-counter estimator) should raise mirror churn.
+* **β ≈ 1.25** (Sec. 4.5) — the social filter "must not be over-stretched":
+  a friend must provide ≥ 80 % of a stranger's performance.  Large β
+  promotes weak friends and costs availability.
+* **Eq. (1) normalization** — the printed ``by_cap`` form under-estimates
+  under sparse observation, inflating mirror sets; the aged-counter
+  estimator keeps them small (the reproduction's documented
+  interpretation; DESIGN.md §3).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_SCALE, print_table, run_once
+from repro.core.config import SoupConfig
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import ScenarioConfig
+
+DAYS = 12
+
+
+def run_with(soup: SoupConfig):
+    config = ScenarioConfig(
+        dataset="facebook", scale=DEFAULT_SCALE, n_days=DAYS, seed=5, soup=soup
+    )
+    return run_scenario(config)
+
+
+def test_ablation_recency_weighting(benchmark):
+    """Heavier recency (lower retention) destabilizes mirror sets."""
+
+    def run_all():
+        return {
+            "retention=0.85 (default)": run_with(SoupConfig(count_retention=0.85)),
+            "retention=0.30 (recent-only)": run_with(SoupConfig(count_retention=0.30)),
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        (
+            name,
+            f"{np.mean(r.mirror_churn_by_round[-4:]):.2f}",
+            f"{r.steady_state_availability(3):.3f}",
+        )
+        for name, r in results.items()
+    ]
+    print_table("Ablation — recency weighting", ("config", "late churn", "availability"), rows)
+
+    default = results["retention=0.85 (default)"]
+    recent_only = results["retention=0.30 (recent-only)"]
+    # Over-weighting recent observations increases mirror-set churn (the
+    # paper's argument for a moderate α).
+    assert np.mean(recent_only.mirror_churn_by_round[-4:]) > np.mean(
+        default.mirror_churn_by_round[-4:]
+    )
+
+
+def test_ablation_social_filter(benchmark):
+    """An over-stretched social filter costs availability."""
+
+    def run_all():
+        return {
+            "beta=1.25 (default)": run_with(SoupConfig(beta=1.25)),
+            "beta=4.0 (over-stretched)": run_with(SoupConfig(beta=4.0)),
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        (name, f"{r.steady_state_availability(3):.3f}", f"{r.steady_state_replicas(3):.2f}")
+        for name, r in results.items()
+    ]
+    print_table("Ablation — social filter β", ("config", "availability", "replicas"), rows)
+
+    default = results["beta=1.25 (default)"]
+    stretched = results["beta=4.0 (over-stretched)"]
+    # β=4 promotes friends with a quarter of a stranger's measured
+    # availability — availability must not improve, and typically drops.
+    assert (
+        stretched.steady_state_availability(3)
+        <= default.steady_state_availability(3) + 0.01
+    )
+
+
+def test_ablation_eq1_normalization(benchmark):
+    """The printed Eq. (1) under sparse observation inflates mirror sets."""
+
+    def run_all():
+        return {
+            "aged_counts (default)": run_with(
+                SoupConfig(experience_normalization="aged_counts")
+            ),
+            "by_cap (printed form)": run_with(
+                SoupConfig(experience_normalization="by_cap", o_max=10)
+            ),
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        (name, f"{r.steady_state_replicas(3):.2f}", f"{r.steady_state_availability(3):.3f}")
+        for name, r in results.items()
+    ]
+    print_table(
+        "Ablation — Eq. (1) normalization", ("config", "replicas", "availability"), rows
+    )
+
+    default = results["aged_counts (default)"]
+    printed = results["by_cap (printed form)"]
+    # Dilution by the unused cap headroom drives exp values down, so the
+    # greedy loop needs many more mirrors to believe it reached ε.
+    assert printed.steady_state_replicas(3) > default.steady_state_replicas(3) + 2

@@ -1,0 +1,64 @@
+"""Fig. 10: SOUP is resilient against a slander attack.
+
+Paper claims: with m = 10/20/50 % of identities manipulating experience
+sets (and recommendations to newcomers) at the maximum rate, availability
+degrades gracefully — even at m = 0.5 it only drops to around 95 % — while
+the replica overhead rises as nodes compensate for the poisoned rankings.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import ScenarioConfig
+
+DAYS = 20
+FRACTIONS = (0.0, 0.1, 0.2, 0.5)
+
+
+def run_fraction(fraction: float):
+    config = ScenarioConfig(
+        dataset="facebook",
+        scale=DEFAULT_SCALE,
+        n_days=DAYS,
+        seed=5,
+        slander_fraction=fraction,
+    )
+    return run_scenario(config)
+
+
+def test_fig10(benchmark):
+    results = run_once(benchmark, lambda: {m: run_fraction(m) for m in FRACTIONS})
+
+    rows = []
+    for fraction, result in results.items():
+        label = f"m={fraction:.1f}"
+        print_series(f"Fig.10 availability ({label})", "per day", result.daily_availability())
+        rows.append(
+            (
+                label,
+                f"{result.steady_state_availability(skip_days=3):.3f}",
+                f"{result.steady_state_replicas(skip_days=3):.2f}",
+            )
+        )
+    print_table(
+        "Fig. 10 — slander attack",
+        ("attackers", "availability", "replicas"),
+        rows,
+    )
+
+    clean = results[0.0].steady_state_availability(skip_days=3)
+    heavy = results[0.5].steady_state_availability(skip_days=3)
+
+    # The attack degrades availability gracefully: even with half of all
+    # identities slandering, the drop stays within a few points (the paper
+    # measures ~95 % absolute; we assert the same bounded-degradation shape).
+    assert heavy > clean - 0.08
+    assert heavy > 0.85
+
+    # Degradation is monotone in the attacker fraction (within noise).
+    availabilities = [
+        results[m].steady_state_availability(skip_days=3) for m in FRACTIONS
+    ]
+    assert availabilities[0] >= availabilities[-1] - 0.01

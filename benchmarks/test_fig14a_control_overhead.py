@@ -1,0 +1,43 @@
+"""Fig. 14a: control overhead at the bootstrap node.
+
+Paper claims: "Only upon join and leave operations (i.e., shifting some
+entries in the DHT) we observe utilization of the network interface at
+around 20-40 KB/s.  At the same time, lookups do not have a visual impact."
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series, print_table, run_once
+from repro.deploy.emulation import Deployment
+
+
+def run_deployment():
+    deployment = Deployment(n_desktop=27, n_mobile=4, seed=7)
+    report = deployment.run(duration_s=1800.0, selection_rounds=15)
+    return report
+
+
+def test_fig14a(benchmark):
+    report = run_once(benchmark, run_deployment)
+    series = np.array([kb for _, kb in report.gateway_series])
+
+    busy_seconds = int(np.sum(series > 5.0))
+    peak = float(series.max())
+    print_series(
+        "Fig.14a gateway DHT KB/s (busy seconds only)",
+        "KB/s",
+        [kb for kb in series if kb > 1.0][:40],
+        "{:.1f}",
+    )
+    print_table(
+        "Fig. 14a — DHT control overhead at the bootstrap node",
+        ("peak KB/s", "busy seconds (>5KB/s)", "total seconds", "mean KB/s"),
+        [(f"{peak:.1f}", busy_seconds, len(series), f"{series.mean():.2f}")],
+    )
+
+    # Join/leave spikes sit in the paper's tens-of-KB/s band.
+    assert 10.0 <= peak <= 80.0
+    # The link is quiet almost all the time: lookups are invisible.
+    assert busy_seconds < 0.1 * len(series)
+    assert np.median(series) < 1.0

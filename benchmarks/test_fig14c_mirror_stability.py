@@ -1,0 +1,36 @@
+"""Fig. 14c: variance in the mirror set per selection round.
+
+Paper claims: after the initial rounds, mirror sets stabilize; most changes
+are the one random exploration node added each round, so the per-round
+difference converges to ~1 and "the whole data of a user does not have to
+be transmitted often".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series, print_table, run_once
+from repro.deploy.emulation import Deployment
+
+
+def run_deployment():
+    deployment = Deployment(n_desktop=27, n_mobile=4, seed=7)
+    return deployment.run(duration_s=1800.0, selection_rounds=15)
+
+
+def test_fig14c(benchmark):
+    report = run_once(benchmark, run_deployment)
+    variance = report.mirror_variance_by_round
+
+    print_series("Fig.14c mirror-set difference", "per round", variance, "{:.2f}")
+    print_table(
+        "Fig. 14c — mirror-set stability",
+        ("first 3 rounds (mean)", "last 3 rounds (mean)"),
+        [(f"{np.mean(variance[:3]):.2f}", f"{np.mean(variance[-3:]):.2f}")],
+    )
+
+    # Convergence: churn falls sharply after the initial rounds ...
+    assert np.mean(variance[-3:]) < 0.5 * np.mean(variance[:3])
+    # ... toward the one-random-node floor.
+    assert np.mean(variance[-3:]) < 3.0
+    assert np.mean(variance[-3:]) >= 0.3  # the exploration node keeps moving

@@ -1,0 +1,43 @@
+"""Fig. 15: bandwidth consumption at high request rates.
+
+Paper claims: a single mirror hosting 20 real profiles (206 MB, 2035
+items) serves 1/10/20 requests per second with average consumption well
+below 600 KB/s; higher rates hit the rare large items more often, causing
+spikes; an overloaded mirror may time requests out.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table, run_once
+from repro.deploy.traffic import MirrorLoadModel
+
+
+def test_fig15(benchmark):
+    model = MirrorLoadModel(seed=7)
+    results = run_once(benchmark, lambda: model.sweep(rates=(1.0, 10.0, 20.0), duration_s=300))
+
+    rows = [
+        (
+            f"{r.request_rate:.0f} req/s",
+            f"{r.mean_kb_per_s:.0f}",
+            f"{r.peak_kb_per_s:.0f}",
+            r.requests_served,
+            r.requests_timed_out,
+        )
+        for r in results
+    ]
+    print_table(
+        "Fig. 15 — mirror serving 20 profiles (206 MB)",
+        ("rate", "mean KB/s", "peak KB/s", "served", "timed out"),
+        rows,
+    )
+
+    one, ten, twenty = results
+    # Average consumption stays well below 600 KB/s even at 20 req/s.
+    assert twenty.mean_kb_per_s < 600
+    # Bandwidth grows with the request rate.
+    assert one.mean_kb_per_s < ten.mean_kb_per_s <= twenty.mean_kb_per_s * 1.05
+    # Spikes appear as large items are hit (peak well above the mean).
+    assert twenty.peak_kb_per_s > 1.3 * twenty.mean_kb_per_s
+    # Light load serves everything without timeouts.
+    assert one.requests_timed_out == 0

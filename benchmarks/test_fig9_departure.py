@@ -1,0 +1,65 @@
+"""Fig. 9: SOUP is resilient against node dynamics.
+
+Paper claims: when the top 1/2/5 % of nodes by online time leave at once,
+availability dips noticeably for d = 5 % (the lost nodes hosted many
+replicas) but the remaining nodes choose new mirrors and performance
+recovers without extra replica overhead; the system is essentially
+independent of the top 1-2 %.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import ScenarioConfig
+
+DEPARTURE_DAY = 10
+DAYS = 26
+FRACTIONS = (0.01, 0.02, 0.05)
+
+
+def run_fraction(fraction: float):
+    config = ScenarioConfig(
+        dataset="facebook",
+        scale=DEFAULT_SCALE,
+        n_days=DAYS,
+        seed=5,
+        departure_fraction=fraction,
+        departure_day=DEPARTURE_DAY,
+    )
+    return run_scenario(config)
+
+
+def test_fig9(benchmark):
+    results = run_once(benchmark, lambda: {d: run_fraction(d) for d in FRACTIONS})
+
+    rows = []
+    for fraction, result in results.items():
+        label = f"d={fraction:.2f}"
+        print_series(f"Fig.9 availability ({label})", "per day", result.daily_availability())
+        epoch = DEPARTURE_DAY * 24
+        before = result.availability[epoch - 48 : epoch].mean()
+        dip = result.availability[epoch : epoch + 24].min()
+        recovered = result.availability[-48:].mean()
+        rows.append((label, f"{before:.3f}", f"{dip:.3f}", f"{recovered:.3f}"))
+    print_table(
+        "Fig. 9 — top-online nodes depart at day 10",
+        ("fraction", "before", "dip (min)", "recovered"),
+        rows,
+    )
+
+    epoch = DEPARTURE_DAY * 24
+    for fraction, result in results.items():
+        before = result.availability[epoch - 48 : epoch].mean()
+        recovered = result.availability[-48:].mean()
+        # Recovery: the end state returns to (near) the pre-departure level.
+        assert recovered > before - 0.04, fraction
+
+    # The d=5 % departure causes a visible dip; losing only the top 1 %
+    # barely registers ("SOUP is independent from the top 1-2 % of nodes").
+    dip = lambda r: r.availability[epoch - 48 : epoch].mean() - r.availability[
+        epoch : epoch + 24
+    ].min()
+    assert dip(results[0.05]) > dip(results[0.01])
+    assert dip(results[0.01]) < 0.12

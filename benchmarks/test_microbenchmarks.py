@@ -1,0 +1,84 @@
+"""Microbenchmarks of the hot protocol operations.
+
+Not a paper experiment — these track the cost of the operations every node
+runs continuously (Algorithm 1, Eq. (1) ingestion, DHT routing, ABE
+encryption), so performance regressions in the core surface here.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import SoupConfig
+from repro.core.experience import ExperienceReport
+from repro.core.knowledge import KnowledgeBase
+from repro.core.ranking import RegularRanker
+from repro.core.selection import select_mirrors
+from repro.crypto import abe
+from repro.crypto.abe import AbeAuthority
+from repro.crypto.access import and_of, attr, or_of
+from repro.dht.pastry import PastryOverlay
+
+CONFIG = SoupConfig()
+
+
+def test_algorithm1_selection_speed(benchmark):
+    rng = random.Random(0)
+    ranking = [(i, rng.random()) for i in range(500)]
+    friends = list(range(0, 100, 5))
+    pool = list(range(500, 600))
+
+    result = benchmark(
+        lambda: select_mirrors(
+            ranking, friends, CONFIG, random.Random(1), exploration_pool=pool
+        )
+    )
+    assert result.mirrors
+
+
+def test_eq1_ingestion_speed(benchmark):
+    kb = KnowledgeBase(owner=0)
+    ranker = RegularRanker(kb, CONFIG)
+    rng = random.Random(0)
+    reports = [
+        ExperienceReport(
+            reporter=rng.randrange(100),
+            mirror=rng.randrange(50),
+            observations=rng.randint(1, 3),
+            availability=rng.random(),
+        )
+        for _ in range(300)
+    ]
+    benchmark(lambda: ranker.ingest_reports(reports))
+    assert len(kb) > 0
+
+
+def test_dht_routing_speed(benchmark):
+    rng = random.Random(0)
+    overlay = PastryOverlay()
+    ids = []
+    for i in range(300):
+        node_id = rng.getrandbits(64)
+        overlay.join(node_id, bootstrap_id=ids[0] if ids else None)
+        ids.append(node_id)
+
+    def route_batch():
+        for _ in range(50):
+            overlay.route(rng.choice(ids), rng.getrandbits(64))
+
+    benchmark(route_batch)
+
+
+def test_abe_encrypt_decrypt_speed(benchmark):
+    """The paper measures ~262 ms encryption at four attributes on 2014
+    hardware; this tracks our simulation-grade substitute."""
+    authority = AbeAuthority(master_secret=b"b" * 32)
+    policy = and_of(attr("a"), or_of(attr("b"), attr("c")), attr("d"))
+    key = authority.issue_key(["a", "b", "d"])
+    payload = b"x" * 10_000
+
+    def roundtrip():
+        ciphertext = authority.encrypt(payload, policy)
+        return abe.decrypt(ciphertext, key)
+
+    assert benchmark(roundtrip) == payload

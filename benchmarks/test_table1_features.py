@@ -1,0 +1,24 @@
+"""Table 1: DOSN approaches summarized (feature matrix).
+
+Regenerates the qualitative comparison: every competitor lacks multiple
+features, SOUP provides all of them.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.baselines.features import FEATURES, SYSTEMS, missing_feature_count, table1_rows
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print_table(
+        "Table 1 — DOSN Approaches Summarized",
+        ("system",) + FEATURES,
+        rows,
+    )
+
+    # SOUP supports every feature; each competitor misses at least two.
+    soup_row = [row for row in rows if row[0] == "SOUP"][0]
+    assert all(cell == "+" for cell in soup_row[1:])
+    for system in SYSTEMS:
+        if system != "SOUP":
+            assert missing_feature_count(system) >= 2

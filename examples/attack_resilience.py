@@ -1,0 +1,47 @@
+"""Attack resilience: slander and sybil flooding against SOUP.
+
+Reproduces the paper's Sec. 5.2.6 story at example scale: a clean baseline,
+a 50 % slander attack, and a sybil flood with as many attacker identities
+as half the honest population — printing how availability, replica
+overhead and the protective-dropping blacklist respond.
+
+Run with:  python examples/attack_resilience.py
+"""
+
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import ScenarioConfig
+
+
+def describe(name: str, result) -> None:
+    print(f"\n--- {name} ---")
+    daily = result.daily_availability()
+    print("availability/day:", " ".join(f"{v:.3f}" for v in daily))
+    print(f"steady-state availability: {result.steady_state_availability(3):.3f}")
+    print(f"steady-state replicas:     {result.steady_state_replicas(3):.2f}")
+    print(f"blacklisted owners:        {result.blacklisted_owner_count}")
+
+
+def main() -> None:
+    base = dict(dataset="facebook", scale=0.008, n_days=12, seed=3)
+
+    clean = run_scenario(ScenarioConfig(**base))
+    describe("no attack", clean)
+
+    slander = run_scenario(ScenarioConfig(**base, slander_fraction=0.5))
+    describe("slander attack (50% of identities)", slander)
+
+    flooding = run_scenario(
+        ScenarioConfig(**base, sybil_fraction=0.5, sybil_flood_requests=25)
+    )
+    describe("sybil flooding (sybils = 50% of honest population)", flooding)
+
+    drop = clean.steady_state_availability(3) - slander.steady_state_availability(3)
+    print(f"\nslander cost: {drop*100:.1f} availability points "
+          f"(paper: at most ~4-5 points at m=0.5)")
+    print(f"flooding kept benign availability at "
+          f"{flooding.steady_state_availability(3):.1%} "
+          f"and blacklisted {flooding.blacklisted_owner_count} flooder entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Deployment demo: the paper's 31-user deployment, emulated end to end.
+
+Recreates Sec. 7: 27 desktop users plus 4 phones behind one gateway, the
+measured workload (282 friendships, 204 photos, 1189 messages), periodic
+selection rounds — then prints the lessons-learned numbers: control
+overhead at the bootstrap node, the busiest user's traffic, mirror-set
+stability, and the no-data-loss check.
+
+Run with:  python examples/deployment_demo.py
+"""
+
+import numpy as np
+
+from repro.deploy.emulation import Deployment
+from repro.deploy.traffic import MirrorLoadModel
+
+
+def main() -> None:
+    print("building the 31-node deployment (27 desktop + 4 mobile)...")
+    deployment = Deployment(n_desktop=27, n_mobile=4, seed=7)
+    report = deployment.run(duration_s=1800.0, selection_rounds=15)
+
+    print(f"\nworkload: {report.friendships} friendships, "
+          f"{report.photos_shared} photos, {report.messages_sent} messages")
+    print(f"profile requests: {report.profile_requests}, "
+          f"failures: {report.profile_failures} "
+          f"(availability {report.availability:.2%} — the paper observed no loss)")
+
+    gateway = np.array([kb for _, kb in report.gateway_series])
+    print(f"\n[Fig.14a] gateway DHT traffic: peak {gateway.max():.1f} KB/s "
+          f"(paper: 20-40 KB/s on join/leave), "
+          f"busy {np.sum(gateway > 5)} of {len(gateway)} seconds")
+
+    user = np.array([kb for _, kb in report.busiest_user_series])
+    print(f"[Fig.14b] busiest user ({report.busiest_user}): "
+          f"peak {user.max():.0f} KB/s at album publishing, "
+          f"idle {np.mean(user < 5):.0%} of the time")
+
+    variance = report.mirror_variance_by_round
+    print(f"[Fig.14c] mirror-set difference per round: "
+          + " ".join(f"{v:.1f}" for v in variance))
+    print(f"          (stabilizes near 1 — mostly the random exploration node)")
+
+    print("\n[Fig.15] one mirror serving 20 profiles (206 MB):")
+    for result in MirrorLoadModel(seed=7).sweep(duration_s=120):
+        print(f"  {result.request_rate:>4.0f} req/s -> mean "
+              f"{result.mean_kb_per_s:>5.0f} KB/s, peak {result.peak_kb_per_s:>5.0f} KB/s, "
+              f"{result.requests_timed_out} timeouts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of SOUP (Middleware 2014).
+
+SOUP (the Self-Organized Universe of People) is a decentralized online
+social network in which every user's data is replicated at a small,
+dynamically selected set of other participants — the *mirrors* — so that
+the data stays highly available without central servers, permanent storage
+providers, or per-user fees.
+
+Top-level entry points:
+
+* :class:`repro.core.SoupConfig` — protocol parameters (α, β, ε, θ, c …).
+* :func:`repro.sim.run_scenario` / :class:`repro.sim.ScenarioConfig` — the
+  large-scale replication simulator behind the paper's Sec. 5 figures.
+* :class:`repro.node.SoupNode` — the full protocol middleware (Sec. 6).
+* :class:`repro.deploy.Deployment` — the 31-node deployment emulation
+  (Sec. 7).
+* :mod:`repro.graphs` — the three evaluation datasets (Table 3).
+* :mod:`repro.baselines` — PeerSoN / Safebook / Cachet models (Tables 1, 4).
+
+See DESIGN.md for the complete system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.config import SoupConfig
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import OnlineDistribution, ScenarioConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SoupConfig",
+    "run_scenario",
+    "OnlineDistribution",
+    "ScenarioConfig",
+    "__version__",
+]

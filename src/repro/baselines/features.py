@@ -1,0 +1,88 @@
+"""Table 1: the DOSN feature matrix.
+
+The paper's Table 1 summarizes which operational features each existing
+DOSN provides and shows every competitor lacking in multiple categories
+while SOUP supports all of them.  The assessments below encode Sec. 2's
+analysis; the bench renders them as the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: The feature columns, in Table 1's spirit (Sec. 1's shortcoming list).
+FEATURES: Tuple[str, ...] = (
+    "high_availability",
+    "no_user_discrimination",
+    "no_dedicated_servers",
+    "low_overhead",
+    "adaptive_to_dynamics",
+    "attack_resilient",
+    "data_encryption",
+    "mobile_support",
+    "deployable_without_fees",
+)
+
+#: system -> set of features it provides, per Sec. 2's analysis.
+SYSTEMS: Dict[str, frozenset] = {
+    "Diaspora": frozenset(
+        {"high_availability", "mobile_support", "low_overhead"}
+    ),
+    "Vis-a-Vis": frozenset(
+        {"high_availability", "data_encryption", "low_overhead"}
+    ),
+    "Confidant": frozenset(
+        {"high_availability", "data_encryption", "low_overhead"}
+    ),
+    "SuperNova": frozenset(
+        {"high_availability", "mobile_support"}
+    ),
+    "Persona": frozenset(
+        {"high_availability", "data_encryption", "low_overhead",
+         "no_user_discrimination"}
+    ),
+    "PeerSoN": frozenset(
+        {"no_dedicated_servers", "data_encryption", "deployable_without_fees"}
+    ),
+    "Cachet": frozenset(
+        {"high_availability", "no_dedicated_servers", "data_encryption",
+         "no_user_discrimination", "deployable_without_fees"}
+    ),
+    "Safebook": frozenset(
+        {"no_dedicated_servers", "data_encryption", "deployable_without_fees"}
+    ),
+    "MyZone": frozenset(
+        {"no_dedicated_servers", "data_encryption", "deployable_without_fees"}
+    ),
+    "ProofBook": frozenset(
+        {"no_dedicated_servers", "deployable_without_fees"}
+    ),
+    "SOUP": frozenset(FEATURES),
+}
+
+
+def feature_matrix() -> Dict[str, Dict[str, bool]]:
+    """system -> feature -> provided?"""
+    return {
+        system: {feature: feature in provided for feature in FEATURES}
+        for system, provided in SYSTEMS.items()
+    }
+
+
+def table1_rows() -> List[Tuple[str, ...]]:
+    """Render Table 1 as rows of (system, '+'/'-' per feature)."""
+    rows = []
+    for system in sorted(SYSTEMS, key=lambda s: (s == "SOUP", s)):
+        provided = SYSTEMS[system]
+        rows.append(
+            (system,)
+            + tuple("+" if feature in provided else "-" for feature in FEATURES)
+        )
+    return rows
+
+
+def missing_feature_count(system: str) -> int:
+    """How many Table-1 features a system lacks (SOUP: 0)."""
+    if system not in SYSTEMS:
+        raise KeyError(f"unknown system {system!r}")
+    return len(FEATURES) - len(SYSTEMS[system] & frozenset(FEATURES))

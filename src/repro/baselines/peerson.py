@@ -1,0 +1,115 @@
+"""PeerSoN-style replication: mutual storage agreements.
+
+PeerSoN [9] lets "nodes with mutual agreements store data for each other"
+with an optimized node-selection algorithm.  Its central weakness, which
+Table 4 and Sec. 2 highlight, is that a user's availability depends on her
+*own* online time: partners reciprocate, so well-connected/highly-online
+users pair with similar peers while rarely-online users end up with
+rarely-online partners — "users with an online time of less than eight
+hours a day achieve less than 90 % availability".
+
+The model: every node seeks ``replica_count`` mutual partners.  Matching is
+assortative — nodes prefer partners of similar online time, as reciprocal
+agreements between unequal peers do not form (the highly available side has
+no incentive).  Availability is then the probability the owner or any
+partner is online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class PeerSonModel:
+    """Analytic simulation of PeerSoN's partner-based replication."""
+
+    #: Mutual partners per node (the paper's comparison uses 6 replicas).
+    replica_count: int = 6
+    #: Width of the online-probability band within which agreements form.
+    assortativity_band: float = 0.15
+
+    def assign_partners(
+        self, online_probabilities: np.ndarray, rng: np.random.Generator
+    ) -> List[List[int]]:
+        """Pair every node with up to ``replica_count`` similar-p partners.
+
+        Nodes are sorted by online probability; each node's partners are
+        drawn from the window of neighbours within the assortativity band
+        (falling back to nearest-by-p when the band is sparse).
+        """
+        n = len(online_probabilities)
+        order = np.argsort(online_probabilities, kind="stable")
+        position = np.empty(n, dtype=int)
+        position[order] = np.arange(n)
+
+        partners: List[List[int]] = [[] for _ in range(n)]
+        half_window = max(self.replica_count, int(n * self.assortativity_band / 2))
+        for node in range(n):
+            pos = position[node]
+            lo = max(0, pos - half_window)
+            hi = min(n, pos + half_window + 1)
+            window = [int(order[i]) for i in range(lo, hi) if order[i] != node]
+            count = min(self.replica_count, len(window))
+            if count:
+                chosen = rng.choice(len(window), size=count, replace=False)
+                partners[node] = [window[i] for i in chosen]
+        return partners
+
+    def availability_series(
+        self,
+        online_matrix: np.ndarray,
+        partners: List[List[int]],
+    ) -> np.ndarray:
+        """Per-epoch fraction of nodes whose data is reachable."""
+        n, n_epochs = online_matrix.shape
+        series = np.zeros(n_epochs)
+        partner_index = [np.array(p, dtype=int) for p in partners]
+        for t in range(n_epochs):
+            online = online_matrix[:, t]
+            available = online.copy()
+            for node in range(n):
+                if not available[node] and len(partner_index[node]):
+                    available[node] = bool(online[partner_index[node]].any())
+            series[t] = available.mean()
+        return series
+
+    def summary(
+        self, online_probabilities: np.ndarray, seed: int = 0, n_epochs: int = 24 * 7
+    ) -> Dict[str, float]:
+        """Steady-state availability/overhead under a given population.
+
+        Used for the Table 4 comparison rows.
+        """
+        from repro.behavior.online import OnlineModel, sample_timezones
+
+        rng = np.random.default_rng(seed)
+        partners = self.assign_partners(online_probabilities, rng)
+        model = OnlineModel(
+            base_probabilities=online_probabilities,
+            timezone_offsets=sample_timezones(len(online_probabilities), rng),
+        )
+        matrix = model.generate_matrix(n_epochs, rng)
+        series = self.availability_series(matrix, partners)
+        per_node = np.array(
+            [
+                float(
+                    np.logical_or(
+                        matrix[node],
+                        matrix[partners[node]].any(axis=0)
+                        if partners[node]
+                        else False,
+                    ).mean()
+                )
+                for node in range(len(online_probabilities))
+            ]
+        )
+        return {
+            "availability": float(series.mean()),
+            "availability_min": float(per_node.min()),
+            "availability_max": float(per_node.max()),
+            "replicas": float(np.mean([len(p) for p in partners])),
+        }

@@ -1,0 +1,37 @@
+"""User behaviour models for the SOUP evaluation (paper Sec. 5.1).
+
+* :mod:`repro.behavior.online` — power-law node online probabilities
+  ("around 60 % of the nodes are available less than 20 % of the time, and
+  there are only very few highly available nodes"), diurnal patterns over
+  three time zones (US 0.4 / Europe-Africa 0.3 / Asia-Oceania 0.3), and the
+  bursty two-state session process that populates the online-time matrix.
+* :mod:`repro.behavior.activity` — exponentially decreasing user activity
+  after join, decaying "to become less than one interaction per day".
+* :mod:`repro.behavior.churn` — asynchronous joins driven by online
+  probability, plus mass-departure events (Fig. 9).
+* :mod:`repro.behavior.capacity` — Gaussian storage space with a median of
+  50 mirrored profiles.
+"""
+
+from repro.behavior.activity import ActivityModel
+from repro.behavior.capacity import sample_capacities
+from repro.behavior.churn import join_epochs, top_online_nodes
+from repro.behavior.online import (
+    TIMEZONE_OFFSETS,
+    TIMEZONE_PROBABILITIES,
+    OnlineModel,
+    sample_online_probabilities,
+    sample_timezones,
+)
+
+__all__ = [
+    "ActivityModel",
+    "sample_capacities",
+    "join_epochs",
+    "top_online_nodes",
+    "TIMEZONE_OFFSETS",
+    "TIMEZONE_PROBABILITIES",
+    "OnlineModel",
+    "sample_online_probabilities",
+    "sample_timezones",
+]

@@ -1,0 +1,60 @@
+"""Exponentially decaying user activity (paper Sec. 5.1).
+
+"After an initial phase of high interaction once joining an OSN, a user's
+activity decreases exponentially to become less than one interaction per
+day."  The paper stresses this is the *worst observed case* for SOUP, since
+nodes must contact others to learn about mirror candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ActivityModel:
+    """Interaction-rate model: ``rate(age) = floor + (peak-floor)·e^(−λ·age)``.
+
+    ``peak_per_day`` is the join-time burst; ``floor_per_day`` the long-run
+    rate (below one per day, per the paper); ``decay_per_day`` is λ.
+    """
+
+    peak_per_day: float = 20.0
+    floor_per_day: float = 0.5
+    decay_per_day: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.peak_per_day < self.floor_per_day:
+            raise ValueError("peak rate must be at least the floor rate")
+        if self.floor_per_day < 0 or self.decay_per_day < 0:
+            raise ValueError("rates must be non-negative")
+
+    def rate_per_day(self, age_days: float) -> float:
+        """Expected interactions per day at the given account age."""
+        if age_days < 0:
+            raise ValueError(f"age cannot be negative, got {age_days}")
+        return self.floor_per_day + (
+            self.peak_per_day - self.floor_per_day
+        ) * float(np.exp(-self.decay_per_day * age_days))
+
+    def rates_per_day(self, ages_days: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rate_per_day` over node ages."""
+        ages = np.asarray(ages_days, dtype=float)
+        if np.any(ages < 0):
+            raise ValueError("ages cannot be negative")
+        return self.floor_per_day + (
+            self.peak_per_day - self.floor_per_day
+        ) * np.exp(-self.decay_per_day * ages)
+
+    def sample_interactions(
+        self, ages_days: np.ndarray, epoch_days: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw the number of interactions each node makes in one epoch.
+
+        Interactions arrive as a Poisson process at the age-dependent rate.
+        """
+        if epoch_days <= 0:
+            raise ValueError(f"epoch_days must be positive, got {epoch_days}")
+        return rng.poisson(self.rates_per_day(ages_days) * epoch_days)

@@ -1,0 +1,30 @@
+"""Storage-capacity model (paper Sec. 5.1).
+
+"The storage space available at each node follows a Gaussian distribution,
+with a median of space for mirroring data of 50 users" — which Sec. 7
+measures at under half a gigabyte of disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_capacities(
+    n: int,
+    rng: np.random.Generator,
+    median_profiles: float = 50.0,
+    sigma_profiles: float = 15.0,
+    min_profiles: float = 5.0,
+) -> np.ndarray:
+    """Sample per-node storage capacities in profile units.
+
+    Gaussian around the paper's median of 50, truncated below at
+    ``min_profiles`` so every node can mirror at least a handful of users.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if median_profiles <= 0 or sigma_profiles < 0:
+        raise ValueError("capacity parameters must be positive")
+    capacities = rng.normal(median_profiles, sigma_profiles, size=n)
+    return np.maximum(capacities, min_profiles)

@@ -1,0 +1,49 @@
+"""Join schedules and departure events.
+
+"To bootstrap, nodes join our experiments asynchronously according to their
+online probability" (Sec. 5.1): highly available nodes tend to appear early,
+rarely-online nodes trickle in.  Fig. 9 additionally removes the top-d
+fraction of nodes (by online time) at a chosen instant to test resilience.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def join_epochs(
+    online_probabilities: np.ndarray,
+    join_window_epochs: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample each node's join epoch within the bootstrap window.
+
+    Join time is geometric-like in the node's online probability: each epoch
+    of the window, a node that has not joined yet joins with its online
+    probability (it joins the first time it would have been online).  Nodes
+    that never fire join at the end of the window.
+    """
+    if join_window_epochs <= 0:
+        raise ValueError("join window must be positive")
+    p = np.clip(np.asarray(online_probabilities, dtype=float), 1e-4, 1.0)
+    n = len(p)
+    # Inverse-CDF of the geometric distribution, capped at the window end.
+    u = rng.random(n)
+    epochs = np.floor(np.log1p(-u) / np.log1p(-np.minimum(p, 0.999))).astype(int)
+    return np.minimum(epochs, join_window_epochs - 1)
+
+
+def top_online_nodes(online_probabilities: np.ndarray, fraction: float) -> List[int]:
+    """The ids of the top ``fraction`` of nodes by online probability.
+
+    These are the nodes removed in the Fig. 9 mass-departure experiment
+    ("the top 5% of nodes in terms of online time leave simultaneously").
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    p = np.asarray(online_probabilities, dtype=float)
+    count = max(1, int(round(len(p) * fraction)))
+    order = np.argsort(-p, kind="stable")
+    return [int(i) for i in order[:count]]

@@ -1,0 +1,304 @@
+"""Command-line interface: run any reproduction experiment directly.
+
+Examples::
+
+    python -m repro fig5 --dataset epinions --days 10
+    python -m repro fig10 --fraction 0.5
+    python -m repro table1
+    python -m repro table4
+    python -m repro deploy --duration 1200
+    python -m repro fig15 --rate 20
+
+Each subcommand prints the corresponding table/series; the benchmark suite
+(`pytest benchmarks/ --benchmark-only`) runs the same experiments with the
+paper's shape assertions attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _series(values, fmt="{:.3f}") -> str:
+    return " ".join(fmt.format(float(v)) for v in values)
+
+
+def _result_json(result, **extra) -> str:
+    """Serialize a simulation result's series for external plotting."""
+    payload = {
+        "daily_availability": [float(v) for v in result.daily_availability()],
+        "daily_replica_overhead": [
+            float(v) for v in result.daily_replica_overhead()
+        ],
+        "availability_day1": result.availability_at_day(1),
+        "steady_availability": result.steady_state_availability(),
+        "steady_replicas": result.steady_state_replicas(),
+        "drop_rate_by_round": result.drop_rate_by_round,
+        "mirror_churn_by_round": result.mirror_churn_by_round,
+        "top_half_replica_share": result.top_half_replica_share,
+        "blacklisted_owner_count": result.blacklisted_owner_count,
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=2)
+
+
+def _cmd_fig5(args) -> int:
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed
+    )
+    result = run_scenario(config)
+    if getattr(args, "json", False):
+        print(_result_json(result, dataset=args.dataset, scale=args.scale))
+        return 0
+    from repro.sim.reporting import sparkline
+
+    print(f"dataset={args.dataset} scale={args.scale} days={args.days}")
+    print("availability/day:", _series(result.daily_availability()),
+          f"  {sparkline(result.daily_availability(), 0.5, 1.0)}")
+    print("replicas/day:    ", _series(result.daily_replica_overhead(), "{:.2f}"),
+          f"  {sparkline(result.daily_replica_overhead())}")
+    print(f"availability@day1={result.availability_at_day(1):.3f} "
+          f"steady={result.steady_state_availability():.3f} "
+          f"replicas={result.steady_state_replicas():.2f}")
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.sim.engine import run_scenario
+    from repro.sim.metrics import percentile_of
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        n_days=args.days,
+        seed=args.seed,
+        cdf_snapshot_days=tuple(
+            d for d in (1, 14, args.days) if d <= args.days
+        ),
+    )
+    result = run_scenario(config)
+    for day, counts in sorted(result.stored_profiles_snapshots.items()):
+        print(f"day {day:>3}: mean={np.mean(counts):.2f} "
+              f"median={percentile_of(counts, 0.5):.0f} "
+              f"p90={percentile_of(counts, 0.9):.0f} max={max(counts)}")
+    print(f"top-half replica share: {result.top_half_replica_share:.2%}")
+    print("drop rate/round:", _series(result.drop_rate_by_round, "{:.4f}"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    result = run_scenario(
+        ScenarioConfig(dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed)
+    )
+    for cohort, series in sorted(result.cohort_availability.items()):
+        days = len(series) // result.epochs_per_day
+        daily = series[: days * result.epochs_per_day].reshape(days, -1).mean(axis=1)
+        print(f"{cohort:<15}", _series(daily))
+    return 0
+
+
+def _cmd_attack(args, kind: str) -> int:
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    overrides = {}
+    if kind == "slander":
+        overrides["slander_fraction"] = args.fraction
+        overrides["use_tie_strength"] = getattr(args, "ties", False)
+    elif kind == "flooding":
+        overrides["sybil_fraction"] = args.fraction
+    elif kind == "departure":
+        overrides["departure_fraction"] = args.fraction
+        overrides["departure_day"] = args.event_day
+    elif kind == "altruism":
+        overrides["altruist_fraction"] = args.fraction
+        overrides["altruist_join_day"] = args.event_day
+    result = run_scenario(
+        ScenarioConfig(
+            dataset=args.dataset,
+            scale=args.scale,
+            n_days=args.days,
+            seed=args.seed,
+            **overrides,
+        )
+    )
+    if getattr(args, "json", False):
+        print(_result_json(result, experiment=kind, fraction=args.fraction))
+        return 0
+    print(f"{kind} fraction={args.fraction}")
+    print("availability/day:", _series(result.daily_availability()))
+    print("replicas/day:    ", _series(result.daily_replica_overhead(), "{:.2f}"))
+    if kind == "flooding":
+        print(f"blacklist entries: {result.blacklisted_owner_count}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.baselines.features import FEATURES, table1_rows
+
+    header = ("system",) + FEATURES
+    widths = [max(len(h), 10) for h in header]
+    print("  ".join(h[:w].ljust(w) for h, w in zip(header, widths)))
+    for row in table1_rows():
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.graphs.datasets import table3_rows
+
+    for name, nodes, edges, degree in table3_rows(scale=args.scale, seed=args.seed):
+        print(f"{name:<10} nodes={nodes:<8} edges={edges:<9} avg_degree={degree}")
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    from benchmarks.test_table4_related_work import run_comparison  # noqa: F401
+
+    try:
+        outcome = run_comparison()
+    except ImportError:
+        print("table4 requires the benchmarks directory on sys.path", file=sys.stderr)
+        return 1
+    soup = outcome["soup_powerlaw"]
+    print(f"SOUP (power-law): availability={soup.steady_state_availability(3):.3f} "
+          f"replicas={soup.steady_state_replicas(3):.1f}")
+    soup_ps = outcome["soup_peerson"]
+    peerson = outcome["peerson"]
+    print(f"SOUP (PeerSoN mix): {soup_ps.steady_state_availability(3):.3f}/"
+          f"{soup_ps.steady_state_replicas(3):.1f}  vs  PeerSoN "
+          f"{peerson['availability']:.3f}/{peerson['replicas']:.1f} "
+          f"(per-node {peerson['availability_min']:.2f}-{peerson['availability_max']:.2f})")
+    soup_u = outcome["soup_uniform"]
+    safebook = outcome["safebook"]
+    print(f"SOUP (uniform 0.3): {soup_u.steady_state_availability(3):.3f}/"
+          f"{soup_u.steady_state_replicas(3):.1f}  vs  Safebook "
+          f"{safebook['availability']:.3f}/{safebook['replicas']:.1f}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from repro.deploy.emulation import Deployment
+
+    deployment = Deployment(n_desktop=args.desktop, n_mobile=args.mobile, seed=args.seed)
+    report = deployment.run(duration_s=args.duration, selection_rounds=args.rounds)
+    print(f"users={report.n_users} mobile={report.n_mobile} "
+          f"friendships={report.friendships} photos={report.photos_shared} "
+          f"messages={report.messages_sent}")
+    print(f"availability={report.availability:.4f} "
+          f"({report.profile_failures}/{report.profile_requests} failed requests)")
+    gateway = [kb for _, kb in report.gateway_series]
+    print(f"gateway DHT peak={max(gateway):.1f} KB/s")
+    print("mirror variance/round:", _series(report.mirror_variance_by_round, "{:.2f}"))
+    return 0
+
+
+def _cmd_fig15(args) -> int:
+    from repro.deploy.traffic import MirrorLoadModel
+
+    model = MirrorLoadModel(seed=args.seed)
+    result = model.run(request_rate=args.rate, duration_s=args.duration)
+    print(f"rate={args.rate}/s mean={result.mean_kb_per_s:.0f} KB/s "
+          f"peak={result.peak_kb_per_s:.0f} KB/s served={result.requests_served} "
+          f"timeouts={result.requests_timed_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SOUP (Middleware 2014) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, days=20):
+        p.add_argument("--dataset", default="facebook",
+                       choices=("facebook", "epinions", "slashdot"))
+        p.add_argument("--scale", type=float, default=0.01)
+        p.add_argument("--days", type=int, default=days)
+        p.add_argument("--seed", type=int, default=5)
+        p.add_argument("--json", action="store_true",
+                       help="emit the result series as JSON")
+
+    common(sub.add_parser("fig5", help="availability & replica overhead"))
+    common(sub.add_parser("fig6", help="stored-profile CDF snapshots"), days=30)
+    common(sub.add_parser("fig7", help="cohort robustness"), days=18)
+
+    for name, help_text, default_fraction in (
+        ("fig8", "altruistic nodes", 0.05),
+        ("fig9", "mass departure", 0.05),
+        ("fig10", "slander attack", 0.5),
+        ("fig11", "sybil flooding", 0.5),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p, days=26)
+        p.add_argument("--fraction", type=float, default=default_fraction)
+        p.add_argument("--event-day", type=float, default=10.0)
+        if name == "fig10":
+            p.add_argument("--ties", action="store_true",
+                           help="enable the tie-strength extension")
+
+    sub.add_parser("table1", help="DOSN feature matrix")
+    p3 = sub.add_parser("table3", help="dataset summary")
+    p3.add_argument("--scale", type=float, default=1.0)
+    p3.add_argument("--seed", type=int, default=0)
+    sub.add_parser("table4", help="SOUP vs PeerSoN/Safebook")
+
+    pd = sub.add_parser("deploy", help="31-node deployment emulation")
+    pd.add_argument("--desktop", type=int, default=27)
+    pd.add_argument("--mobile", type=int, default=4)
+    pd.add_argument("--duration", type=float, default=1800.0)
+    pd.add_argument("--rounds", type=int, default=15)
+    pd.add_argument("--seed", type=int, default=7)
+
+    pf = sub.add_parser("fig15", help="mirror under high request rates")
+    pf.add_argument("--rate", type=float, default=20.0)
+    pf.add_argument("--duration", type=int, default=300)
+    pf.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "fig5":
+        return _cmd_fig5(args)
+    if command == "fig6":
+        return _cmd_fig6(args)
+    if command == "fig7":
+        return _cmd_fig7(args)
+    if command == "fig8":
+        return _cmd_attack(args, "altruism")
+    if command == "fig9":
+        return _cmd_attack(args, "departure")
+    if command == "fig10":
+        return _cmd_attack(args, "slander")
+    if command == "fig11":
+        return _cmd_attack(args, "flooding")
+    if command == "table1":
+        return _cmd_table1(args)
+    if command == "table3":
+        return _cmd_table3(args)
+    if command == "table4":
+        return _cmd_table4(args)
+    if command == "deploy":
+        return _cmd_deploy(args)
+    if command == "fig15":
+        return _cmd_fig15(args)
+    raise AssertionError(f"unhandled command {command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

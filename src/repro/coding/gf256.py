@@ -1,0 +1,136 @@
+"""Arithmetic in GF(2^8), the field behind practical storage codes.
+
+Elements are bytes (0..255); addition is XOR; multiplication is polynomial
+multiplication modulo the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B).
+Multiplication and division use log/antilog tables built once at import
+time, so the Reed-Solomon hot loops stay table lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_PRIMITIVE_POLY = 0x11B
+_GENERATOR = 0x03  # a primitive element of GF(2^8) for this polynomial
+
+
+def _build_tables() -> tuple:
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        # Multiply by the generator 0x03 = x + 1: double (with reduction)
+        # then add the original.  0x02 is *not* primitive for 0x11B (its
+        # order is 51); 0x03 is.
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= _PRIMITIVE_POLY
+        value = doubled ^ value
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+# Sanity: the generator walk must have covered all 255 non-zero elements.
+assert sorted(_EXP[:255]) == sorted(set(_EXP[:255])), "generator is not primitive"
+
+
+class GF256:
+    """Static helpers for GF(2^8) arithmetic on ints 0..255."""
+
+    ORDER = 256
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return a ^ b
+
+    # Subtraction equals addition in characteristic 2.
+    sub = add
+
+    @staticmethod
+    def multiply(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def divide(a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+    @staticmethod
+    def power(a: int, exponent: int) -> int:
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("0 has no negative powers")
+            return 0
+        return _EXP[(_LOG[a] * exponent) % 255]
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return _EXP[255 - _LOG[a]]
+
+    @staticmethod
+    def element(i: int) -> int:
+        """The i-th power of the field's multiplicative generator."""
+        return _EXP[i % 255]
+
+
+def gf_matrix_multiply(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    """Matrix product over GF(256)."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if any(len(row) != inner for row in a):
+        raise ValueError("matrix dimension mismatch")
+    result = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        for k in range(inner):
+            coefficient = a[i][k]
+            if coefficient == 0:
+                continue
+            row_b = b[k]
+            row_r = result[i]
+            for j in range(cols):
+                row_r[j] ^= GF256.multiply(coefficient, row_b[j])
+    return result
+
+
+def gf_matrix_invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ValueError("matrix must be square")
+    augmented = [list(row) + [1 if i == j else 0 for j in range(n)]
+                 for i, row in enumerate(matrix)]
+    for column in range(n):
+        pivot_row = next(
+            (r for r in range(column, n) if augmented[r][column] != 0), None
+        )
+        if pivot_row is None:
+            raise ValueError("matrix is singular over GF(256)")
+        augmented[column], augmented[pivot_row] = (
+            augmented[pivot_row],
+            augmented[column],
+        )
+        pivot_inverse = GF256.inverse(augmented[column][column])
+        augmented[column] = [
+            GF256.multiply(pivot_inverse, value) for value in augmented[column]
+        ]
+        for row in range(n):
+            if row == column or augmented[row][column] == 0:
+                continue
+            factor = augmented[row][column]
+            augmented[row] = [
+                value ^ GF256.multiply(factor, pivot_value)
+                for value, pivot_value in zip(augmented[row], augmented[column])
+            ]
+    return [row[n:] for row in augmented]

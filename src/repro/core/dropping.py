@@ -1,0 +1,184 @@
+"""Protective dropping (paper Sec. 4.6).
+
+A mirror with exhausted storage must decide which replica to drop, and must
+defend itself against sybil flooders.  For each node ``w`` storing data at
+``v``, ``v`` maintains a dropping score ``d_w``:
+
+* when an experience-set exchange with friend ``u`` reveals that ``w`` also
+  stores at ``u``, ``d_w += 1`` (flooders who store everywhere score high;
+  dropping a widely-replicated profile also hurts availability least);
+* friends are protected: their score decreases by ``1/β`` per exchange;
+* if ``v`` holds a copy of ``w``'s data but is **not** in ``w``'s published
+  mirror set, ``d_w += c`` (announced/real mismatch signals flooding);
+* at ``d_w ≥ θ`` the owner is blacklisted (θ=300, c=100: three strikes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.config import SoupConfig
+
+
+@dataclass
+class ReplicaInfo:
+    """Metadata a mirror keeps about one stored replica."""
+
+    owner: int
+    size_profiles: float = 1.0
+    is_friend: bool = False
+
+
+@dataclass(frozen=True)
+class StoreDecision:
+    """Outcome of a storage request at a mirror."""
+
+    accepted: bool
+    dropped_owner: Optional[int] = None
+    reason: str = ""
+
+
+class ReplicaStore:
+    """A mirror's replica storage with protective dropping.
+
+    ``capacity_profiles`` is the node's storage budget expressed in profile
+    units (Sec. 5.1: Gaussian with median 50 profiles).
+    """
+
+    def __init__(self, owner: int, capacity_profiles: float, config: SoupConfig) -> None:
+        if capacity_profiles <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_profiles}")
+        self.owner = owner
+        self.capacity_profiles = capacity_profiles
+        self._config = config
+        self._replicas: Dict[int, ReplicaInfo] = {}
+        self._scores: Dict[int, float] = {}
+        self._blacklist: Set[int] = set()
+
+    # --- inspection -------------------------------------------------------
+    @property
+    def used_profiles(self) -> float:
+        return sum(info.size_profiles for info in self._replicas.values())
+
+    @property
+    def free_profiles(self) -> float:
+        return self.capacity_profiles - self.used_profiles
+
+    def stores_for(self, owner: int) -> bool:
+        return owner in self._replicas
+
+    def stored_owners(self) -> List[int]:
+        return list(self._replicas)
+
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def dropping_score(self, owner: int) -> float:
+        return self._scores.get(owner, 0.0)
+
+    def is_blacklisted(self, owner: int) -> bool:
+        return owner in self._blacklist
+
+    def blacklisted_owners(self) -> Set[int]:
+        return set(self._blacklist)
+
+    # --- storage protocol ---------------------------------------------------
+    def request_store(
+        self, owner: int, size_profiles: float = 1.0, is_friend: bool = False
+    ) -> StoreDecision:
+        """Handle a storage request; may evict a high-score replica.
+
+        Friends' replicas are protected from eviction.  A request from a
+        blacklisted owner is always rejected.
+        """
+        if owner == self.owner:
+            raise ValueError("a node does not mirror its own data")
+        if owner in self._blacklist:
+            return StoreDecision(accepted=False, reason="blacklisted")
+        if owner in self._replicas:
+            # Refresh metadata (size or friendship may change).
+            self._replicas[owner] = ReplicaInfo(owner, size_profiles, is_friend)
+            return StoreDecision(accepted=True, reason="already stored")
+        if size_profiles > self.capacity_profiles:
+            return StoreDecision(accepted=False, reason="larger than capacity")
+
+        dropped: Optional[int] = None
+        while self.used_profiles + size_profiles > self.capacity_profiles:
+            victim = self._pick_victim(requesting_owner=owner)
+            if victim is None:
+                return StoreDecision(accepted=False, reason="storage exhausted")
+            del self._replicas[victim]
+            dropped = victim
+
+        self._replicas[owner] = ReplicaInfo(owner, size_profiles, is_friend)
+        return StoreDecision(accepted=True, dropped_owner=dropped, reason="stored")
+
+    def remove(self, owner: int) -> bool:
+        """Drop a replica because the owner de-selected this mirror."""
+        return self._replicas.pop(owner, None) is not None
+
+    def _pick_victim(self, requesting_owner: int) -> Optional[int]:
+        """Choose the replica to drop: highest dropping score, never friends.
+
+        Ties break toward larger replicas (freeing more space); the
+        requesting owner's own (absent) data can obviously not be a victim.
+        """
+        victims = [
+            info
+            for info in self._replicas.values()
+            if not info.is_friend and info.owner != requesting_owner
+        ]
+        if not victims:
+            return None
+        victims.sort(
+            key=lambda info: (
+                -self._scores.get(info.owner, 0.0),
+                -info.size_profiles,
+                info.owner,
+            )
+        )
+        return victims[0].owner
+
+    # --- dropping-score maintenance -----------------------------------------
+    def learn_friend_storage(self, stored_at_friend: Iterable[int]) -> List[int]:
+        """Update scores from an ES exchange with a friend.
+
+        ``stored_at_friend`` lists the owners storing replicas at the friend.
+        Owners we also store score +1; our friends get the -1/β protection.
+        Returns owners whose replicas were removed by blacklisting.
+        """
+        stored_set = set(stored_at_friend)
+        for owner, info in self._replicas.items():
+            if owner in stored_set:
+                self._scores[owner] = self._scores.get(owner, 0.0) + 1.0
+            if info.is_friend:
+                self._scores[owner] = (
+                    self._scores.get(owner, 0.0) - 1.0 / self._config.beta
+                )
+        return self._check_blacklist()
+
+    def observe_published_mirrors(self, owner: int, announced: Iterable[int]) -> List[int]:
+        """Compare the owner's published mirror set against reality.
+
+        If we store the owner's data but are not announced as its mirror,
+        the score jumps by ``c`` — "such a mismatch between the announced
+        and the real mirror set may indicate a flooding attempt".  Returns
+        owners whose replicas were removed by blacklisting.
+        """
+        if owner not in self._replicas:
+            return []
+        if self.owner not in set(announced):
+            self._scores[owner] = (
+                self._scores.get(owner, 0.0) + self._config.mismatch_penalty
+            )
+        return self._check_blacklist()
+
+    def _check_blacklist(self) -> List[int]:
+        removed = []
+        for owner, score in self._scores.items():
+            if score >= self._config.theta and owner not in self._blacklist:
+                self._blacklist.add(owner)
+                if self._replicas.pop(owner, None) is not None:
+                    removed.append(owner)
+        return removed

@@ -1,0 +1,110 @@
+"""The per-node knowledge base ``KB_u`` (paper Fig. 3).
+
+Every entry is about a node ``v`` that ``u`` knows: whether ``v`` is a friend
+(``sr(u,v)``), the experience value ``exp_v`` when ``v`` serves as a mirror,
+and a TTL "that decreases every time u does not choose v as a mirror"
+(Sec. 4.4) so stale strangers eventually drop out of the candidate pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class KBEntry:
+    """One knowledge-base row: a known node and what ``u`` knows about it."""
+
+    node_id: int
+    is_friend: bool = False
+    experience: float = 0.0
+    ttl: int = 0
+    is_mirror: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.experience <= 1.0:
+            raise ValueError(f"experience must be in [0, 1], got {self.experience}")
+
+
+class KnowledgeBase:
+    """All nodes ``u`` knows about, with friendship, experience and TTL."""
+
+    def __init__(self, owner: int, default_ttl: int = 30) -> None:
+        self.owner = owner
+        self.default_ttl = default_ttl
+        self._entries: Dict[int, KBEntry] = {}
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[KBEntry]:
+        return iter(list(self._entries.values()))
+
+    def get(self, node_id: int) -> Optional[KBEntry]:
+        return self._entries.get(node_id)
+
+    def add_node(self, node_id: int, is_friend: bool = False) -> KBEntry:
+        """Learn about a node (no-op if already known; friendship upgrades)."""
+        if node_id == self.owner:
+            raise ValueError("a node does not keep a KB entry about itself")
+        entry = self._entries.get(node_id)
+        if entry is None:
+            entry = KBEntry(node_id=node_id, is_friend=is_friend, ttl=self.default_ttl)
+            self._entries[node_id] = entry
+        elif is_friend:
+            entry.is_friend = True
+        return entry
+
+    def set_friend(self, node_id: int, is_friend: bool = True) -> None:
+        self.add_node(node_id).is_friend = is_friend
+
+    def friends(self) -> List[int]:
+        return [e.node_id for e in self._entries.values() if e.is_friend]
+
+    def set_experience(self, node_id: int, experience: float) -> None:
+        """Record a new Eq.-(1) experience value for a (candidate) mirror."""
+        entry = self.add_node(node_id)
+        entry.experience = max(0.0, min(1.0, experience))
+        entry.ttl = self.default_ttl
+
+    def experience_of(self, node_id: int) -> float:
+        entry = self._entries.get(node_id)
+        return entry.experience if entry is not None else 0.0
+
+    def mark_mirrors(self, mirrors: Iterator[int]) -> None:
+        """Flag the current mirror set and refresh those entries' TTLs."""
+        mirror_set = set(mirrors)
+        for entry in self._entries.values():
+            entry.is_mirror = entry.node_id in mirror_set
+            if entry.is_mirror:
+                entry.ttl = self.default_ttl
+
+    def decay_ttls(self) -> List[int]:
+        """Age all non-mirror entries one selection round; prune expired.
+
+        Friends never expire — the social graph itself keeps them known.
+        Returns the ids of pruned entries.
+        """
+        pruned = []
+        for node_id, entry in list(self._entries.items()):
+            if entry.is_mirror or entry.is_friend:
+                continue
+            entry.ttl -= 1
+            if entry.ttl <= 0:
+                pruned.append(node_id)
+                del self._entries[node_id]
+        return pruned
+
+    def ranked_candidates(self) -> List[Tuple[int, float]]:
+        """All known nodes sorted by experience value, best first."""
+        ranked = [(e.node_id, e.experience) for e in self._entries.values()]
+        ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranked
+
+    def unranked_nodes(self) -> List[int]:
+        """Known nodes with no experience yet (exploration candidates)."""
+        return [e.node_id for e in self._entries.values() if e.experience == 0.0]

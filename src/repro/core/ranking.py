@@ -1,0 +1,180 @@
+"""Mirror-candidate ranking: bootstrapping mode and regular mode.
+
+A node runs in **bootstrapping mode** right after joining: it has no friends
+reporting experience sets yet, so it ranks candidates from the
+recommendations of the nodes it contacts ("every time a new node u contacts
+a node v, v suggests the set of mirrors that works well for itself to u",
+Sec. 4.3).  If no recommendations arrive it falls back to random contacts.
+
+Once the node has friends and receives their experience sets it transitions
+to **regular mode** and ranks candidates with Eq. (1) (Sec. 4.4), maintained
+in the knowledge base.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import SoupConfig
+from repro.core.experience import ExperienceReport, update_experience
+from repro.core.knowledge import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A mirror suggestion received from a contacted node.
+
+    ``quality`` is the recommender's own experience value for that mirror;
+    recommenders that do not disclose quality yield the configured
+    bootstrap prior.
+    """
+
+    recommender: int
+    mirror: int
+    quality: Optional[float] = None
+
+
+class BootstrapRanker:
+    """Ranks candidates from stranger recommendations (Sec. 4.3).
+
+    The rank of a candidate is the recency-weighted mean of the qualities
+    attached to its recommendations, discounted because stranger
+    recommendations are less trustworthy than own-friend experience: the
+    paper notes a recommended mirror "might not be a good choice for u for
+    various reasons" and bootstrapping should not be used for long.
+    """
+
+    #: Discount applied to recommended qualities versus first-hand experience.
+    TRUST_DISCOUNT = 0.8
+
+    def __init__(self, config: SoupConfig) -> None:
+        self._config = config
+        self._qualities: Dict[int, List[float]] = {}
+
+    def add_recommendation(self, recommendation: Recommendation) -> None:
+        quality = recommendation.quality
+        if quality is None:
+            quality = self._config.bootstrap_prior
+        quality = max(0.0, min(1.0, quality))
+        self._qualities.setdefault(recommendation.mirror, []).append(quality)
+
+    def add_recommendations(self, recommendations: Iterable[Recommendation]) -> None:
+        for recommendation in recommendations:
+            self.add_recommendation(recommendation)
+
+    @property
+    def recommendation_count(self) -> int:
+        return sum(len(v) for v in self._qualities.values())
+
+    def ranking(self) -> List[Tuple[int, float]]:
+        """Candidates with discounted mean quality, best first."""
+        ranked = [
+            (mirror, self.TRUST_DISCOUNT * (sum(qualities) / len(qualities)))
+            for mirror, qualities in self._qualities.items()
+        ]
+        ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranked
+
+    def fallback_ranking(
+        self, contacts: Iterable[int], rng: random.Random
+    ) -> List[Tuple[int, float]]:
+        """Random contacts at the bootstrap prior, for nodes that received
+        no recommendations at all ("she will randomly select mirrors from
+        her contacts", Sec. 4.3)."""
+        pool = list(contacts)
+        rng.shuffle(pool)
+        return [(node, self._config.bootstrap_prior) for node in pool]
+
+
+class RegularRanker:
+    """Ranks candidates from friends' experience sets via Eq. (1).
+
+    Wraps the knowledge base: :meth:`ingest_reports` applies one exchange
+    round's reports; :meth:`ranking` exposes the KB's candidate ordering to
+    Algorithm 1.
+    """
+
+    def __init__(self, knowledge: KnowledgeBase, config: SoupConfig) -> None:
+        self._knowledge = knowledge
+        self._config = config
+        #: mirror -> [decayed request weight, decayed success weight]
+        #: (used by the "aged_counts" estimator).
+        self._counters: Dict[int, List[float]] = {}
+
+    def ingest_reports(self, reports: Iterable[ExperienceReport]) -> Dict[int, float]:
+        """Apply one exchange round of reports; returns updated exp values."""
+        if self._config.experience_normalization == "aged_counts":
+            return self._ingest_aged_counts(reports)
+        old_values = {
+            entry.node_id: entry.experience for entry in self._knowledge
+        }
+        updated = update_experience(
+            old_values,
+            reports,
+            self._config.alpha,
+            self._config.o_max,
+            normalization=self._config.experience_normalization,
+        )
+        for mirror, value in updated.items():
+            if mirror == self._knowledge.owner:
+                continue
+            self._knowledge.set_experience(mirror, value)
+        return updated
+
+    def _ingest_aged_counts(self, reports: Iterable[ExperienceReport]) -> Dict[int, float]:
+        """Aged-counter estimator: decay all counters, add capped reports.
+
+        Each friend's per-round influence is capped at ``o_max``
+        observations (the Eq.-(1) security property); decay implements the
+        recency weighting; exp is the smoothed success ratio, which stays
+        stable when a round carries only one or two observations.
+        """
+        retention = self._config.count_retention
+        o_max = self._config.o_max
+        for counter in self._counters.values():
+            counter[0] *= retention
+            counter[1] *= retention
+
+        updated: Dict[int, float] = {}
+        for report in reports:
+            if report.mirror == self._knowledge.owner:
+                continue
+            # Per-friend cap first (Eq. 1's security property), then the
+            # extension weight (tie strength, Sec. 8) scales the influence.
+            weight = min(report.observations, o_max) * max(0.0, report.weight)
+            if weight <= 0:
+                continue
+            counter = self._counters.setdefault(report.mirror, [0.0, 0.0])
+            counter[0] += weight
+            counter[1] += weight * report.availability
+        prior = self._config.bootstrap_prior
+        prior_weight = self._config.count_prior_weight
+        for mirror, (requests, successes) in self._counters.items():
+            if requests <= 0.0:
+                continue
+            # Shrink toward the prior while observations are scarce.
+            value = (successes + prior_weight * prior) / (requests + prior_weight)
+            value = max(0.0, min(1.0, value))
+            self._knowledge.set_experience(mirror, value)
+            updated[mirror] = value
+        return updated
+
+    def age_unreported(self, mirrors: Iterable[int], reported: Iterable[int]) -> None:
+        """Age the experience of current mirrors nobody reported about.
+
+        A mirror that produced no observations this round earns no fresh
+        term in Eq. (1); its value decays by (1 - α), which is what Eq. (1)
+        yields with an empty recent-observation sum.
+        """
+        reported_set = set(reported)
+        for mirror in mirrors:
+            if mirror in reported_set:
+                continue
+            old = self._knowledge.experience_of(mirror)
+            if old > 0.0:
+                self._knowledge.set_experience(mirror, (1.0 - self._config.alpha) * old)
+
+    def ranking(self) -> List[Tuple[int, float]]:
+        return self._knowledge.ranked_candidates()

@@ -1,0 +1,137 @@
+"""Algorithm 1: choosing mirrors from the candidate ranking.
+
+Three stages (paper Sec. 4.5):
+
+1. **Greedy ε-availability.**  Add top-ranked candidates one by one until the
+   estimated probability of the data being unavailable,
+   ``perr = Π (1 - r_i)``, drops below the target error rate ε (Eq. 2).
+
+2. **Social filter.**  For every selected stranger, if some unselected friend
+   ``v'`` satisfies ``r_{v'} · β > r_v``, the friend replaces the stranger
+   (Eq. 3 — the paper prints ``max(β·r, 1)`` where the cap is clearly meant
+   as an upper bound, i.e. ``min(β·r, 1)``; we implement the cap).
+
+3. **Exploration.**  Add one random node without a ranking, "to prevent a
+   possible overlooking of even better suited nodes".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import SoupConfig
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one run of Algorithm 1."""
+
+    mirrors: List[int]
+    #: Estimated P(data unavailable) after the greedy stage, Π(1 - r_i).
+    estimated_error: float
+    #: Strangers replaced by friends in the social-filter stage.
+    replacements: List[Tuple[int, int]] = field(default_factory=list)
+    #: The random exploration node, if one was available to add.
+    exploration_node: Optional[int] = None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.mirrors
+
+    def __len__(self) -> int:
+        return len(self.mirrors)
+
+
+def boosted_rank(rank: float, is_friend: bool, beta: float) -> float:
+    """Apply the social filter boost of Eq. (3), capped at 1."""
+    if not is_friend:
+        return rank
+    return min(beta * rank, 1.0)
+
+
+def select_mirrors(
+    ranking: Sequence[Tuple[int, float]],
+    friends: Iterable[int],
+    config: SoupConfig,
+    rng: random.Random,
+    exploration_pool: Iterable[int] = (),
+    exclude: Iterable[int] = (),
+) -> SelectionResult:
+    """Run Algorithm 1.
+
+    ``ranking`` is the candidate list (node id, experience value) from
+    either ranking mode, best first.  ``exploration_pool`` holds known but
+    unranked nodes eligible as the random addition.  ``exclude`` removes
+    nodes that must never be chosen (the owner itself, blacklisting peers).
+    """
+    excluded: Set[int] = set(exclude)
+    friend_set: Set[int] = set(friends) - excluded
+
+    candidates = [
+        (node, max(0.0, min(1.0, rank)))
+        for node, rank in ranking
+        if node not in excluded
+    ]
+    # Shuffle before the stable sort so that rank ties (e.g. many unknown
+    # candidates at the bootstrap prior) break randomly instead of by node
+    # id — otherwise the whole OSN would pile onto the same few nodes.
+    rng.shuffle(candidates)
+    candidates.sort(key=lambda pair: -pair[1])
+
+    # --- Stage 1: greedy until perr < epsilon ---------------------------
+    mirrors: List[int] = []
+    perr = 1.0
+    for node, rank in candidates:
+        # The paper's loop runs "while perr > ε": reaching ε exactly stops.
+        if perr <= config.epsilon or len(mirrors) >= config.max_mirrors:
+            break
+        if rank <= 0.0:
+            # Candidates below this point (the list is sorted) cannot reduce
+            # perr; adding them would only inflate the replica overhead.
+            break
+        mirrors.append(node)
+        perr *= 1.0 - rank
+
+    # --- Stage 2: social filter ------------------------------------------
+    ranks = dict(candidates)
+    selected: Set[int] = set(mirrors)
+    spare_friends = [
+        (node, rank)
+        for node, rank in candidates
+        if node in friend_set and node not in selected
+    ]
+    # Best spare friends first, so the strongest friends do the replacing.
+    spare_friends.sort(key=lambda pair: -pair[1])
+    replacements: List[Tuple[int, int]] = []
+    for index, stranger in enumerate(list(mirrors)):
+        if stranger in friend_set:
+            continue
+        stranger_rank = ranks.get(stranger, 0.0)
+        while spare_friends:
+            friend, friend_rank = spare_friends[0]
+            if boosted_rank(friend_rank, True, config.beta) > stranger_rank:
+                mirrors[index] = friend
+                selected.discard(stranger)
+                selected.add(friend)
+                replacements.append((stranger, friend))
+                spare_friends.pop(0)
+            break
+
+    # --- Stage 3: random exploration --------------------------------------
+    exploration_candidates = [
+        node
+        for node in exploration_pool
+        if node not in selected and node not in excluded
+    ]
+    exploration_node: Optional[int] = None
+    if exploration_candidates and len(mirrors) < config.max_mirrors:
+        exploration_node = rng.choice(exploration_candidates)
+        mirrors.append(exploration_node)
+
+    return SelectionResult(
+        mirrors=mirrors,
+        estimated_error=perr,
+        replacements=replacements,
+        exploration_node=exploration_node,
+    )

@@ -1,0 +1,234 @@
+"""Simulation-grade Ciphertext-Policy ABE.
+
+SOUP encrypts every data item so that "only requesters holding the correct
+attribute key can decrypt it" and, crucially, "the mirrors themselves cannot
+access the data stored at their premises" (paper Sec. 3.4).  The original
+system uses the pairing-based ``cpabe`` toolkit; pairings need native
+libraries unavailable in this offline environment, so we reproduce the
+*semantics* with a classical construction:
+
+* The data owner acts as the **attribute authority**: she holds a master
+  secret and derives one symmetric *attribute key* per attribute name
+  (HMAC of the master secret).  She hands attribute keys to the contacts she
+  deems to hold those attributes (e.g. ``colleague``, ``lives-in-my-city``).
+
+* **Encryption** under an access structure splits a fresh content key down
+  the structure tree with Shamir secret sharing (threshold gates map directly
+  onto Shamir thresholds) and wraps each leaf share under the leaf's
+  attribute key.
+
+* **Decryption** succeeds iff the requester's attribute keys satisfy the
+  structure: satisfied leaves unwrap their shares, and Lagrange interpolation
+  recombines them bottom-up.
+
+Mirrors never receive attribute keys for other users' data, so they store
+ciphertext they cannot read — exactly the behaviour the paper requires.
+
+.. warning::
+   Against a real adversary this is key distribution, not public-key ABE:
+   anyone holding an attribute key for ``a`` could wrap shares for ``a``.
+   The reproduction only needs the enforcement semantics (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.crypto.access import AccessStructure
+from repro.crypto.symmetric import (
+    SymmetricCipherError,
+    symmetric_decrypt,
+    symmetric_encrypt,
+)
+
+# Prime field for Shamir sharing; 2**255 - 19 comfortably holds 256-bit keys.
+_FIELD_PRIME = 2**255 - 19
+_KEY_SIZE = 16  # content keys are 128-bit
+
+
+class AbeError(Exception):
+    """Raised on policy violations or malformed ciphertexts."""
+
+
+@dataclass(frozen=True)
+class AbePublicParameters:
+    """Public handle identifying an authority (the owner's key fingerprint)."""
+
+    authority_id: str
+
+
+@dataclass(frozen=True)
+class AbePrivateKey:
+    """A user's decryption key: attribute name -> attribute key bytes."""
+
+    authority_id: str
+    attribute_keys: Mapping[str, bytes]
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset(self.attribute_keys)
+
+
+@dataclass(frozen=True)
+class AbeCiphertext:
+    """An ABE-encrypted blob: the policy, wrapped shares, and the payload.
+
+    ``wrapped_shares`` maps a leaf path (tuple of child indices from the
+    root) to the share encrypted under that leaf's attribute key.
+    """
+
+    authority_id: str
+    policy: AccessStructure
+    wrapped_shares: Mapping[Tuple[int, ...], bytes]
+    payload: bytes
+
+    def size_bytes(self) -> int:
+        """Approximate wire size, used by the traffic models."""
+        share_bytes = sum(len(blob) for blob in self.wrapped_shares.values())
+        return len(self.payload) + share_bytes
+
+
+def _share_secret(
+    secret: int, threshold: int, count: int, rng_bytes
+) -> List[int]:
+    """Shamir-share ``secret`` as ``count`` points with the given threshold.
+
+    Share ``i`` is the polynomial evaluated at ``x = i + 1``.
+    """
+    coefficients = [secret] + [
+        int.from_bytes(rng_bytes(32), "big") % _FIELD_PRIME
+        for _ in range(threshold - 1)
+    ]
+    shares = []
+    for i in range(count):
+        x = i + 1
+        value = 0
+        for power, coefficient in enumerate(coefficients):
+            value = (value + coefficient * pow(x, power, _FIELD_PRIME)) % _FIELD_PRIME
+        shares.append(value)
+    return shares
+
+
+def _combine_shares(points: List[Tuple[int, int]]) -> int:
+    """Lagrange-interpolate the secret (value at x=0) from ``points``."""
+    secret = 0
+    for i, (xi, yi) in enumerate(points):
+        numerator, denominator = 1, 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-xj)) % _FIELD_PRIME
+            denominator = (denominator * (xi - xj)) % _FIELD_PRIME
+        term = yi * numerator * pow(denominator, -1, _FIELD_PRIME)
+        secret = (secret + term) % _FIELD_PRIME
+    return secret
+
+
+def _derive_attribute_key(master_secret: bytes, attribute: str) -> bytes:
+    return hmac.new(master_secret, b"attr:" + attribute.encode("utf-8"), hashlib.sha256).digest()
+
+
+class AbeAuthority:
+    """The attribute authority for one data owner.
+
+    Every SOUP user is the authority for her own data: she decides which
+    contacts hold which attributes and issues them the matching keys.
+    """
+
+    def __init__(self, master_secret: Optional[bytes] = None, authority_id: str = "") -> None:
+        self._master_secret = master_secret if master_secret is not None else os.urandom(32)
+        self._authority_id = authority_id or hashlib.sha256(self._master_secret).hexdigest()[:16]
+
+    @property
+    def public_parameters(self) -> AbePublicParameters:
+        return AbePublicParameters(authority_id=self._authority_id)
+
+    def issue_key(self, attributes: Iterable[str]) -> AbePrivateKey:
+        """Issue a private key granting the given attributes."""
+        keys = {
+            attribute: _derive_attribute_key(self._master_secret, attribute)
+            for attribute in attributes
+        }
+        if not keys:
+            raise AbeError("cannot issue a key with no attributes")
+        return AbePrivateKey(authority_id=self._authority_id, attribute_keys=keys)
+
+    def encrypt(
+        self,
+        plaintext: bytes,
+        policy: AccessStructure,
+        rng_bytes=os.urandom,
+    ) -> AbeCiphertext:
+        """Encrypt ``plaintext`` so only keys satisfying ``policy`` decrypt it."""
+        content_key = rng_bytes(_KEY_SIZE)
+        secret = int.from_bytes(content_key, "big")
+        wrapped: Dict[Tuple[int, ...], bytes] = {}
+
+        def descend(node: AccessStructure, node_secret: int, path: Tuple[int, ...]) -> None:
+            if node.is_leaf:
+                leaf_key = _derive_attribute_key(self._master_secret, node.attribute)
+                share_bytes = node_secret.to_bytes(32, "big")
+                wrapped[path] = symmetric_encrypt(leaf_key, share_bytes, nonce=rng_bytes(16))
+                return
+            shares = _share_secret(node_secret, node.threshold, len(node.children), rng_bytes)
+            for index, (child, share) in enumerate(zip(node.children, shares)):
+                descend(child, share, path + (index,))
+
+        descend(policy, secret, ())
+        payload = symmetric_encrypt(content_key, plaintext, nonce=rng_bytes(16))
+        return AbeCiphertext(
+            authority_id=self._authority_id,
+            policy=policy,
+            wrapped_shares=wrapped,
+            payload=payload,
+        )
+
+
+def decrypt(ciphertext: AbeCiphertext, key: AbePrivateKey) -> bytes:
+    """Decrypt an :class:`AbeCiphertext` with a satisfying private key.
+
+    Raises :class:`AbeError` if the key belongs to another authority or the
+    held attributes do not satisfy the ciphertext policy.
+    """
+    if key.authority_id != ciphertext.authority_id:
+        raise AbeError("key issued by a different authority")
+    if not ciphertext.policy.is_satisfied_by(key.attributes()):
+        raise AbeError(
+            f"attributes {sorted(key.attributes())} do not satisfy policy "
+            f"{ciphertext.policy.describe()}"
+        )
+
+    def recover(node: AccessStructure, path: Tuple[int, ...]) -> Optional[int]:
+        if node.is_leaf:
+            attribute_key = key.attribute_keys.get(node.attribute)
+            if attribute_key is None:
+                return None
+            blob = ciphertext.wrapped_shares.get(path)
+            if blob is None:
+                raise AbeError("ciphertext missing share for satisfied leaf")
+            try:
+                return int.from_bytes(symmetric_decrypt(attribute_key, blob), "big")
+            except SymmetricCipherError as exc:
+                raise AbeError("corrupted leaf share") from exc
+        points: List[Tuple[int, int]] = []
+        for index, child in enumerate(node.children):
+            if len(points) == node.threshold:
+                break
+            value = recover(child, path + (index,))
+            if value is not None:
+                points.append((index + 1, value))
+        if len(points) < node.threshold:
+            return None
+        return _combine_shares(points)
+
+    secret = recover(ciphertext.policy, ())
+    if secret is None:
+        raise AbeError("internal error: satisfying key failed share recovery")
+    content_key = secret.to_bytes(32, "big")[-_KEY_SIZE:]
+    try:
+        return symmetric_decrypt(content_key, ciphertext.payload)
+    except SymmetricCipherError as exc:
+        raise AbeError("payload authentication failed") from exc

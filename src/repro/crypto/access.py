@@ -1,0 +1,96 @@
+"""Access structures for attribute-based encryption.
+
+An access structure is a tree whose internal nodes are threshold gates
+(``k``-of-``n``; AND is ``n``-of-``n``, OR is ``1``-of-``n``) and whose leaves
+are attribute names (paper Sec. 3.4: "the symmetric key for encrypted content
+is protected by an Access Structure, which is defined by a combination of
+attributes").  The helpers :func:`attr`, :func:`and_of`, :func:`or_of` and
+:func:`threshold` build trees declaratively::
+
+    policy = and_of(attr("colleague"), or_of(attr("lives-nearby"), attr("family")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AccessStructure:
+    """A node in an access-structure tree.
+
+    Leaves carry ``attribute`` and no children; internal nodes carry a
+    ``threshold`` (how many children must be satisfied) and the children.
+    """
+
+    attribute: str = ""
+    threshold: int = 0
+    children: Tuple["AccessStructure", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.is_leaf:
+            if self.children:
+                raise ValueError("leaf nodes cannot have children")
+        else:
+            if not self.children:
+                raise ValueError("internal nodes need at least one child")
+            if not 1 <= self.threshold <= len(self.children):
+                raise ValueError(
+                    f"threshold {self.threshold} invalid for "
+                    f"{len(self.children)} children"
+                )
+
+    @property
+    def is_leaf(self) -> bool:
+        return bool(self.attribute)
+
+    def attributes(self) -> FrozenSet[str]:
+        """The set of attribute names mentioned anywhere in the tree."""
+        if self.is_leaf:
+            return frozenset((self.attribute,))
+        found = frozenset()
+        for child in self.children:
+            found |= child.attributes()
+        return found
+
+    def is_satisfied_by(self, held: Iterable[str]) -> bool:
+        """Evaluate whether a set of attributes satisfies this structure."""
+        held_set = frozenset(held)
+        if self.is_leaf:
+            return self.attribute in held_set
+        satisfied = sum(1 for child in self.children if child.is_satisfied_by(held_set))
+        return satisfied >= self.threshold
+
+    def describe(self) -> str:
+        """Human-readable policy string (used in logs and examples)."""
+        if self.is_leaf:
+            return self.attribute
+        inner = ", ".join(child.describe() for child in self.children)
+        if self.threshold == len(self.children):
+            return f"AND({inner})"
+        if self.threshold == 1:
+            return f"OR({inner})"
+        return f"{self.threshold}-of-({inner})"
+
+
+def attr(name: str) -> AccessStructure:
+    """A leaf requiring the attribute ``name``."""
+    if not name:
+        raise ValueError("attribute name must be non-empty")
+    return AccessStructure(attribute=name)
+
+
+def threshold(k: int, *children: AccessStructure) -> AccessStructure:
+    """A ``k``-of-``n`` threshold gate over ``children``."""
+    return AccessStructure(threshold=k, children=tuple(children))
+
+
+def and_of(*children: AccessStructure) -> AccessStructure:
+    """All children must be satisfied."""
+    return threshold(len(children), *children)
+
+
+def or_of(*children: AccessStructure) -> AccessStructure:
+    """Any one child suffices."""
+    return threshold(1, *children)

@@ -1,0 +1,45 @@
+"""Hash helpers and SOUP ID derivation.
+
+The SOUP ID is "a 64-bit SHA-256 hash over the user's 1024-bit public key"
+(paper Sec. 3.2): we hash the canonical public-key serialization with SHA-256
+and keep the top 64 bits.  The same 64-bit space is used as the DHT key space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+SOUP_ID_BITS = 64
+SOUP_ID_SPACE = 1 << SOUP_ID_BITS
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_int(data: bytes) -> int:
+    """SHA-256 digest of ``data`` as a big-endian integer."""
+    return int.from_bytes(sha256(data), "big")
+
+
+def truncate_to_id(digest: bytes) -> int:
+    """Keep the top :data:`SOUP_ID_BITS` bits of a digest as an ID."""
+    return int.from_bytes(digest[: SOUP_ID_BITS // 8], "big")
+
+
+def soup_id_from_public_key(public_key_bytes: bytes) -> int:
+    """Derive the 64-bit SOUP ID from a serialized public key."""
+    return truncate_to_id(sha256(public_key_bytes))
+
+
+def dht_key_for_string(name: str) -> int:
+    """Map an arbitrary string (e.g. a user name) into the DHT key space."""
+    return truncate_to_id(sha256(name.encode("utf-8")))
+
+
+def format_soup_id(soup_id: int) -> str:
+    """Render a SOUP ID as the fixed-width hex string used in logs/entries."""
+    if not 0 <= soup_id < SOUP_ID_SPACE:
+        raise ValueError(f"SOUP ID out of 64-bit range: {soup_id}")
+    return f"{soup_id:016x}"

@@ -1,0 +1,72 @@
+"""User identity keys and signed envelopes.
+
+Combines the RSA substrate with SOUP ID derivation: a :class:`KeyPair` is a
+user's long-term identity, and :class:`SignedEnvelope` is the generic
+"appropriately signed SOUP object" wrapper (paper Sec. 3.4: requests to
+modify data "must be encapsulated in an appropriately signed SOUP object,
+and will otherwise be discarded").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto import rsa
+from repro.crypto.hashing import soup_id_from_public_key
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A user's identity: RSA keys plus the derived 64-bit SOUP ID."""
+
+    rsa_keys: rsa.RsaKeyPair
+    soup_id: int
+
+    @classmethod
+    def generate(cls, bits: int = 1024, seed: Optional[int] = None) -> "KeyPair":
+        keys = rsa.generate_keypair(bits=bits, seed=seed)
+        return cls(rsa_keys=keys, soup_id=soup_id_from_public_key(keys.public.to_bytes()))
+
+    @property
+    def public(self) -> rsa.RsaPublicKey:
+        return self.rsa_keys.public
+
+    @property
+    def private(self) -> rsa.RsaPrivateKey:
+        return self.rsa_keys.private
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """A payload with the signer's SOUP ID and RSA signature attached."""
+
+    signer_id: int
+    payload: bytes
+    signature: int
+
+    def size_bytes(self) -> int:
+        return len(self.payload) + 8 + 128  # id + 1024-bit signature
+
+
+def _canonical_payload(payload: Any) -> bytes:
+    """Serialize a payload deterministically for signing."""
+    if isinstance(payload, bytes):
+        return payload
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def sign_payload(payload: Any, keys: KeyPair) -> SignedEnvelope:
+    """Wrap ``payload`` (bytes or JSON-serializable) in a signed envelope."""
+    body = _canonical_payload(payload)
+    return SignedEnvelope(
+        signer_id=keys.soup_id,
+        payload=body,
+        signature=rsa.sign(body, keys.private),
+    )
+
+
+def verify_envelope(envelope: SignedEnvelope, public_key: rsa.RsaPublicKey) -> bool:
+    """Check an envelope's signature against the claimed signer's key."""
+    return rsa.verify(envelope.payload, envelope.signature, public_key)

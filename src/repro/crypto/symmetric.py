@@ -1,0 +1,69 @@
+"""Symmetric encryption for SOUP payloads.
+
+ABE in SOUP protects a *symmetric content key*; the bulk data is encrypted
+symmetrically (paper Sec. 3.4).  With no third-party crypto packages
+available offline, this module implements a counter-mode stream cipher whose
+keystream blocks are SHA-256(key || nonce || counter), authenticated with an
+HMAC-SHA256 tag (encrypt-then-MAC).  Simulation-grade, self-contained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+_NONCE_SIZE = 16
+_TAG_SIZE = 32
+_BLOCK_SIZE = 32  # SHA-256 output size
+
+
+class SymmetricCipherError(Exception):
+    """Raised on malformed ciphertexts or failed authentication."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes from SHA-256 in counter mode."""
+    blocks = []
+    for counter in range((length + _BLOCK_SIZE - 1) // _BLOCK_SIZE):
+        blocks.append(
+            hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _mac_key(key: bytes) -> bytes:
+    """Derive an independent MAC key from the encryption key."""
+    return hashlib.sha256(b"soup-mac" + key).digest()
+
+
+def symmetric_encrypt(key: bytes, plaintext: bytes, nonce: bytes = None) -> bytes:
+    """Encrypt ``plaintext``; returns ``nonce || ciphertext || tag``.
+
+    ``nonce`` may be pinned for deterministic tests; by default a random
+    16-byte nonce is drawn from ``os.urandom``.
+    """
+    if len(key) < 16:
+        raise SymmetricCipherError("key must be at least 128 bits")
+    if nonce is None:
+        nonce = os.urandom(_NONCE_SIZE)
+    if len(nonce) != _NONCE_SIZE:
+        raise SymmetricCipherError(f"nonce must be {_NONCE_SIZE} bytes")
+    stream = _keystream(key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(_mac_key(key), nonce + body, hashlib.sha256).digest()
+    return nonce + body + tag
+
+
+def symmetric_decrypt(key: bytes, blob: bytes) -> bytes:
+    """Authenticate and decrypt a blob produced by :func:`symmetric_encrypt`."""
+    if len(blob) < _NONCE_SIZE + _TAG_SIZE:
+        raise SymmetricCipherError("ciphertext too short")
+    nonce = blob[:_NONCE_SIZE]
+    body = blob[_NONCE_SIZE:-_TAG_SIZE]
+    tag = blob[-_TAG_SIZE:]
+    expected = hmac.new(_mac_key(key), nonce + body, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise SymmetricCipherError("authentication failed")
+    stream = _keystream(key, nonce, len(body))
+    return bytes(c ^ s for c, s in zip(body, stream))

@@ -1,0 +1,29 @@
+"""Deployment emulation (paper Sec. 7).
+
+The paper deploys SOUP on a real 31-user DOSN (4 Android phones relaying
+through one gateway/bootstrap node) and reports traffic and stability
+measurements.  We reproduce that deployment over the simulated network:
+
+* :mod:`repro.deploy.emulation` — builds the 31-node SOUP network (27
+  desktop + 4 mobile), drives the measured workload (282 friendships, 204
+  photos, 1189 messages) through real :class:`~repro.node.middleware.SoupNode`
+  instances, and collects the Fig. 14a/14b/14c series from the traffic
+  meters.
+* :mod:`repro.deploy.workload` — the scheduled social workload.
+* :mod:`repro.deploy.traffic` — the Fig. 15 mirror-load model: one mirror
+  hosting 20 real-size profiles (206 MB, 2035 items) serving 1/10/20
+  requests per second through a finite uplink.
+"""
+
+from repro.deploy.emulation import Deployment, DeploymentReport
+from repro.deploy.traffic import MirrorLoadModel, MirrorLoadResult
+from repro.deploy.workload import WorkloadEvent, build_workload
+
+__all__ = [
+    "Deployment",
+    "DeploymentReport",
+    "MirrorLoadModel",
+    "MirrorLoadResult",
+    "WorkloadEvent",
+    "build_workload",
+]

@@ -1,0 +1,313 @@
+"""The 31-node deployment emulation (paper Sec. 7).
+
+Builds the deployment exactly as described: 31 users, 4 on (simulated)
+Android phones relaying through a single gateway that doubles as the
+bootstrap node, the rest on desktops.  Real :class:`SoupNode` instances run
+the full middleware over the metered network; the measured workload drives
+friendships, photos and messages; selection rounds run periodically.
+
+Outputs map to the paper's figures:
+
+* Fig. 14a — DHT control traffic at the bootstrap node: spikes on join/
+  leave (entry shifting + state transfer), lookups invisible.
+* Fig. 14b — the busiest user's traffic: profile distribution to mirrors
+  and album publishing dominate; messaging ≈ idle link.
+* Fig. 14c — mirror-set variance per selection round, stabilizing at ~1
+  (the random exploration node).
+* Availability: the paper observed no data loss; the emulation verifies
+  every profile request succeeded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SoupConfig
+from repro.dht.bootstrap import BootstrapRegistry
+from repro.dht.pastry import PastryOverlay
+from repro.network.events import EventLoop
+from repro.network.simnet import DESKTOP_LINK, MOBILE_LINK, SERVER_LINK, SimNetwork
+from repro.node.middleware import SoupNode
+from repro.node.profile import DataItem, sample_item_size
+from repro.deploy.workload import WorkloadEvent, build_workload
+
+#: Bytes of Pastry state handed to a joining node (routing rows + leaf set).
+_JOIN_STATE_BYTES = 24_000
+
+
+@dataclass
+class DeploymentReport:
+    """Everything the emulation measured."""
+
+    n_users: int
+    n_mobile: int
+    friendships: int
+    photos_shared: int
+    messages_sent: int
+    profile_requests: int
+    profile_failures: int
+    #: (second, KB/s) at the bootstrap/gateway node (Fig. 14a).
+    gateway_series: List[Tuple[int, float]] = field(default_factory=list)
+    #: (second, KB/s) of the busiest user (Fig. 14b).
+    busiest_user_series: List[Tuple[int, float]] = field(default_factory=list)
+    busiest_user: str = ""
+    #: Mean |M_t Δ M_{t-1}| per selection round (Fig. 14c).
+    mirror_variance_by_round: List[float] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        if self.profile_requests == 0:
+            return 1.0
+        return 1.0 - self.profile_failures / self.profile_requests
+
+
+class Deployment:
+    """A scripted SOUP deployment over the simulated network."""
+
+    def __init__(
+        self,
+        n_desktop: int = 27,
+        n_mobile: int = 4,
+        seed: int = 7,
+        config: Optional[SoupConfig] = None,
+        key_bits: int = 512,
+    ) -> None:
+        if n_desktop < 1:
+            raise ValueError("need at least one desktop node (the gateway)")
+        self.rng = random.Random(seed)
+        self.config = config or SoupConfig()
+        self.loop = EventLoop()
+        self.network = SimNetwork(self.loop)
+        self.overlay = PastryOverlay()
+        self.registry = BootstrapRegistry()
+        self.nodes: Dict[int, SoupNode] = {}
+        self.users: List[SoupNode] = []
+        self._seed = seed
+        self._key_bits = key_bits
+        self.n_desktop = n_desktop
+        self.n_mobile = n_mobile
+
+    # ------------------------------------------------------------------
+    def _resolve(self, node_id: int) -> Optional[SoupNode]:
+        return self.nodes.get(node_id)
+
+    def _new_node(self, name: str, is_mobile: bool, link=None) -> SoupNode:
+        node = SoupNode(
+            name=name,
+            network=self.network,
+            overlay=self.overlay,
+            registry=self.registry,
+            peer_resolver=self._resolve,
+            config=self.config,
+            seed=self.rng.randrange(2**31),
+            is_mobile=is_mobile,
+            link=link,
+            key_bits=self._key_bits,
+            # Sec. 7: "All phones were relaying via the same gateway node"
+            # — the study pinned phones to the gateway, so regular users
+            # refuse relays (the limit every regular node can set).
+            mobile_relay_limit=0,
+        )
+        self.nodes[node.node_id] = node
+        self.users.append(node)
+        return node
+
+    def build(self, join_spread_s: float = 45.0) -> None:
+        """Create and join all nodes; the first desktop is the gateway.
+
+        Joins are staggered over ``join_spread_s`` so each one's control
+        spike is individually visible in the Fig. 14a series.
+        """
+        gateway = self._new_node("gateway", is_mobile=False, link=SERVER_LINK)
+        gateway.join()
+        gateway.make_bootstrap_node()
+        self._charge_join(gateway)
+
+        total_joiners = max(1, self.n_desktop - 1 + self.n_mobile)
+        step = join_spread_s / total_joiners
+        for index in range(1, self.n_desktop):
+            self.loop.run_until(self.loop.now + step)
+            node = self._new_node(f"user{index:02d}", is_mobile=False)
+            node.join(bootstrap_id=gateway.node_id)
+            self._charge_join(node)
+        for index in range(self.n_mobile):
+            self.loop.run_until(self.loop.now + step)
+            node = self._new_node(f"mobile{index:02d}", is_mobile=True)
+            # "All phones were relaying via the same gateway node."
+            node.join(bootstrap_id=gateway.node_id)
+        self.loop.run_until(self.loop.now + 1.0)
+
+    def _charge_join(self, node: SoupNode) -> None:
+        """Account the join cost: state transfer + shifted entries.
+
+        This is what makes joins visible as the 20-40 KB/s spikes at the
+        bootstrap node in Fig. 14a.
+        """
+        if node.is_mobile:
+            return
+        gateway_id = self.registry.all()[0] if len(self.registry) else None
+        now = self.loop.now
+        if gateway_id is not None and node.node_id != gateway_id:
+            self.network.control_meter(gateway_id).record_sent(now, _JOIN_STATE_BYTES)
+            self.network.control_meter(node.node_id).record_received(
+                now, _JOIN_STATE_BYTES
+            )
+        for record in self.overlay.transfer_log:
+            self.network.control_meter(record.from_node).record_sent(
+                now, record.size_bytes
+            )
+            self.network.control_meter(record.to_node).record_received(
+                now, record.size_bytes
+            )
+        self.overlay.transfer_log.clear()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration_s: float = 1800.0,
+        selection_rounds: int = 15,
+        workload: Optional[List[WorkloadEvent]] = None,
+    ) -> DeploymentReport:
+        """Drive the workload and periodic selection rounds; measure."""
+        if not self.users:
+            self.build()
+        users = self.users
+        if workload is None:
+            workload = build_workload(len(users), duration_s, self.rng)
+
+        report = DeploymentReport(
+            n_users=len(users),
+            n_mobile=sum(1 for u in users if u.is_mobile),
+            friendships=0,
+            photos_shared=0,
+            messages_sent=0,
+            profile_requests=0,
+            profile_failures=0,
+        )
+
+        round_interval = duration_s / selection_rounds
+        next_round = round_interval
+        previous_sets: Dict[int, set] = {u.node_id: set() for u in users}
+        event_index = 0
+        current = self.loop.now
+        step = 1.0
+
+        # A few leave/rejoin churn events mid-run: the paper observes DHT
+        # utilization "only upon join and leave operations" (Fig. 14a).
+        churn_candidates = [u for u in users[1:] if not u.is_mobile]
+        churn_schedule: List[Tuple[float, str, SoupNode]] = []
+        if churn_candidates:
+            for i in range(min(3, len(churn_candidates))):
+                victim = churn_candidates[-(i + 1)]
+                leave_at = duration_s * (0.35 + 0.18 * i)
+                churn_schedule.append((leave_at, "leave", victim))
+                churn_schedule.append((leave_at + 120.0, "rejoin", victim))
+        churn_schedule.sort(key=lambda item: item[0])
+        churn_index = 0
+
+        while current < duration_s:
+            while (
+                churn_index < len(churn_schedule)
+                and churn_schedule[churn_index][0] <= current
+            ):
+                _, action, victim = churn_schedule[churn_index]
+                churn_index += 1
+                if action == "leave" and victim.node_id in self.overlay:
+                    transfers = self.overlay.leave(victim.node_id)
+                    victim.go_offline()
+                    self.overlay.transfer_log.clear()
+                    now = self.loop.now
+                    for record in transfers:
+                        self.network.control_meter(record.from_node).record_sent(
+                            now, record.size_bytes
+                        )
+                        self.network.control_meter(record.to_node).record_received(
+                            now, record.size_bytes
+                        )
+                elif action == "rejoin" and victim.node_id not in self.overlay:
+                    self.overlay.join(victim.node_id, users[0].node_id)
+                    victim.go_online()
+                    self._charge_join(victim)
+            # Social events due in this step.
+            while (
+                event_index < len(workload)
+                and workload[event_index].time_s <= current
+            ):
+                self._apply_event(workload[event_index], report)
+                event_index += 1
+
+            # Periodic selection rounds (Fig. 14c measures their variance).
+            if current >= next_round:
+                diffs = []
+                for user in users:
+                    user.exchange_experience_sets()
+                for user in users:
+                    accepted = set(user.run_selection_round())
+                    diffs.append(
+                        len(accepted.symmetric_difference(previous_sets[user.node_id]))
+                    )
+                    previous_sets[user.node_id] = accepted
+                report.mirror_variance_by_round.append(
+                    sum(diffs) / max(1, len(diffs))
+                )
+                next_round += round_interval
+
+            current += step
+            self.loop.run_until(current)
+
+        gateway = users[0]
+        # Fig. 14a shows "the bandwidth consumption of the DHT at our
+        # bootstrapping node": control traffic only, not user data.
+        report.gateway_series = self.network.control_meter(
+            gateway.node_id
+        ).series_kb_per_s(0, int(duration_s))
+
+        # The busiest user by peak traffic, excluding the gateway.
+        busiest = max(
+            users[1:],
+            key=lambda u: self.network.meters[u.node_id].peak_kb_per_s(),
+            default=gateway,
+        )
+        report.busiest_user = busiest.name
+        report.busiest_user_series = self.network.meters[
+            busiest.node_id
+        ].series_kb_per_s(0, int(duration_s))
+        return report
+
+    # ------------------------------------------------------------------
+    def _apply_event(self, event: WorkloadEvent, report: DeploymentReport) -> None:
+        actor = self.users[event.actor % len(self.users)]
+        target = self.users[event.target % len(self.users)]
+        if actor is target or not actor.online:
+            return
+        if event.kind == "friendship":
+            if actor.befriend(target.node_id):
+                actor.contact(target.node_id)
+                target.contact(actor.node_id)
+                report.friendships += 1
+        elif event.kind == "photo":
+            size = sample_item_size("photo", self.rng)
+            actor.post_item(DataItem.photo(size_bytes=size, created_at=self.loop.now))
+            report.photos_shared += 1
+        elif event.kind == "album":
+            # A photo album: a burst of photos published at once — the
+            # dominant bandwidth event of Fig. 14b.
+            for _ in range(24):
+                size = sample_item_size("photo", self.rng)
+                actor.post_item(
+                    DataItem.photo(size_bytes=size, created_at=self.loop.now)
+                )
+            report.photos_shared += 24
+        elif event.kind == "message":
+            if actor.send_message(target.node_id, f"hi from {actor.name}"):
+                report.messages_sent += 1
+        elif event.kind == "profile_view":
+            report.profile_requests += 1
+            album = self.rng.random() < 0.1
+            size = 400_000 if album else None
+            if not actor.request_profile(target.node_id, fetch_bytes=size):
+                report.profile_failures += 1
+        else:
+            raise ValueError(f"unknown workload event kind {event.kind!r}")

@@ -1,0 +1,34 @@
+"""Structured overlay: a Pastry-style DHT used as SOUP's directory.
+
+The paper builds its globally searchable information directory on FreePastry
+(Sec. 3.2/6).  This package is a from-scratch Python Pastry:
+
+* :mod:`repro.dht.node_state` — per-node routing state: the 16-ary prefix
+  routing table over 64-bit SOUP IDs and the leaf set.
+* :mod:`repro.dht.pastry` — the overlay itself: join via bootstrap nodes,
+  prefix routing with hop tracking, leave with state repair, and key
+  responsibility (numerically closest node).
+* :mod:`repro.dht.storage` — directory entries (name, SOUP ID, interfaces,
+  mirror pointers — never the data itself) and the entry shifting that
+  churn causes, with byte accounting for the control-overhead experiments.
+* :mod:`repro.dht.bootstrap` — the public bootstrap-node registry new nodes
+  use as their DHT entry point.
+"""
+
+from repro.dht.bootstrap import BootstrapRegistry
+from repro.dht.node_state import ID_BITS, ID_DIGITS, LeafSet, RoutingTable, digit_at, shared_prefix_length
+from repro.dht.pastry import PastryOverlay, RouteResult
+from repro.dht.storage import DirectoryEntry
+
+__all__ = [
+    "BootstrapRegistry",
+    "ID_BITS",
+    "ID_DIGITS",
+    "LeafSet",
+    "RoutingTable",
+    "digit_at",
+    "shared_prefix_length",
+    "PastryOverlay",
+    "RouteResult",
+    "DirectoryEntry",
+]

@@ -1,0 +1,39 @@
+"""Publicly known bootstrapping nodes.
+
+"SOUP incorporates a list of publicly known bootstrapping nodes to help new
+nodes join SOUP.  A bootstrapping node is simply a regular node enhanced
+with a function to bootstrap others" (Sec. 3.2).  Bootstrap nodes also serve
+as the initial gateway for mobile nodes (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class BootstrapRegistry:
+    """The well-known bootstrap-node list."""
+
+    def __init__(self, node_ids: Optional[List[int]] = None) -> None:
+        self._node_ids: List[int] = list(node_ids or [])
+
+    def register(self, node_id: int) -> None:
+        if node_id not in self._node_ids:
+            self._node_ids.append(node_id)
+
+    def unregister(self, node_id: int) -> None:
+        if node_id in self._node_ids:
+            self._node_ids.remove(node_id)
+
+    def all(self) -> List[int]:
+        return list(self._node_ids)
+
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    def pick(self, rng: random.Random) -> int:
+        """A random bootstrap node for a joiner (spreads the join load)."""
+        if not self._node_ids:
+            raise LookupError("no bootstrap nodes registered")
+        return rng.choice(self._node_ids)

@@ -1,0 +1,144 @@
+"""Pastry routing state: routing table and leaf set over 64-bit IDs.
+
+IDs are 64-bit integers (the SOUP ID space) interpreted as 16 hexadecimal
+digits, Pastry's ``b = 4`` configuration.  The routing table has one row per
+digit position and one column per digit value; the leaf set keeps the
+``l/2`` numerically closest nodes on each side of the owner (with
+wraparound, as the ID space is a ring).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+ID_BITS = 64
+ID_DIGITS = 16  # 64 bits / 4 bits per hex digit
+_DIGIT_MASK = 0xF
+ID_SPACE = 1 << ID_BITS
+
+
+def digit_at(node_id: int, position: int) -> int:
+    """The ``position``-th hex digit of ``node_id`` (0 = most significant)."""
+    if not 0 <= position < ID_DIGITS:
+        raise ValueError(f"digit position out of range: {position}")
+    shift = 4 * (ID_DIGITS - 1 - position)
+    return (node_id >> shift) & _DIGIT_MASK
+
+
+def shared_prefix_length(a: int, b: int) -> int:
+    """Number of leading hex digits two IDs share (16 when equal)."""
+    for position in range(ID_DIGITS):
+        if digit_at(a, position) != digit_at(b, position):
+            return position
+    return ID_DIGITS
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Shortest distance between two IDs on the 64-bit ring."""
+    d = abs(a - b)
+    return min(d, ID_SPACE - d)
+
+
+class RoutingTable:
+    """Pastry prefix-routing table for one node."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._rows: List[List[Optional[int]]] = [
+            [None] * 16 for _ in range(ID_DIGITS)
+        ]
+
+    def entry(self, row: int, column: int) -> Optional[int]:
+        return self._rows[row][column]
+
+    def consider(self, node_id: int) -> bool:
+        """Offer a node for inclusion; returns True if the table changed.
+
+        The node lands in the row given by its shared prefix length with the
+        owner and the column given by its first differing digit.  Existing
+        entries are kept (first-come), matching Pastry's locality-agnostic
+        simulation behaviour.
+        """
+        if node_id == self.owner:
+            return False
+        row = shared_prefix_length(self.owner, node_id)
+        if row >= ID_DIGITS:
+            return False
+        column = digit_at(node_id, row)
+        if self._rows[row][column] is None:
+            self._rows[row][column] = node_id
+            return True
+        return False
+
+    def remove(self, node_id: int) -> None:
+        row = shared_prefix_length(self.owner, node_id)
+        if row < ID_DIGITS:
+            column = digit_at(node_id, row)
+            if self._rows[row][column] == node_id:
+                self._rows[row][column] = None
+
+    def next_hop(self, key: int) -> Optional[int]:
+        """The routing-table hop for ``key``: the entry matching one more
+        prefix digit than the owner does."""
+        row = shared_prefix_length(self.owner, key)
+        if row >= ID_DIGITS:
+            return None
+        return self._rows[row][digit_at(key, row)]
+
+    def known_nodes(self) -> List[int]:
+        return [entry for row in self._rows for entry in row if entry is not None]
+
+    def size(self) -> int:
+        return len(self.known_nodes())
+
+
+class LeafSet:
+    """The numerically closest neighbours on the ID ring."""
+
+    def __init__(self, owner: int, half_size: int = 8) -> None:
+        if half_size < 1:
+            raise ValueError(f"half_size must be positive, got {half_size}")
+        self.owner = owner
+        self.half_size = half_size
+        self._members: Set[int] = set()
+
+    def consider(self, node_id: int) -> None:
+        """Offer a node; trims to the closest ``2 * half_size`` members."""
+        if node_id == self.owner:
+            return
+        self._members.add(node_id)
+        if len(self._members) > 2 * self.half_size:
+            ordered = sorted(
+                self._members, key=lambda nid: ring_distance(nid, self.owner)
+            )
+            self._members = set(ordered[: 2 * self.half_size])
+
+    def consider_all(self, node_ids: Iterable[int]) -> None:
+        for node_id in node_ids:
+            self.consider(node_id)
+
+    def remove(self, node_id: int) -> None:
+        self._members.discard(node_id)
+
+    def members(self) -> List[int]:
+        return sorted(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` falls within the leaf set's ring span."""
+        if not self._members:
+            return False
+        span = max(
+            ring_distance(member, self.owner) for member in self._members
+        )
+        return ring_distance(key, self.owner) <= span
+
+    def closest_to(self, key: int) -> int:
+        """The leaf-set member (or owner) numerically closest to ``key``."""
+        candidates = list(self._members) + [self.owner]
+        return min(candidates, key=lambda nid: (ring_distance(nid, key), nid))

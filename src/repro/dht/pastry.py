@@ -1,0 +1,294 @@
+"""The Pastry-style overlay: join, prefix routing, leave, entry shifting.
+
+This is the reproduction's stand-in for FreePastry.  The overlay is
+simulated in-process: every node holds real Pastry routing state
+(:mod:`repro.dht.node_state`) and messages are routed hop by hop through
+that state, so hop counts, join costs and entry-shifting traffic are all
+faithful to the protocol even though no sockets are involved.
+
+Key responsibility follows Pastry: the live node numerically closest to a
+key stores the entries published under it.  Joins and leaves shift entries
+between nodes, which is exactly the churn cost the paper measures at its
+bootstrap node (Fig. 14a) and the reason SOUP keeps mobile nodes off the
+DHT (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dht.node_state import (
+    ID_DIGITS,
+    LeafSet,
+    RoutingTable,
+    ring_distance,
+    shared_prefix_length,
+)
+from repro.dht.storage import DirectoryEntry
+
+
+class DhtError(Exception):
+    """Raised on operations against unknown or offline nodes."""
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing a key through the overlay."""
+
+    responsible: int
+    path: List[int]
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+@dataclass
+class _OverlayNode:
+    """A DHT member's full state."""
+
+    node_id: int
+    routing_table: RoutingTable
+    leaf_set: LeafSet
+    entries: Dict[int, DirectoryEntry] = field(default_factory=dict)
+
+
+@dataclass
+class TransferRecord:
+    """One entry movement caused by churn, for traffic accounting."""
+
+    from_node: int
+    to_node: int
+    key: int
+    size_bytes: int
+
+
+class PastryOverlay:
+    """An in-process Pastry ring with directory-entry storage."""
+
+    def __init__(self, leaf_half_size: int = 8, max_route_hops: int = 64) -> None:
+        self._nodes: Dict[int, _OverlayNode] = {}
+        self._leaf_half_size = leaf_half_size
+        self._max_route_hops = max_route_hops
+        #: Log of entry movements; deployment emulation drains this to
+        #: charge bandwidth to the nodes involved.
+        self.transfer_log: List[TransferRecord] = []
+
+    # --- membership -------------------------------------------------------
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def _require(self, node_id: int) -> _OverlayNode:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise DhtError(f"node {node_id:#x} is not in the overlay")
+        return node
+
+    def join(self, node_id: int, bootstrap_id: Optional[int] = None) -> RouteResult:
+        """Add a node, building its state from the join route.
+
+        Pastry join: route a join message from the bootstrap node toward the
+        joiner's own ID; every node on the path contributes routing rows,
+        and the final (numerically closest) node donates its leaf set.
+        Entries the new node is now responsible for are shifted to it.
+        """
+        if node_id in self._nodes:
+            raise DhtError(f"node {node_id:#x} already joined")
+        new_node = _OverlayNode(
+            node_id=node_id,
+            routing_table=RoutingTable(node_id),
+            leaf_set=LeafSet(node_id, self._leaf_half_size),
+        )
+        if not self._nodes:
+            self._nodes[node_id] = new_node
+            return RouteResult(responsible=node_id, path=[node_id])
+
+        if bootstrap_id is None:
+            bootstrap_id = next(iter(self._nodes))
+        route = self.route(bootstrap_id, node_id)
+
+        # Harvest state from the join path.
+        for hop_id in route.path:
+            hop = self._nodes[hop_id]
+            new_node.routing_table.consider(hop_id)
+            new_node.leaf_set.consider(hop_id)
+            for known in hop.routing_table.known_nodes():
+                new_node.routing_table.consider(known)
+        closest = self._nodes[route.responsible]
+        new_node.leaf_set.consider_all(closest.leaf_set.members())
+        new_node.leaf_set.consider(closest.node_id)
+
+        self._nodes[node_id] = new_node
+        # Announce the joiner to its new neighbourhood.
+        for member_id in list(new_node.leaf_set.members()) + list(
+            new_node.routing_table.known_nodes()
+        ):
+            member = self._nodes.get(member_id)
+            if member is not None:
+                member.leaf_set.consider(node_id)
+                member.routing_table.consider(node_id)
+
+        self._shift_entries_to_new_node(new_node)
+        return route
+
+    def leave(self, node_id: int) -> List[TransferRecord]:
+        """Remove a node; its entries shift to the next-closest live nodes.
+
+        Returns the transfers performed (a departing node hands its entries
+        over, which is the churn cost Sec. 3.2 calls out).
+        """
+        departing = self._require(node_id)
+        del self._nodes[node_id]
+        for other in self._nodes.values():
+            other.leaf_set.remove(node_id)
+            other.routing_table.remove(node_id)
+
+        transfers: List[TransferRecord] = []
+        for key, entry in departing.entries.items():
+            if not self._nodes:
+                break
+            new_home = self._responsible_node(key)
+            self._nodes[new_home].entries[key] = entry
+            record = TransferRecord(
+                from_node=node_id,
+                to_node=new_home,
+                key=key,
+                size_bytes=entry.size_bytes(),
+            )
+            transfers.append(record)
+            self.transfer_log.append(record)
+        # Repair leaf sets that may have thinned below capacity.
+        self._repair_leaf_sets()
+        return transfers
+
+    def fail(self, node_id: int) -> None:
+        """Abrupt failure: the node vanishes *with* its entries (no handover).
+
+        Entries it held are lost until owners republish — the adverse
+        scenario behind Fig. 9's availability dip.
+        """
+        self._require(node_id)
+        del self._nodes[node_id]
+        for other in self._nodes.values():
+            other.leaf_set.remove(node_id)
+            other.routing_table.remove(node_id)
+        self._repair_leaf_sets()
+
+    def _repair_leaf_sets(self) -> None:
+        """Refill thin leaf sets from ring neighbours (periodic repair)."""
+        if len(self._nodes) <= 1:
+            return
+        ordered = sorted(self._nodes)
+        n = len(ordered)
+        for index, node_id in enumerate(ordered):
+            node = self._nodes[node_id]
+            if len(node.leaf_set) >= min(2 * self._leaf_half_size, n - 1):
+                continue
+            for offset in range(1, self._leaf_half_size + 1):
+                node.leaf_set.consider(ordered[(index + offset) % n])
+                node.leaf_set.consider(ordered[(index - offset) % n])
+
+    # --- routing ------------------------------------------------------------
+    def route(self, start_id: int, key: int) -> RouteResult:
+        """Prefix-route ``key`` from ``start_id``; returns path and owner."""
+        current = self._require(start_id)
+        path = [current.node_id]
+        for _ in range(self._max_route_hops):
+            next_id = self._next_hop(current, key)
+            if next_id is None or next_id == current.node_id:
+                return RouteResult(responsible=current.node_id, path=path)
+            current = self._nodes[next_id]
+            path.append(next_id)
+        raise DhtError(f"routing loop for key {key:#x} from {start_id:#x}")
+
+    def _next_hop(self, node: _OverlayNode, key: int) -> Optional[int]:
+        """One Pastry routing step from ``node`` toward ``key``."""
+        # Leaf-set range: deliver to the numerically closest member.
+        if node.leaf_set.covers(key) or not node.leaf_set.members():
+            closest = node.leaf_set.closest_to(key)
+            return None if closest == node.node_id else closest
+        # Routing table: match one more prefix digit.
+        table_hop = node.routing_table.next_hop(key)
+        if table_hop is not None and table_hop in self._nodes:
+            return table_hop
+        # Rare case: any known node strictly closer to the key.
+        own_distance = ring_distance(node.node_id, key)
+        own_prefix = shared_prefix_length(node.node_id, key)
+        candidates = node.routing_table.known_nodes() + node.leaf_set.members()
+        best = None
+        best_distance = own_distance
+        for candidate in candidates:
+            if candidate not in self._nodes:
+                continue
+            if shared_prefix_length(candidate, key) < own_prefix:
+                continue
+            distance = ring_distance(candidate, key)
+            if distance < best_distance:
+                best = candidate
+                best_distance = distance
+        return best
+
+    def _responsible_node(self, key: int) -> int:
+        """Ground-truth responsibility: numerically closest live node."""
+        if not self._nodes:
+            raise DhtError("overlay is empty")
+        return min(self._nodes, key=lambda nid: (ring_distance(nid, key), nid))
+
+    # --- directory operations -------------------------------------------------
+    def publish(self, from_id: int, key: int, entry: DirectoryEntry) -> RouteResult:
+        """Publish an entry under ``key``; stale versions never overwrite."""
+        route = self.route(from_id, key)
+        home = self._nodes[route.responsible]
+        existing = home.entries.get(key)
+        if existing is None or entry.version >= existing.version:
+            home.entries[key] = entry
+        return route
+
+    def lookup(self, from_id: int, key: int) -> Tuple[Optional[DirectoryEntry], RouteResult]:
+        """Look up the entry stored under ``key``."""
+        route = self.route(from_id, key)
+        entry = self._nodes[route.responsible].entries.get(key)
+        return entry, route
+
+    def entries_at(self, node_id: int) -> Dict[int, DirectoryEntry]:
+        return dict(self._require(node_id).entries)
+
+    def _shift_entries_to_new_node(self, new_node: _OverlayNode) -> None:
+        """Move entries the joiner is now responsible for onto it."""
+        for other in list(self._nodes.values()):
+            if other.node_id == new_node.node_id:
+                continue
+            moved = [
+                key
+                for key in other.entries
+                if self._responsible_node(key) == new_node.node_id
+            ]
+            for key in moved:
+                entry = other.entries.pop(key)
+                new_node.entries[key] = entry
+                self.transfer_log.append(
+                    TransferRecord(
+                        from_node=other.node_id,
+                        to_node=new_node.node_id,
+                        key=key,
+                        size_bytes=entry.size_bytes(),
+                    )
+                )
+
+    # --- validation helpers (tests) -----------------------------------------
+    def misplaced_entries(self) -> List[int]:
+        """Keys stored away from their responsible node (should be empty)."""
+        wrong = []
+        for node in self._nodes.values():
+            for key in node.entries:
+                if self._responsible_node(key) != node.node_id:
+                    wrong.append(key)
+        return wrong

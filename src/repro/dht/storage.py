@@ -1,0 +1,53 @@
+"""Directory entries stored in the DHT.
+
+A SOUP directory entry "typically contains a user's name, her SOUP ID, the
+interfaces (i.e., IP addresses) via which she can currently be contacted,
+and the SOUP IDs of all the mirrors of her data" (Sec. 3.2).  Crucially the
+DHT stores only these *pointers*: the data itself lives on the mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class DirectoryEntry:
+    """One user's published directory entry."""
+
+    soup_id: int
+    name: str = ""
+    interfaces: Tuple[str, ...] = ()
+    mirror_ids: Tuple[int, ...] = ()
+    #: Monotonic version; republishing bumps it so stale entries lose.
+    version: int = 0
+    #: RSA signature integer over the entry body (None in plain simulations).
+    signature: int = None
+    #: The owner's public key.  SOUP IDs are self-certifying (the hash of
+    #: the public key), so carrying the key in the entry lets any node
+    #: verify both the entry and future objects from the owner.
+    public_key: object = None
+
+    def with_mirrors(self, mirror_ids: List[int]) -> "DirectoryEntry":
+        """A republished copy announcing a new mirror set."""
+        return DirectoryEntry(
+            soup_id=self.soup_id,
+            name=self.name,
+            interfaces=self.interfaces,
+            mirror_ids=tuple(mirror_ids),
+            version=self.version + 1,
+            signature=self.signature,
+            public_key=self.public_key,
+        )
+
+    def size_bytes(self) -> int:
+        """Approximate wire size: ids are 8 bytes, interfaces ~16 each."""
+        return (
+            8
+            + len(self.name.encode("utf-8"))
+            + 16 * len(self.interfaces)
+            + 8 * len(self.mirror_ids)
+            + 8   # version
+            + 128  # signature
+        )

@@ -1,0 +1,33 @@
+"""Social graphs for the SOUP evaluation.
+
+The paper evaluates on three real-world datasets (Table 3): the WOSN'09
+Facebook graph (90,269 nodes / 3,646,662 edges), SNAP Epinions (75,879 /
+508,837) and SNAP Slashdot (82,169 / 948,464).  Those crawls are not
+redistributable here, so :mod:`repro.graphs.datasets` generates synthetic
+graphs matching each dataset's node count, edge count and heavy-tailed
+degree shape — the only graph properties the simulation consumes.  A loader
+for the real edge lists (:mod:`repro.graphs.loader`) is provided for users
+who have the files.
+"""
+
+from repro.graphs.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    generate_dataset,
+    table3_rows,
+)
+from repro.graphs.loader import load_edge_list
+from repro.graphs.sampling import largest_component, sample_subgraph
+from repro.graphs.stats import GraphStats, graph_stats
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "generate_dataset",
+    "table3_rows",
+    "load_edge_list",
+    "largest_component",
+    "sample_subgraph",
+    "GraphStats",
+    "graph_stats",
+]

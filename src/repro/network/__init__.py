@@ -1,0 +1,23 @@
+"""Simulated network substrate.
+
+SOUP nodes communicate over direct channels established after a DHT lookup
+(Sec. 3.6).  This package provides the machinery the node middleware and
+the deployment emulation run on:
+
+* :mod:`repro.network.events` — a discrete-event loop (heap scheduler).
+* :mod:`repro.network.simnet` — the network itself: per-node links with
+  latency and bandwidth, message delivery to registered handlers, loss for
+  offline nodes, and per-node traffic meters that produce the KB/s series
+  of Figs. 14a/14b/15.
+"""
+
+from repro.network.events import EventLoop
+from repro.network.simnet import DeliveryFailure, LinkSpec, SimNetwork, TrafficMeter
+
+__all__ = [
+    "EventLoop",
+    "DeliveryFailure",
+    "LinkSpec",
+    "SimNetwork",
+    "TrafficMeter",
+]

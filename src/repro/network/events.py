@@ -1,0 +1,66 @@
+"""A minimal discrete-event loop.
+
+Events are ``(time, sequence, callback)`` triples on a heap; the sequence
+number makes ordering deterministic for simultaneous events.  The loop is
+deliberately tiny — everything interesting lives in the models scheduled on
+top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds by convention)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        self.schedule(when - self._now, callback)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Process events up to ``end_time``; returns the number processed.
+
+        ``max_events`` guards against runaway feedback loops in tests.
+        """
+        processed = 0
+        while self._queue and self._queue[0][0] <= end_time:
+            if max_events is not None and processed >= max_events:
+                break
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = max(self._now, when)
+            callback()
+            processed += 1
+        self._now = max(self._now, end_time)
+        return processed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        processed = 0
+        while self._queue and processed < max_events:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = max(self._now, when)
+            callback()
+            processed += 1
+        return processed

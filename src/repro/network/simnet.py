@@ -1,0 +1,234 @@
+"""The simulated network: links, delivery, and traffic metering.
+
+Every registered node has a :class:`LinkSpec` (latency, bandwidth — mobile
+nodes get slower links, Sec. 3.3) and a handler invoked on delivery.
+Transfer time is ``latency + size / min(sender_up, receiver_down)``.
+Messages to offline or unknown nodes fail; the sender's failure callback
+fires, which is how fetch attempts against offline mirrors are *observed*
+as failures and end up in experience sets.
+
+:class:`TrafficMeter` buckets bytes per second per direction, producing
+exactly the KB/s-over-time series plotted in Figs. 14a, 14b and 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network.events import EventLoop
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A node's access link."""
+
+    latency_s: float = 0.04
+    upstream_bytes_per_s: float = 1_000_000.0
+    downstream_bytes_per_s: float = 4_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        if self.upstream_bytes_per_s <= 0 or self.downstream_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+#: Typical 2014-era access links, used by the deployment emulation.
+DESKTOP_LINK = LinkSpec(latency_s=0.03, upstream_bytes_per_s=750_000, downstream_bytes_per_s=1_000_000)
+MOBILE_LINK = LinkSpec(latency_s=0.12, upstream_bytes_per_s=150_000, downstream_bytes_per_s=1_000_000)
+SERVER_LINK = LinkSpec(latency_s=0.01, upstream_bytes_per_s=12_500_000, downstream_bytes_per_s=12_500_000)
+
+
+class DeliveryFailure(Exception):
+    """Raised/reported when a message cannot be delivered."""
+
+
+class TrafficMeter:
+    """Per-second byte counters for one node."""
+
+    def __init__(self) -> None:
+        self._sent: Dict[int, int] = {}
+        self._received: Dict[int, int] = {}
+
+    @staticmethod
+    def _spread(
+        table: Dict[int, int], time_s: float, size_bytes: int, duration_s: float
+    ) -> None:
+        """Distribute ``size_bytes`` over ``duration_s`` starting at
+        ``time_s`` — a large transfer occupies the link for its whole
+        duration instead of spiking one bucket."""
+        start = int(time_s)
+        seconds = max(1, int(duration_s) + 1)
+        per_second = size_bytes // seconds
+        remainder = size_bytes - per_second * seconds
+        for offset in range(seconds):
+            amount = per_second + (remainder if offset == 0 else 0)
+            if amount:
+                table[start + offset] = table.get(start + offset, 0) + amount
+
+    def record_sent(
+        self, time_s: float, size_bytes: int, duration_s: float = 0.0
+    ) -> None:
+        self._spread(self._sent, time_s, size_bytes, duration_s)
+
+    def record_received(
+        self, time_s: float, size_bytes: int, duration_s: float = 0.0
+    ) -> None:
+        self._spread(self._received, time_s, size_bytes, duration_s)
+
+    def total_sent(self) -> int:
+        return sum(self._sent.values())
+
+    def total_received(self) -> int:
+        return sum(self._received.values())
+
+    def series_kb_per_s(
+        self, start_s: int = 0, end_s: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """(second, KB/s) series of total traffic (both directions)."""
+        buckets = set(self._sent) | set(self._received)
+        if end_s is None:
+            end_s = max(buckets) + 1 if buckets else start_s
+        series = []
+        for second in range(start_s, end_s):
+            total = self._sent.get(second, 0) + self._received.get(second, 0)
+            series.append((second, total / 1024.0))
+        return series
+
+    def peak_kb_per_s(self) -> float:
+        series = self.series_kb_per_s()
+        return max((kb for _, kb in series), default=0.0)
+
+    def mean_kb_per_s(self) -> float:
+        series = self.series_kb_per_s()
+        if not series:
+            return 0.0
+        return sum(kb for _, kb in series) / len(series)
+
+
+Handler = Callable[[int, Any], None]
+FailureHandler = Callable[[int, Any, str], None]
+
+
+class SimNetwork:
+    """Message delivery between registered nodes over an event loop."""
+
+    def __init__(self, loop: EventLoop) -> None:
+        self.loop = loop
+        self._links: Dict[int, LinkSpec] = {}
+        self._handlers: Dict[int, Handler] = {}
+        self._failure_handlers: Dict[int, FailureHandler] = {}
+        self._online: Dict[int, bool] = {}
+        self.meters: Dict[int, TrafficMeter] = {}
+        #: Separate meters for DHT/overlay control traffic, so control
+        #: overhead (Fig. 14a) can be reported independently of user data.
+        self.control_meters: Dict[int, TrafficMeter] = {}
+        self.messages_delivered = 0
+        self.messages_failed = 0
+        #: Time each node's uplink is busy until (sends serialize).
+        self._uplink_free_at: Dict[int, float] = {}
+        #: Time each node's downlink is busy until (receives serialize).
+        self._downlink_free_at: Dict[int, float] = {}
+
+    # --- membership -------------------------------------------------------
+    def register(
+        self,
+        node_id: int,
+        handler: Handler,
+        link: LinkSpec = LinkSpec(),
+        on_failure: Optional[FailureHandler] = None,
+    ) -> None:
+        if node_id in self._links:
+            raise ValueError(f"node {node_id} already registered")
+        self._links[node_id] = link
+        self._handlers[node_id] = handler
+        if on_failure is not None:
+            self._failure_handlers[node_id] = on_failure
+        self._online[node_id] = True
+        self.meters[node_id] = TrafficMeter()
+        self.control_meters[node_id] = TrafficMeter()
+
+    def control_meter(self, node_id: int) -> TrafficMeter:
+        """The DHT-control traffic meter for a node (created on demand for
+        ids charged before registration, e.g. overlay-only members)."""
+        meter = self.control_meters.get(node_id)
+        if meter is None:
+            meter = TrafficMeter()
+            self.control_meters[node_id] = meter
+        return meter
+
+    def unregister(self, node_id: int) -> None:
+        for table in (self._links, self._handlers, self._failure_handlers, self._online):
+            table.pop(node_id, None)
+
+    def set_online(self, node_id: int, online: bool) -> None:
+        if node_id not in self._links:
+            raise KeyError(f"unknown node {node_id}")
+        self._online[node_id] = online
+
+    def is_online(self, node_id: int) -> bool:
+        return self._online.get(node_id, False)
+
+    def link_of(self, node_id: int) -> LinkSpec:
+        return self._links[node_id]
+
+    # --- sending ---------------------------------------------------------
+    def transfer_time(self, sender: int, receiver: int, size_bytes: int) -> float:
+        s_link = self._links[sender]
+        r_link = self._links[receiver]
+        bottleneck = min(s_link.upstream_bytes_per_s, r_link.downstream_bytes_per_s)
+        return s_link.latency_s + r_link.latency_s + size_bytes / bottleneck
+
+    def send(self, sender: int, receiver: int, message: Any, size_bytes: int) -> None:
+        """Send a message; delivery or failure is scheduled on the loop."""
+        if sender not in self._links:
+            raise KeyError(f"unknown sender {sender}")
+        if size_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        if not self._online.get(sender, False):
+            # A node that went offline mid-action silently loses the send.
+            self.messages_failed += 1
+            return
+        # Sends serialize on the sender's uplink: a burst of pushes occupies
+        # the link back to back instead of stacking into one instant.
+        send_duration = size_bytes / self._links[sender].upstream_bytes_per_s
+        start = max(self.loop.now, self._uplink_free_at.get(sender, 0.0))
+        self._uplink_free_at[sender] = start + send_duration
+        self.meters[sender].record_sent(start, size_bytes, send_duration)
+        queue_delay = start - self.loop.now
+
+        if receiver not in self._links or not self._online.get(receiver, False):
+            self.messages_failed += 1
+            failure_handler = self._failure_handlers.get(sender)
+            if failure_handler is not None:
+                # Failure is detected after a timeout ~ the link latency.
+                delay = self._links[sender].latency_s * 2 + 0.5
+                self.loop.schedule(
+                    delay, lambda: failure_handler(receiver, message, "unreachable")
+                )
+            return
+
+        delay = self.transfer_time(sender, receiver, size_bytes)
+
+        receive_duration = size_bytes / min(
+            self._links[sender].upstream_bytes_per_s,
+            self._links[receiver].downstream_bytes_per_s,
+        )
+
+        def deliver() -> None:
+            # The receiver may have gone offline while the bytes were in
+            # flight; they are then lost.
+            if not self._online.get(receiver, False):
+                self.messages_failed += 1
+                return
+            # Concurrent inbound streams share (serialize on) the downlink.
+            start = max(self.loop.now, self._downlink_free_at.get(receiver, 0.0))
+            self._downlink_free_at[receiver] = start + receive_duration
+            self.meters[receiver].record_received(
+                start, size_bytes, receive_duration
+            )
+            self.messages_delivered += 1
+            self._handlers[receiver](sender, message)
+
+        self.loop.schedule(queue_delay + delay, deliver)

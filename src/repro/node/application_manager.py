@@ -1,0 +1,52 @@
+"""Application Manager: the middleware's interface to SOUP applications.
+
+"It allows arbitrary social applications to run on top of the SOUP
+middleware and enables communication between applications transparent to
+the middleware itself" (Sec. 6).  Applications register callbacks per
+object type; outbound content is encapsulated into SOUP objects, inbound
+objects are decapsulated and dispatched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.core.objects import ObjectType, SoupObject
+
+AppCallback = Callable[[SoupObject], None]
+
+
+class ApplicationManager:
+    """Callback registry and encapsulation layer for one node."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._callbacks: Dict[ObjectType, List[AppCallback]] = {}
+        #: Objects delivered to applications, newest last (demo clients use
+        #: this as their inbox).
+        self.inbox: List[SoupObject] = []
+
+    def register(self, object_type: ObjectType, callback: AppCallback) -> None:
+        """Subscribe an application to incoming objects of a type."""
+        self._callbacks.setdefault(object_type, []).append(callback)
+
+    def encapsulate(
+        self, dest: int, object_type: ObjectType, payload: Any, timestamp: float
+    ) -> SoupObject:
+        """Wrap application content into a SOUP object."""
+        return SoupObject(
+            source=self.owner_id,
+            dest=dest,
+            object_type=object_type,
+            payload=payload,
+            timestamp=timestamp,
+        )
+
+    def deliver(self, obj: SoupObject) -> None:
+        """Decapsulate an inbound object and notify subscribed apps."""
+        self.inbox.append(obj)
+        for callback in self._callbacks.get(obj.object_type, []):
+            callback(obj)
+
+    def messages_received(self) -> List[SoupObject]:
+        return [o for o in self.inbox if o.object_type is ObjectType.MESSAGE]

@@ -1,0 +1,138 @@
+"""Multi-device synchronization (paper Sec. 3.5).
+
+"Hereby, all mirrors always present the most recent user data if they are
+online, which also enables the data owner to synchronize different
+personal devices."  A user runs SOUP on several devices (desktop, laptop,
+phone) sharing one identity; whichever device is active posts updates,
+the mirrors retain them in a bounded per-owner log, and any other device
+replays the log when it comes online — idempotently, in timestamp order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.node.profile import DataItem, Profile
+from repro.node.sync import PendingUpdate
+
+UpdateKey = Tuple[int, int]  # (origin id, sequence)
+
+
+def _key(update: PendingUpdate) -> UpdateKey:
+    return (update.origin_id, update.sequence)
+
+
+class UpdateLog:
+    """A mirror's bounded, ordered log of one owner's updates.
+
+    Unlike the offline-message buffer (which is drained on collection),
+    the log is *retained* so that any number of devices can replay it;
+    old entries are pruned by count.
+    """
+
+    def __init__(self, max_entries: int = 500) -> None:
+        if max_entries < 1:
+            raise ValueError("log must retain at least one entry")
+        self.max_entries = max_entries
+        self._entries: List[PendingUpdate] = []
+        self._keys: Set[UpdateKey] = set()
+
+    def append(self, update: PendingUpdate) -> bool:
+        """Add an update; duplicates (same origin+sequence) are ignored."""
+        if _key(update) in self._keys:
+            return False
+        self._entries.append(update)
+        self._keys.add(_key(update))
+        self._entries.sort(key=lambda u: (u.timestamp, u.origin_id, u.sequence))
+        while len(self._entries) > self.max_entries:
+            evicted = self._entries.pop(0)
+            self._keys.discard(_key(evicted))
+        return True
+
+    def entries(self) -> List[PendingUpdate]:
+        return list(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(update.size_bytes for update in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class DeviceReplica:
+    """One device's local copy of the user's data."""
+
+    device_name: str
+    owner_id: int
+    profile: Profile = None
+    _applied: Set[UpdateKey] = field(default_factory=set)
+    applied_updates: List[PendingUpdate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = Profile(owner_id=self.owner_id)
+
+    def record_local(self, update: PendingUpdate) -> None:
+        """Mark a locally produced update as already applied."""
+        self._applied.add(_key(update))
+        self.applied_updates.append(update)
+
+    def apply(self, updates: Iterable[PendingUpdate]) -> List[PendingUpdate]:
+        """Apply foreign updates in order; returns the newly applied ones."""
+        fresh = [u for u in updates if _key(u) not in self._applied]
+        fresh.sort(key=lambda u: (u.timestamp, u.origin_id, u.sequence))
+        for update in fresh:
+            self._applied.add(_key(update))
+            self.applied_updates.append(update)
+            payload = update.payload if isinstance(update.payload, dict) else {}
+            if payload.get("action") == "post_item":
+                self.profile.add_item(
+                    DataItem(
+                        item_id=payload["item_id"],
+                        kind=payload.get("kind", "text"),
+                        size_bytes=payload.get("size", 0),
+                        created_at=update.timestamp,
+                    )
+                )
+        return fresh
+
+    def has_applied(self, update: PendingUpdate) -> bool:
+        return _key(update) in self._applied
+
+    @property
+    def item_count(self) -> int:
+        return len(self.profile)
+
+
+class DeviceGroup:
+    """All devices of one user, kept consistent through the mirrors."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._devices: Dict[str, DeviceReplica] = {}
+
+    def attach(self, device_name: str) -> DeviceReplica:
+        if device_name in self._devices:
+            raise ValueError(f"device {device_name!r} already attached")
+        device = DeviceReplica(device_name=device_name, owner_id=self.owner_id)
+        self._devices[device_name] = device
+        return device
+
+    def device(self, device_name: str) -> DeviceReplica:
+        try:
+            return self._devices[device_name]
+        except KeyError:
+            raise LookupError(f"no device {device_name!r}") from None
+
+    def devices(self) -> List[str]:
+        return sorted(self._devices)
+
+    def in_sync(self) -> bool:
+        """All devices have applied the same update set."""
+        applied_sets = [d._applied for d in self._devices.values()]
+        return all(s == applied_sets[0] for s in applied_sets[1:])
+
+    def __len__(self) -> int:
+        return len(self._devices)

@@ -1,0 +1,113 @@
+"""Interface Manager: directory operations and node-to-node delivery.
+
+"If any of these modules need to communicate with other nodes, they do so by
+passing an object to the Interface Manager, which can then initiate
+communication via a suitable network interface" (Sec. 6).
+
+Two communication paths (Sec. 3.6):
+
+* **Directory (DHT)** — publish/look up entries.  Regular nodes execute the
+  operations themselves from their position in the overlay; mobile nodes
+  relay through a gateway (Sec. 3.3), so the gateway's link carries the
+  relayed bytes (visible in Fig. 14a).
+* **Direct channels** — after a lookup, objects are sent point-to-point
+  over the simulated network, which meters the traffic per node.
+
+DHT routing charges bytes per overlay hop, so control-overhead
+measurements reflect multi-hop Pastry cost, not just endpoint cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.objects import ObjectType, SoupObject
+from repro.dht.pastry import DhtError, PastryOverlay, RouteResult
+from repro.dht.storage import DirectoryEntry
+from repro.network.simnet import SimNetwork
+
+#: Approximate wire size of one DHT control message (key + headers).
+_DHT_MESSAGE_BYTES = 160
+#: Extra bytes for a relayed mobile request (tunnel header).
+_RELAY_OVERHEAD_BYTES = 48
+
+
+class InterfaceManager:
+    """Network-facing operations of one SOUP node."""
+
+    def __init__(
+        self,
+        owner_id: int,
+        network: SimNetwork,
+        overlay: PastryOverlay,
+        is_mobile: bool = False,
+    ) -> None:
+        self.owner_id = owner_id
+        self.network = network
+        self.overlay = overlay
+        self.is_mobile = is_mobile
+        #: The gateway a mobile node relays its DHT operations through.
+        self.gateway_id: Optional[int] = None
+
+    # --- gateway management (mobile nodes, Sec. 3.3) --------------------
+    def set_gateway(self, gateway_id: int) -> None:
+        if not self.is_mobile:
+            raise ValueError("only mobile nodes use gateways")
+        self.gateway_id = gateway_id
+
+    def _dht_entry_point(self) -> int:
+        """The overlay node that executes our DHT operations."""
+        if self.is_mobile:
+            if self.gateway_id is None:
+                raise DhtError(f"mobile node {self.owner_id:#x} has no gateway")
+            return self.gateway_id
+        return self.owner_id
+
+    def _charge_route(self, route: RouteResult, payload_bytes: int) -> None:
+        """Charge DHT traffic along the route's hops to the control meters."""
+        size = _DHT_MESSAGE_BYTES + payload_bytes
+        now = self.network.loop.now
+        for hop_from, hop_to in zip(route.path, route.path[1:]):
+            self.network.control_meter(hop_from).record_sent(now, size)
+            self.network.control_meter(hop_to).record_received(now, size)
+
+    def _charge_relay(self, payload_bytes: int) -> None:
+        """Charge the mobile-to-gateway relay leg (both directions)."""
+        assert self.gateway_id is not None
+        size = _DHT_MESSAGE_BYTES + _RELAY_OVERHEAD_BYTES + payload_bytes
+        now = self.network.loop.now
+        self.network.control_meter(self.owner_id).record_sent(now, size)
+        gateway_meter = self.network.control_meter(self.gateway_id)
+        gateway_meter.record_received(now, size)
+        gateway_meter.record_sent(now, size)  # response leg
+        self.network.control_meter(self.owner_id).record_received(now, size)
+
+    # --- directory operations ---------------------------------------------
+    def publish_entry(self, entry: DirectoryEntry) -> RouteResult:
+        """Publish our directory entry under our SOUP ID."""
+        entry_point = self._dht_entry_point()
+        route = self.overlay.publish(entry_point, entry.soup_id, entry)
+        self._charge_route(route, entry.size_bytes())
+        if self.is_mobile:
+            self._charge_relay(entry.size_bytes())
+        return route
+
+    def lookup_entry(self, soup_id: int) -> Tuple[Optional[DirectoryEntry], RouteResult]:
+        """Look up another user's directory entry."""
+        entry_point = self._dht_entry_point()
+        entry, route = self.overlay.lookup(entry_point, soup_id)
+        response_bytes = entry.size_bytes() if entry is not None else 0
+        self._charge_route(route, response_bytes)
+        if self.is_mobile:
+            self._charge_relay(response_bytes)
+        return entry, route
+
+    # --- direct channels -------------------------------------------------------
+    def send_object(self, obj: SoupObject) -> None:
+        """Send a SOUP object over a direct channel."""
+        self.network.send(self.owner_id, obj.dest, obj, obj.size_bytes())
+
+    def send_bytes(self, dest: int, obj: SoupObject, size_bytes: int) -> None:
+        """Send an object whose payload size is accounted explicitly (large
+        transfers such as replica pushes)."""
+        self.network.send(self.owner_id, dest, obj, size_bytes)

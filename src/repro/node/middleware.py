@@ -1,0 +1,716 @@
+"""The SOUP node middleware: all managers wired together (Sec. 6, Fig. 12).
+
+A :class:`SoupNode` is one participant: it joins the overlay (or relays via
+a gateway if mobile), publishes its directory entry, maintains its profile,
+selects mirrors and pushes encrypted replicas to them, serves as a mirror
+for others, buffers updates for offline users, and exchanges experience
+sets with friends.
+
+Protocol decisions (store/reject, profile serving, update collection) are
+evaluated synchronously against the peer's state for simulation simplicity,
+while every byte still crosses the metered simulated network — so the
+traffic figures of Sec. 7 are reproduced faithfully.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import SoupConfig
+from repro.core.objects import ObjectType, SoupObject
+from repro.core.ranking import Recommendation
+from repro.crypto.keys import KeyPair
+from repro.dht.bootstrap import BootstrapRegistry
+from repro.dht.pastry import PastryOverlay
+from repro.dht.storage import DirectoryEntry
+from repro.network.simnet import LinkSpec, SimNetwork
+from repro.node.application_manager import ApplicationManager
+from repro.node.interface_manager import InterfaceManager
+from repro.node.mirror_manager import MirrorManager
+from repro.node.profile import DataItem, Profile
+from repro.node.security_manager import SecurityManager
+from repro.node.social_manager import SocialManager
+from repro.node.devices import DeviceGroup
+from repro.node.sync import PendingUpdate, merge_update_streams
+
+#: Encryption expands a replica slightly (ABE header + MAC + shares).
+_ENCRYPTION_OVERHEAD_BYTES = 2_048
+#: Size of a plain profile-browse response (recent items, not the full
+#: profile) — matching Sec. 7's "simple profile requests do not consume a
+#: lot of bandwidth".
+_PROFILE_VIEW_BYTES = 40_000
+
+
+class SoupNode:
+    """One SOUP participant (middleware + demo application surface)."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        overlay: PastryOverlay,
+        registry: BootstrapRegistry,
+        peer_resolver: Callable[[int], Optional["SoupNode"]],
+        config: Optional[SoupConfig] = None,
+        keys: Optional[KeyPair] = None,
+        seed: Optional[int] = None,
+        is_mobile: bool = False,
+        link: Optional[LinkSpec] = None,
+        capacity_profiles: float = 50.0,
+        key_bits: int = 512,
+        coding_k: int = 0,
+        coding_threshold_bytes: int = 8_000_000,
+        mobile_relay_limit: int = 4,
+    ) -> None:
+        self.name = name
+        self.config = config or SoupConfig()
+        self.rng = random.Random(seed)
+        self.keys = keys or KeyPair.generate(bits=key_bits, seed=seed)
+        self.node_id = self.keys.soup_id
+        self.is_mobile = is_mobile
+        self._peer = peer_resolver
+
+        self.network = network
+        self.overlay = overlay
+        self.registry = registry
+
+        self.security = SecurityManager(self.keys)
+        self.social = SocialManager(self.node_id, self.security)
+        self.applications = ApplicationManager(self.node_id)
+        self.mirror_manager = MirrorManager(
+            owner_id=self.node_id,
+            config=self.config,
+            capacity_profiles=capacity_profiles,
+            rng=self.rng,
+            # Mobile devices do not mirror by default (Sec. 7), though users
+            # can opt in (e.g. a WiFi-connected tablet).
+            mirroring_enabled=not is_mobile,
+        )
+        self.interface = InterfaceManager(
+            owner_id=self.node_id,
+            network=network,
+            overlay=overlay,
+            is_mobile=is_mobile,
+        )
+
+        self.profile = Profile(owner_id=self.node_id)
+        self.devices = DeviceGroup(self.node_id)
+        self.joined = False
+        self.online = False
+        self._entry_version = 0
+        #: Sec. 8 extension: profiles above the threshold are distributed
+        #: as (n, k) erasure-coded fragments instead of full replicas;
+        #: ``coding_k = 0`` disables coding (the base protocol).
+        self.coding_k = coding_k
+        self.coding_threshold_bytes = coding_threshold_bytes
+        #: How many mobile nodes this (regular) node is willing to relay
+        #: for ("every regular node can set a limit to mobile connections",
+        #: Sec. 3.3).
+        self.mobile_relay_limit = mobile_relay_limit
+        self.relayed_mobiles: set = set()
+        #: Inbound objects discarded for missing/invalid signatures.
+        self.dropped_objects = 0
+
+        if link is None:
+            from repro.network.simnet import DESKTOP_LINK, MOBILE_LINK
+
+            link = MOBILE_LINK if is_mobile else DESKTOP_LINK
+        network.register(self.node_id, self._handle_network, link=link)
+        network.set_online(self.node_id, False)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def join(self, bootstrap_id: Optional[int] = None) -> None:
+        """Join SOUP via a bootstrap node (Sec. 3.2 / 3.3)."""
+        if self.joined:
+            raise RuntimeError(f"{self.name} already joined")
+        if bootstrap_id is None and len(self.registry):
+            bootstrap_id = self.registry.pick(self.rng)
+
+        self.network.set_online(self.node_id, True)
+        self.online = True
+
+        if self.is_mobile:
+            if bootstrap_id is None:
+                raise RuntimeError("a mobile node needs a gateway to join")
+            self.interface.set_gateway(bootstrap_id)
+        else:
+            self.overlay.join(self.node_id, bootstrap_id)
+        self.joined = True
+        self.publish_entry()
+
+    def make_bootstrap_node(self) -> None:
+        """Advertise this (regular) node as a public bootstrap node."""
+        if self.is_mobile:
+            raise ValueError("mobile nodes cannot bootstrap others")
+        self.registry.register(self.node_id)
+
+    def go_offline(self) -> None:
+        if not self.online:
+            return
+        self.online = False
+        self.network.set_online(self.node_id, False)
+
+    def go_online(self) -> None:
+        """Return online: re-publish interfaces and collect buffered updates."""
+        if self.online:
+            return
+        self.online = True
+        self.network.set_online(self.node_id, True)
+        if self.joined:
+            self.publish_entry()
+            self.collect_updates()
+
+    # ------------------------------------------------------------------
+    # directory
+    # ------------------------------------------------------------------
+    def publish_entry(self) -> None:
+        self._ensure_gateway()
+        self._entry_version += 1
+        entry = DirectoryEntry(
+            soup_id=self.node_id,
+            name=self.name,
+            interfaces=(f"sim://{self.node_id:016x}",),
+            mirror_ids=tuple(self.mirror_manager.announced_mirrors),
+            version=self._entry_version,
+            public_key=self.keys.public,
+        )
+        self.interface.publish_entry(entry)
+
+    def lookup_user(self, soup_id: int) -> Optional[DirectoryEntry]:
+        self._ensure_gateway()
+        entry, _ = self.interface.lookup_entry(soup_id)
+        if entry is not None and entry.public_key is not None:
+            self.security.learn_public_key(entry.soup_id, entry.public_key)
+        return entry
+
+    # ------------------------------------------------------------------
+    # social operations (demo-application surface)
+    # ------------------------------------------------------------------
+    def befriend(self, other_id: int) -> bool:
+        """Full friend-request handshake with attribute-key exchange."""
+        other = self._require_peer(other_id)
+        if other is None or not other.online:
+            return False
+        self.social.initiate_request(other_id)
+        request = self.applications.encapsulate(
+            other_id, ObjectType.FRIEND_REQUEST, {"from": self.name}, self._now()
+        )
+        self.security.sign_object(request)
+        self.interface.send_object(request)
+
+        other.social.receive_request(self.node_id)
+        their_key = other.social.accept_request(self.node_id)
+        confirm = other.applications.encapsulate(
+            self.node_id, ObjectType.FRIEND_CONFIRM, {"from": other.name}, self._now()
+        )
+        other.security.sign_object(confirm)
+        other.interface.send_object(confirm)
+
+        my_key = self.social.confirm_accepted(other_id)
+        # Mutual attribute grants: each side can decrypt the other's data.
+        self.security.receive_attribute_key(other_id, their_key)
+        other.security.receive_attribute_key(self.node_id, my_key)
+        # Friendship feeds the mirror-selection machinery on both sides.
+        self.mirror_manager.set_friend(other_id)
+        other.mirror_manager.set_friend(self.node_id)
+        return True
+
+    def contact(self, other_id: int) -> None:
+        """Meet a node: exchange KB knowledge and (if bootstrapping) harvest
+        mirror recommendations (Sec. 4.3).  Mobile nodes also probe every
+        encountered regular node as a potential gateway (Sec. 3.3)."""
+        other = self._require_peer(other_id)
+        if other is None:
+            return
+        self.mirror_manager.learn_node(other_id, self.social.is_friend(other_id))
+        other.mirror_manager.learn_node(self.node_id, other.social.is_friend(self.node_id))
+        self.mirror_manager.receive_recommendations(
+            other.mirror_manager.recommendations_for(self.node_id)
+        )
+        if self.is_mobile:
+            self._maybe_switch_gateway(other)
+
+    # ------------------------------------------------------------------
+    # mobile gateway management (Sec. 3.3)
+    # ------------------------------------------------------------------
+    def accepts_mobile_relay(self, mobile_id: int) -> bool:
+        """Whether this regular node will relay DHT requests for a mobile."""
+        if self.is_mobile or not self.online or self.node_id not in self.overlay:
+            return False
+        return (
+            mobile_id in self.relayed_mobiles
+            or len(self.relayed_mobiles) < self.mobile_relay_limit
+        )
+
+    def _maybe_switch_gateway(self, candidate: "SoupNode") -> None:
+        """Switch away from a bootstrap gateway when any capable regular
+        node is encountered — "to reduce the load on bootstrapping nodes"."""
+        current = self.interface.gateway_id
+        if current is not None and current not in self.registry.all():
+            return  # already on a non-bootstrap gateway
+        if candidate.node_id in self.registry.all():
+            return
+        if not candidate.accepts_mobile_relay(self.node_id):
+            return
+        if current is not None:
+            old = self._peer(current)
+            if old is not None:
+                old.relayed_mobiles.discard(self.node_id)
+        candidate.relayed_mobiles.add(self.node_id)
+        self.interface.set_gateway(candidate.node_id)
+
+    def _ensure_gateway(self) -> None:
+        """Fall back to a bootstrap gateway if the current one vanished.
+
+        Raises :class:`~repro.dht.pastry.DhtError` when no live gateway
+        exists at all — a mobile node without any relay is cut off from
+        the directory.
+        """
+        if not self.is_mobile:
+            return
+        gateway = (
+            self._peer(self.interface.gateway_id)
+            if self.interface.gateway_id is not None
+            else None
+        )
+        if gateway is not None and gateway.online and gateway.node_id in self.overlay:
+            return
+        for candidate_id in self.registry.all():
+            candidate = self._peer(candidate_id)
+            if (
+                candidate is not None
+                and candidate.online
+                and candidate_id in self.overlay
+            ):
+                self.interface.set_gateway(candidate_id)
+                return
+        from repro.dht.pastry import DhtError
+
+        raise DhtError(
+            f"mobile node {self.name} has no reachable gateway"
+        )
+
+    def send_message(self, dest_id: int, text: str) -> bool:
+        """Deliver a message; offline recipients get it via their mirrors."""
+        entry = self.lookup_user(dest_id)
+        if entry is None:
+            return False
+        message = self.applications.encapsulate(
+            dest_id, ObjectType.MESSAGE, {"text": text}, self._now()
+        )
+        self.security.sign_object(message)
+        dest = self._peer(dest_id)
+        if dest is not None and dest.online:
+            self.interface.send_object(message)
+            return True
+        # Store-and-forward through the recipient's mirrors (Sec. 3.5).
+        return self._deliver_update_via_mirrors(entry, message)
+
+    # ------------------------------------------------------------------
+    # data operations
+    # ------------------------------------------------------------------
+    def post_item(self, item: DataItem, device: Optional[str] = None) -> None:
+        """Add a data item and push the update to all mirrors.
+
+        ``device`` names the posting device (see :meth:`attach_device`);
+        mirrors retain the update in a per-owner log so the user's other
+        devices can replay it (Sec. 3.5).
+        """
+        self.profile.add_item(item)
+        update = self.applications.encapsulate(
+            self.node_id,
+            ObjectType.UPDATE,
+            {
+                "action": "post_item",
+                "item_id": item.item_id,
+                "kind": item.kind,
+                "size": item.size_bytes,
+            },
+            self._now(),
+        )
+        self.security.sign_object(update)
+        pending = PendingUpdate(
+            target_id=self.node_id,
+            origin_id=self.node_id,
+            timestamp=update.timestamp,
+            sequence=update.sequence,
+            payload=update.payload,
+            size_bytes=item.size_bytes + _ENCRYPTION_OVERHEAD_BYTES,
+        )
+        if device is not None:
+            replica = self.devices.device(device)
+            replica.profile.add_item(item)
+            replica.record_local(pending)
+        for mirror_id in self.mirror_manager.announced_mirrors:
+            mirror = self._peer(mirror_id)
+            if mirror is None:
+                continue
+            self.interface.send_bytes(
+                mirror_id, update, item.size_bytes + _ENCRYPTION_OVERHEAD_BYTES
+            )
+            mirror.mirror_manager.record_owner_update(self.node_id, pending)
+
+    # ------------------------------------------------------------------
+    # multi-device synchronization (Sec. 3.5)
+    # ------------------------------------------------------------------
+    def attach_device(self, device_name: str):
+        """Register another personal device sharing this identity."""
+        return self.devices.attach(device_name)
+
+    def sync_device(self, device_name: str) -> List[PendingUpdate]:
+        """Replay the mirror-retained update log onto one device.
+
+        Returns the updates newly applied to that device.  Any online
+        mirror holding the log can serve it; the transfer is metered.
+        """
+        replica = self.devices.device(device_name)
+        for mirror_id in self.mirror_manager.announced_mirrors:
+            mirror = self._peer(mirror_id)
+            if mirror is None or not mirror.online:
+                continue
+            log = mirror.mirror_manager.update_log_for(self.node_id)
+            if log is None or len(log) == 0:
+                continue
+            fresh = replica.apply(log.entries())
+            for update in fresh:
+                self._transfer_from(mirror_id, update.size_bytes)
+            return fresh
+        return []
+
+    def replica_size_bytes(self) -> int:
+        return self.profile.size_bytes() + _ENCRYPTION_OVERHEAD_BYTES
+
+    def request_profile(self, owner_id: int, fetch_bytes: Optional[int] = None) -> bool:
+        """Fetch a user's (recent) data, preferring the owner, else mirrors.
+
+        Observations about the owner's mirrors land in the experience set
+        when the owner is a friend (Sec. 4.4).
+        """
+        entry = self.lookup_user(owner_id)
+        if entry is None:
+            return False
+        size = fetch_bytes if fetch_bytes is not None else _PROFILE_VIEW_BYTES
+        owner = self._peer(owner_id)
+        record = self.social.is_friend(owner_id)
+
+        if owner is not None and owner.online:
+            self._transfer_from(owner_id, size)
+            if record:
+                self._observe_mirrors(owner_id, entry.mirror_ids)
+            return True
+
+        serving: List[int] = []
+        for mirror_id in entry.mirror_ids:
+            mirror = self._peer(mirror_id)
+            serves = (
+                mirror is not None
+                and mirror.online
+                and mirror.mirror_manager.store.stores_for(owner_id)
+            )
+            if record:
+                self.mirror_manager.observe_mirror(owner_id, mirror_id, serves)
+            if serves:
+                serving.append(mirror_id)
+
+        plan = owner.mirror_manager.coded_plan if owner is not None else None
+        if plan is not None:
+            # Coded profile (Sec. 8): any k online fragment holders serve.
+            if len(serving) < plan.k:
+                return False
+            fetch_each = max(1, size // plan.k)
+            for mirror_id in serving[: plan.k]:
+                self._transfer_from(mirror_id, fetch_each)
+            return True
+
+        if serving:
+            self._transfer_from(serving[0], size)
+            return True
+        return False
+
+    def _observe_mirrors(self, owner_id: int, mirror_ids: Iterable[int]) -> None:
+        """Record mirror availability alongside a direct fetch."""
+        for mirror_id in mirror_ids:
+            mirror = self._peer(mirror_id)
+            serves = (
+                mirror is not None
+                and mirror.online
+                and mirror.mirror_manager.store.stores_for(owner_id)
+            )
+            self.mirror_manager.observe_mirror(owner_id, mirror_id, serves)
+
+    def _transfer_from(self, source_id: int, size_bytes: int) -> None:
+        """Meter a data download from ``source_id`` to us."""
+        response = SoupObject(
+            source=source_id,
+            dest=self.node_id,
+            object_type=ObjectType.PROFILE_RESPONSE,
+            payload=None,
+            timestamp=self._now(),
+        )
+        self.network.send(source_id, self.node_id, response, size_bytes)
+
+    # ------------------------------------------------------------------
+    # mirror protocol
+    # ------------------------------------------------------------------
+    def exchange_experience_sets(self) -> int:
+        """Send accumulated ES_u(w) to every friend w (Sec. 4.4)."""
+        sent = 0
+        for friend_id in self.social.friends():
+            reports = self.mirror_manager.drain_reports_for(friend_id)
+            if not reports:
+                continue
+            friend = self._peer(friend_id)
+            if friend is None:
+                continue
+            exchange = self.applications.encapsulate(
+                friend_id,
+                ObjectType.ES_EXCHANGE,
+                [
+                    {
+                        "mirror": r.mirror,
+                        "observations": r.observations,
+                        "availability": r.availability,
+                    }
+                    for r in reports
+                ],
+                self._now(),
+            )
+            self.security.sign_object(exchange)
+            self.interface.send_object(exchange)
+            friend.mirror_manager.receive_reports(reports)
+            # Dropping-score exchange rides along (Sec. 4.6).
+            self.mirror_manager.store.learn_friend_storage(
+                friend.mirror_manager.store.stored_owners()
+            )
+            sent += 1
+        return sent
+
+    def run_selection_round(self) -> List[int]:
+        """One full selection round: ingest reports, run Algorithm 1, place
+        replicas, publish the new mirror set."""
+        if not self.joined or not self.online:
+            return self.mirror_manager.announced_mirrors
+        self.mirror_manager.ingest_pending_reports()
+
+        exclude = {
+            node_id
+            for node_id in (self._offline_unreachable_ids())
+        }
+        result = self.mirror_manager.run_selection(exclude=exclude)
+
+        old = set(self.mirror_manager.announced_mirrors)
+        new = set(result.mirrors)
+        for dropped_id in old - new:
+            dropped = self._peer(dropped_id)
+            if dropped is not None:
+                dropped.mirror_manager.handle_withdraw(self.node_id)
+
+        replica_bytes = self.replica_size_bytes()
+        use_coding = (
+            self.coding_k > 0 and replica_bytes > self.coding_threshold_bytes
+        )
+        # Under coding, every mirror stores only a 1/k-sized fragment.
+        store_units = 1.0 / self.coding_k if use_coding else 1.0
+
+        accepted: List[int] = []
+        newly_accepted: List[int] = []
+        for mirror_id in result.mirrors:
+            mirror = self._peer(mirror_id)
+            if mirror is None or not mirror.online:
+                if mirror_id in old:
+                    accepted.append(mirror_id)  # still holds our replica
+                continue
+            if mirror.mirror_manager.store.stores_for(self.node_id):
+                accepted.append(mirror_id)
+                continue
+            decision = mirror.mirror_manager.handle_store_request(
+                self.node_id,
+                size_profiles=store_units,
+                is_friend=mirror.social.is_friend(self.node_id),
+            )
+            if decision.accepted:
+                accepted.append(mirror_id)
+                newly_accepted.append(mirror_id)
+            else:
+                self.mirror_manager.rejected_by.add(mirror_id)
+
+        self._push_replicas(accepted, newly_accepted, replica_bytes, use_coding)
+        self.mirror_manager.commit_mirrors(accepted)
+        self.publish_entry()
+        # Mirrors verify the announced set against what they store.
+        for mirror_id in accepted:
+            mirror = self._peer(mirror_id)
+            if mirror is not None:
+                mirror.mirror_manager.store.observe_published_mirrors(
+                    self.node_id, accepted
+                )
+        return accepted
+
+    def _push_replicas(
+        self,
+        accepted: List[int],
+        newly_accepted: List[int],
+        replica_bytes: int,
+        use_coding: bool,
+    ) -> None:
+        """Transfer replica data to the accepted mirrors.
+
+        Full replication pushes the whole (encrypted) profile to each new
+        mirror; the coding extension (Sec. 8) pushes one 1/k fragment per
+        mirror instead — re-laid-out whenever the accepted set changes,
+        since fragment indices are positional.
+        """
+        if use_coding and len(accepted) >= self.coding_k:
+            from repro.coding.fragments import plan_for_profile
+
+            plan = plan_for_profile(
+                self.node_id, replica_bytes, accepted, self.coding_k
+            )
+            changed_layout = (
+                self.mirror_manager.coded_plan is None
+                or self.mirror_manager.coded_plan.holders() != accepted
+            )
+            for placement in plan.placements:
+                if not changed_layout and placement.mirror not in newly_accepted:
+                    continue
+                push = SoupObject(
+                    source=self.node_id,
+                    dest=placement.mirror,
+                    object_type=ObjectType.REPLICA_PUSH,
+                    payload={"fragment": placement.fragment_index, "k": plan.k},
+                    timestamp=self._now(),
+                )
+                self.interface.send_bytes(
+                    placement.mirror, push, placement.size_bytes
+                )
+            self.mirror_manager.coded_plan = plan
+            return
+
+        self.mirror_manager.coded_plan = None
+        for mirror_id in newly_accepted:
+            push = SoupObject(
+                source=self.node_id,
+                dest=mirror_id,
+                object_type=ObjectType.REPLICA_PUSH,
+                timestamp=self._now(),
+            )
+            self.interface.send_bytes(mirror_id, push, replica_bytes)
+
+    def _offline_unreachable_ids(self) -> List[int]:
+        """Nodes currently unreachable for a storage request — excluded from
+        fresh selection.  Mirrors already holding our replica stay
+        selectable while offline (the replica is already there)."""
+        holding = set(self.mirror_manager.announced_mirrors)
+        unreachable = []
+        for entry in self.mirror_manager.knowledge:
+            peer = self._peer(entry.node_id)
+            if peer is None or (
+                not peer.online and entry.node_id not in holding
+            ):
+                unreachable.append(entry.node_id)
+        return unreachable
+
+    # ------------------------------------------------------------------
+    # update synchronization (Sec. 3.5)
+    # ------------------------------------------------------------------
+    def _deliver_update_via_mirrors(
+        self, entry: DirectoryEntry, update_object: SoupObject
+    ) -> bool:
+        """Store an update at the target's mirrors; if a mirror is offline,
+        pass it on to that mirror's mirrors (Fig. 2)."""
+        pending = PendingUpdate(
+            target_id=update_object.dest,
+            origin_id=self.node_id,
+            timestamp=update_object.timestamp,
+            sequence=update_object.sequence,
+            payload=update_object.payload,
+            size_bytes=update_object.size_bytes(),
+        )
+        delivered = False
+        for mirror_id in entry.mirror_ids:
+            mirror = self._peer(mirror_id)
+            if mirror is not None and mirror.online:
+                self.interface.send_bytes(mirror_id, update_object, pending.size_bytes)
+                mirror.mirror_manager.update_buffer.add(pending)
+                delivered = True
+            elif mirror is not None:
+                # One level of forwarding to the offline mirror's mirrors.
+                for sub_id in mirror.mirror_manager.announced_mirrors:
+                    sub = self._peer(sub_id)
+                    if sub is not None and sub.online:
+                        self.interface.send_bytes(
+                            sub_id, update_object, pending.size_bytes
+                        )
+                        sub.mirror_manager.update_buffer.add(pending)
+                        delivered = True
+                        break
+        return delivered
+
+    def collect_updates(self) -> List[PendingUpdate]:
+        """On returning online, gather buffered updates from our mirrors."""
+        streams = []
+        for mirror_id in self.mirror_manager.announced_mirrors:
+            mirror = self._peer(mirror_id)
+            if mirror is None or not mirror.online:
+                continue
+            stream = mirror.mirror_manager.update_buffer.collect(self.node_id)
+            if stream:
+                for update in stream:
+                    self._transfer_from(mirror_id, update.size_bytes)
+                streams.append(stream)
+        merged = merge_update_streams(*streams)
+        for update in merged:
+            self.applications.deliver(
+                SoupObject(
+                    source=update.origin_id,
+                    dest=self.node_id,
+                    object_type=ObjectType.MESSAGE,
+                    payload=update.payload,
+                    timestamp=update.timestamp,
+                )
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _handle_network(self, sender: int, message: object) -> None:
+        if not isinstance(message, SoupObject):
+            return
+        if message.object_type in (
+            ObjectType.MESSAGE,
+            ObjectType.FRIEND_REQUEST,
+            ObjectType.FRIEND_CONFIRM,
+        ):
+            # "Requests ... must be encapsulated in an appropriately signed
+            # SOUP object, and will otherwise be discarded" (Sec. 3.4).
+            # Unknown senders are resolved through the directory first —
+            # SOUP IDs are self-certifying.
+            if not self.security.knows_public_key(message.source):
+                from repro.dht.pastry import DhtError
+
+                try:
+                    self._ensure_gateway()
+                    entry, _ = self.interface.lookup_entry(message.source)
+                except DhtError:
+                    entry = None
+                if entry is not None and entry.public_key is not None:
+                    self.security.learn_public_key(entry.soup_id, entry.public_key)
+            if not self.security.verify_object(message):
+                self.dropped_objects += 1
+                return
+            self.applications.deliver(message)
+
+    def _require_peer(self, node_id: int) -> Optional["SoupNode"]:
+        peer = self._peer(node_id)
+        return peer
+
+    def _now(self) -> float:
+        return self.network.loop.now
+
+    def __repr__(self) -> str:
+        kind = "mobile" if self.is_mobile else "desktop"
+        return f"<SoupNode {self.name} ({kind}) id={self.node_id:#x}>"

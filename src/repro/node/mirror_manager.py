@@ -1,0 +1,182 @@
+"""Mirror Manager: selection, replica pushes, and mirroring for others.
+
+"The Mirror Manager module is responsible for the selection of mirrors.  A
+node needs to push any change of its data to its mirrors, and it also needs
+to manage the data that it mirrors for others" (Sec. 6).  This wraps the
+:mod:`repro.core` machinery — knowledge base, experience sets, rankers,
+Algorithm 1, protective dropping — for one protocol-level node.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import SoupConfig
+from repro.core.dropping import ReplicaStore, StoreDecision
+from repro.core.experience import ExperienceReport, ExperienceSet
+from repro.core.knowledge import KnowledgeBase
+from repro.core.ranking import BootstrapRanker, Recommendation, RegularRanker
+from repro.core.selection import SelectionResult, select_mirrors
+from repro.node.devices import UpdateLog
+from repro.node.sync import PendingUpdate, UpdateBuffer
+
+
+class MirrorManager:
+    """Mirror-selection state and replica storage of one SOUP node."""
+
+    def __init__(
+        self,
+        owner_id: int,
+        config: SoupConfig,
+        capacity_profiles: float,
+        rng: random.Random,
+        mirroring_enabled: bool = True,
+    ) -> None:
+        self.owner_id = owner_id
+        self.config = config
+        self.rng = rng
+        #: Mobile nodes disable mirroring by default (Sec. 7) but still
+        #: select mirrors for their own data.
+        self.mirroring_enabled = mirroring_enabled
+
+        self.knowledge = KnowledgeBase(owner=owner_id, default_ttl=config.kb_ttl)
+        self.bootstrap = BootstrapRanker(config)
+        self.ranker = RegularRanker(self.knowledge, config)
+        self.store = ReplicaStore(owner_id, capacity_profiles, config)
+        self.update_buffer = UpdateBuffer()
+        #: Retained per-owner update logs for multi-device sync (Sec. 3.5).
+        self.update_logs: Dict[int, UpdateLog] = {}
+
+        self.experience_sets: Dict[int, ExperienceSet] = {}
+        self.pending_reports: List[ExperienceReport] = []
+        self.selected_mirrors: List[int] = []
+        self.announced_mirrors: List[int] = []
+        self.rejected_by: Set[int] = set()
+        self.has_experience = False
+        #: Erasure-coded placement of a large profile (Sec. 8 extension);
+        #: None while the profile is replicated in full.
+        self.coded_plan = None
+
+    # --- knowledge -----------------------------------------------------
+    def learn_node(self, node_id: int, is_friend: bool = False) -> None:
+        if node_id != self.owner_id:
+            self.knowledge.add_node(node_id, is_friend=is_friend)
+
+    def set_friend(self, node_id: int) -> None:
+        self.knowledge.set_friend(node_id)
+
+    def receive_recommendations(self, recommendations: Iterable[Recommendation]) -> None:
+        if not self.has_experience:
+            self.bootstrap.add_recommendations(recommendations)
+
+    def recommendations_for(self, requester: int) -> List[Recommendation]:
+        """Suggest "the set of mirrors that works well for itself" with the
+        quality the owner has measured (Sec. 4.3)."""
+        return [
+            Recommendation(
+                recommender=self.owner_id,
+                mirror=mirror,
+                quality=self.knowledge.experience_of(mirror) or None,
+            )
+            for mirror in self.announced_mirrors
+            if mirror != requester
+        ]
+
+    # --- experience ----------------------------------------------------------
+    def experience_set_for(self, friend: int) -> ExperienceSet:
+        es = self.experience_sets.get(friend)
+        if es is None:
+            es = ExperienceSet(observed_friend=friend)
+            self.experience_sets[friend] = es
+        return es
+
+    def observe_mirror(self, friend: int, mirror: int, success: bool) -> None:
+        self.experience_set_for(friend).observe(mirror, success)
+
+    def drain_reports_for(self, friend: int) -> List[ExperienceReport]:
+        es = self.experience_sets.get(friend)
+        if es is None or len(es) == 0:
+            return []
+        return es.drain(self.owner_id, self.config.o_max)
+
+    def receive_reports(self, reports: Iterable[ExperienceReport]) -> None:
+        self.pending_reports.extend(reports)
+
+    def ingest_pending_reports(self) -> int:
+        if not self.pending_reports:
+            return 0
+        count = len(self.pending_reports)
+        self.ranker.ingest_reports(self.pending_reports)
+        self.pending_reports.clear()
+        self.has_experience = True
+        return count
+
+    # --- selection -------------------------------------------------------------
+    def build_ranking(self, friends: Iterable[int]) -> List[Tuple[int, float]]:
+        """Candidate ranking: experience, then recommendations, then the
+        bootstrap prior for every other known contact."""
+        ranking = [
+            (candidate, rank)
+            for candidate, rank in self.ranker.ranking()
+            if rank > 0.0
+        ]
+        known = {candidate for candidate, _ in ranking}
+        for candidate, rank in self.bootstrap.ranking():
+            if candidate not in known:
+                ranking.append((candidate, rank))
+                known.add(candidate)
+        prior = self.config.bootstrap_prior
+        ranking += [
+            (entry.node_id, prior)
+            for entry in self.knowledge
+            if entry.node_id not in known
+        ]
+        return ranking
+
+    def run_selection(self, exclude: Iterable[int] = ()) -> SelectionResult:
+        """Run Algorithm 1 over the current ranking."""
+        excluded = {self.owner_id} | set(exclude) | self.rejected_by
+        result = select_mirrors(
+            ranking=self.build_ranking(self.knowledge.friends()),
+            friends=self.knowledge.friends(),
+            config=self.config,
+            rng=self.rng,
+            exploration_pool=self.knowledge.unranked_nodes(),
+            exclude=excluded,
+        )
+        self.rejected_by.clear()
+        self.selected_mirrors = list(result.mirrors)
+        return result
+
+    def commit_mirrors(self, accepted: List[int]) -> None:
+        """Record the mirror set that actually accepted our replicas."""
+        self.announced_mirrors = list(accepted)
+        self.knowledge.mark_mirrors(iter(accepted))
+        self.knowledge.decay_ttls()
+
+    # --- storage for others ---------------------------------------------------
+    def handle_store_request(
+        self, owner: int, size_profiles: float, is_friend: bool
+    ) -> StoreDecision:
+        if not self.mirroring_enabled:
+            return StoreDecision(accepted=False, reason="mirroring disabled")
+        return self.store.request_store(
+            owner, size_profiles=size_profiles, is_friend=is_friend
+        )
+
+    def handle_withdraw(self, owner: int) -> bool:
+        self.update_logs.pop(owner, None)
+        return self.store.remove(owner)
+
+    # --- multi-device update log (Sec. 3.5) -----------------------------------
+    def record_owner_update(self, owner: int, update: PendingUpdate) -> bool:
+        """Retain an owner's update so any of her devices can replay it."""
+        log = self.update_logs.get(owner)
+        if log is None:
+            log = UpdateLog()
+            self.update_logs[owner] = log
+        return log.append(update)
+
+    def update_log_for(self, owner: int) -> Optional[UpdateLog]:
+        return self.update_logs.get(owner)

@@ -1,0 +1,81 @@
+"""Social Manager: friend relationships and the requests that form them.
+
+"The Social Manager module is responsible for processing requests when an
+object indicates a change to the social data" (Sec. 6).  Establishing a
+friendship also exchanges ABE attribute keys, so friends can decrypt each
+other's data afterwards (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.node.security_manager import SecurityManager
+
+
+class SocialManager:
+    """Friend list and friendship-request processing for one node."""
+
+    def __init__(self, owner_id: int, security: SecurityManager) -> None:
+        self.owner_id = owner_id
+        self._security = security
+        self._friends: Set[int] = set()
+        self._pending_outgoing: Set[int] = set()
+        self._pending_incoming: Set[int] = set()
+        #: Observers notified on every friendship change (applications).
+        self._listeners: List[Callable[[int], None]] = []
+
+    # --- state ------------------------------------------------------------
+    def friends(self) -> List[int]:
+        return sorted(self._friends)
+
+    def is_friend(self, node_id: int) -> bool:
+        return node_id in self._friends
+
+    def friend_count(self) -> int:
+        return len(self._friends)
+
+    def on_friendship(self, listener: Callable[[int], None]) -> None:
+        self._listeners.append(listener)
+
+    # --- protocol -----------------------------------------------------------
+    def initiate_request(self, target_id: int) -> None:
+        """Record an outgoing friend request."""
+        if target_id == self.owner_id:
+            raise ValueError("cannot befriend oneself")
+        if target_id not in self._friends:
+            self._pending_outgoing.add(target_id)
+
+    def receive_request(self, from_id: int) -> None:
+        """Record an incoming friend request (application decides later)."""
+        if from_id != self.owner_id and from_id not in self._friends:
+            self._pending_incoming.add(from_id)
+
+    def pending_incoming(self) -> List[int]:
+        return sorted(self._pending_incoming)
+
+    def accept_request(self, from_id: int):
+        """Accept an incoming request; returns the attribute key to send.
+
+        The accepting side grants the "friend" attribute so the new friend
+        can decrypt the default-policy data.
+        """
+        if from_id not in self._pending_incoming:
+            raise LookupError(f"no pending request from {from_id:#x}")
+        self._pending_incoming.discard(from_id)
+        self._establish(from_id)
+        return self._security.issue_attribute_key(["friend"])
+
+    def confirm_accepted(self, by_id: int):
+        """The requester learns its request was accepted; issues its own
+        attribute key in return (friendship grants are mutual)."""
+        self._pending_outgoing.discard(by_id)
+        self._establish(by_id)
+        return self._security.issue_attribute_key(["friend"])
+
+    def _establish(self, node_id: int) -> None:
+        if node_id in self._friends:
+            return
+        self._friends.add(node_id)
+        for listener in self._listeners:
+            listener(node_id)

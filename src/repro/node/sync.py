@@ -1,0 +1,75 @@
+"""Data synchronization through mirrors (paper Sec. 3.5, Fig. 2).
+
+While a user is offline, updates addressed to her are stored by her mirrors
+acting as surrogates.  If a mirror is itself offline, the update is passed
+on to *that mirror's* mirrors, so at least one online holder always exists.
+On returning online the user collects pending updates, orders them by the
+timestamps in the SOUP objects, and applies them to her data — which also
+keeps her multiple personal devices in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PendingUpdate:
+    """One buffered update for an offline user."""
+
+    target_id: int
+    origin_id: int
+    timestamp: float
+    sequence: int
+    payload: object
+    size_bytes: int = 500
+
+
+class UpdateBuffer:
+    """A mirror's surrogate storage of updates for the users it mirrors."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, List[PendingUpdate]] = {}
+
+    def add(self, update: PendingUpdate) -> None:
+        queue = self._pending.setdefault(update.target_id, [])
+        # Idempotent: the same update may arrive via several mirrors.
+        if any(
+            u.origin_id == update.origin_id and u.sequence == update.sequence
+            for u in queue
+        ):
+            return
+        queue.append(update)
+
+    def pending_for(self, target_id: int) -> List[PendingUpdate]:
+        """Updates for a returning user, ordered by (timestamp, sequence)."""
+        queue = self._pending.get(target_id, [])
+        return sorted(queue, key=lambda u: (u.timestamp, u.origin_id, u.sequence))
+
+    def collect(self, target_id: int) -> List[PendingUpdate]:
+        """Hand pending updates to the returning user and clear them."""
+        updates = self.pending_for(target_id)
+        self._pending.pop(target_id, None)
+        return updates
+
+    def pending_count(self, target_id: Optional[int] = None) -> int:
+        if target_id is not None:
+            return len(self._pending.get(target_id, []))
+        return sum(len(queue) for queue in self._pending.values())
+
+
+def merge_update_streams(*streams: List[PendingUpdate]) -> List[PendingUpdate]:
+    """Merge updates collected from several mirrors, deduplicated and in
+    timestamp order — the returning user's reconciliation step."""
+    seen = set()
+    merged: List[PendingUpdate] = []
+    for stream in streams:
+        for update in stream:
+            key = (update.origin_id, update.sequence)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(update)
+    merged.sort(key=lambda u: (u.timestamp, u.origin_id, u.sequence))
+    return merged

@@ -1,0 +1,90 @@
+"""Adversary models (paper Sec. 5.2.6).
+
+* **Slander attack** — compromised identities "manipulate experience sets
+  (or recommendations to bootstrapping users)" at the maximum rate: they
+  report availability 0 with ``o_max`` claimed observations for every real
+  mirror of their victims, and recommend useless nodes with perfect claimed
+  quality to newcomers.  Eq. (1)'s observation cap and per-friend averaging
+  bound their influence.
+
+* **Flooding attack** — an adversary creates sybil identities that flood
+  benign nodes with storage requests, trying to exhaust storage so benign
+  replicas get dropped.  Sybils store at far more nodes than they announce
+  in their published mirror set, which is exactly the announced-vs-real
+  mismatch protective dropping penalizes (Sec. 4.6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.core.experience import ExperienceReport
+from repro.core.ranking import Recommendation
+
+
+@dataclass
+class SlanderAttack:
+    """State and behaviour of the slander adversary."""
+
+    attacker_ids: Set[int]
+
+    def is_attacker(self, node_id: int) -> bool:
+        return node_id in self.attacker_ids
+
+    def forge_reports(
+        self, attacker: int, victim_mirrors: Sequence[int], o_max: int
+    ) -> List[ExperienceReport]:
+        """Maximum-rate false reports: every victim mirror 'always failed'."""
+        return [
+            ExperienceReport(
+                reporter=attacker, mirror=mirror, observations=o_max, availability=0.0
+            )
+            for mirror in victim_mirrors
+        ]
+
+    def forge_recommendations(
+        self, attacker: int, population: Sequence[int], rng: random.Random, count: int = 5
+    ) -> List[Recommendation]:
+        """Lure bootstrapping users toward fellow attackers (or random junk
+        nodes) with perfect claimed quality."""
+        accomplices = [a for a in self.attacker_ids if a != attacker]
+        pool = accomplices if accomplices else list(population)
+        picks = rng.sample(pool, min(count, len(pool))) if pool else []
+        return [
+            Recommendation(recommender=attacker, mirror=pick, quality=1.0)
+            for pick in picks
+        ]
+
+
+@dataclass
+class FloodingAttack:
+    """State and behaviour of the sybil-flooding adversary."""
+
+    sybil_ids: Set[int]
+    #: Storage requests per sybil per selection round.
+    flood_requests: int = 20
+    #: How many mirrors a sybil admits to in its published entry; everything
+    #: beyond this is an announced-vs-real mismatch at the extra mirrors.
+    announced_mirrors: int = 5
+
+    def is_sybil(self, node_id: int) -> bool:
+        return node_id in self.sybil_ids
+
+    def flood_targets(
+        self, sybil: int, population: Sequence[int], rng: random.Random
+    ) -> List[int]:
+        """The benign nodes this sybil floods with storage requests."""
+        candidates = [node for node in population if node not in self.sybil_ids]
+        if not candidates:
+            return []
+        count = min(self.flood_requests, len(candidates))
+        return rng.sample(candidates, count)
+
+    def announced_set(self, accepted_mirrors: Sequence[int], rng: random.Random) -> List[int]:
+        """The (undersized) mirror set a sybil publishes."""
+        mirrors = list(accepted_mirrors)
+        if len(mirrors) <= self.announced_mirrors:
+            return mirrors
+        return rng.sample(mirrors, self.announced_mirrors)

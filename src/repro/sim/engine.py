@@ -1,0 +1,857 @@
+"""The epoch-based SOUP replication simulator (paper Sec. 5).
+
+The simulator executes the real protocol objects from :mod:`repro.core` —
+knowledge bases, experience sets, Eq. (1), Algorithm 1, protective dropping
+— over a node population whose behaviour follows Sec. 5.1's models:
+power-law online times with diurnal patterns, asynchronous joins,
+exponentially decaying activity, and Gaussian storage.
+
+Time advances in epochs (default: one hour).  Within an epoch, online nodes
+interact: they contact other nodes (harvesting bootstrap recommendations)
+and request friends' profiles from the friends' announced mirrors, recording
+per-mirror success/failure into experience sets.  At the end of every
+selection round (default: daily), nodes exchange experience sets with their
+friends, apply Eq. (1), run Algorithm 1, place/withdraw replicas (subject to
+protective dropping at the mirrors) and publish their new mirror sets.
+
+Availability is measured every epoch as the fraction of joined benign users
+whose data is reachable: the user is online, or some node that actually
+stores their replica is online.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.behavior.activity import ActivityModel
+from repro.behavior.capacity import sample_capacities
+from repro.behavior.churn import join_epochs, top_online_nodes
+from repro.behavior.online import OnlineModel, sample_timezones
+from repro.core.config import SoupConfig
+from repro.core.dropping import ReplicaStore
+from repro.core.knowledge import KnowledgeBase
+from repro.core.ranking import BootstrapRanker, Recommendation, RegularRanker
+from repro.core.selection import select_mirrors
+from repro.core.experience import ExperienceReport, ExperienceSet
+from repro.graphs.datasets import generate_dataset
+from repro.sim.attacks import FloodingAttack, SlanderAttack
+from repro.sim.metrics import SimulationResult
+from repro.sim.scenario import OnlineDistribution, ScenarioConfig, sample_distribution
+
+
+@dataclass
+class _NodeState:
+    """Full per-node protocol state."""
+
+    node_id: int
+    friends: List[int]
+    kb: KnowledgeBase
+    bootstrap: BootstrapRanker
+    ranker: RegularRanker
+    store: ReplicaStore
+    #: ES_u(w) for each friend w, accumulated between exchanges.
+    experience_sets: Dict[int, ExperienceSet] = field(default_factory=dict)
+    #: Reports received from friends about *my* mirrors, pending ingestion.
+    pending_reports: List[ExperienceReport] = field(default_factory=list)
+    #: The mirror set Algorithm 1 last chose.
+    selected_mirrors: List[int] = field(default_factory=list)
+    #: The mirror set published in the directory (announced).
+    announced_mirrors: List[int] = field(default_factory=list)
+    #: Mirrors that rejected our storage request last round (excluded once).
+    rejected_by: Set[int] = field(default_factory=set)
+    #: Selected mirrors that were offline at selection time; the replica
+    #: push is retried whenever owner and mirror are online together.
+    pending_placements: Set[int] = field(default_factory=set)
+    joined: bool = False
+    departed: bool = False
+    join_epoch: int = 0
+    is_altruist: bool = False
+    is_slanderer: bool = False
+    is_sybil: bool = False
+    is_traitor: bool = False
+    has_experience: bool = False
+
+    def experience_set_for(self, friend: int) -> ExperienceSet:
+        es = self.experience_sets.get(friend)
+        if es is None:
+            es = ExperienceSet(observed_friend=friend)
+            self.experience_sets[friend] = es
+        return es
+
+
+class SoupSimulation:
+    """One simulation run over a friendship graph."""
+
+    def __init__(self, graph: nx.Graph, config: ScenarioConfig) -> None:
+        self.config = config
+        self.soup = config.soup
+        self.rng = random.Random(config.seed)
+        self.np_rng = np.random.default_rng(config.seed)
+
+        base_n = graph.number_of_nodes()
+        self.n_base = base_n
+        self.n_altruists = int(round(base_n * config.altruist_fraction))
+        self.n_sybils = int(round(base_n * config.sybil_fraction))
+        self.n_traitors = int(round(base_n * config.traitor_fraction))
+        self.n_total = base_n + self.n_altruists + self.n_sybils + self.n_traitors
+
+        self._build_population(graph)
+        self._build_online_matrix()
+        self._build_attacks()
+
+        #: mirror -> set of owners whose replica it currently stores
+        #: (ground truth; kept in sync with every ReplicaStore).
+        self.replica_locations: Dict[int, Set[int]] = {
+            node_id: set() for node_id in range(self.n_total)
+        }
+        self._pair_owners = np.zeros(0, dtype=np.int64)
+        self._pair_mirrors = np.zeros(0, dtype=np.int64)
+
+        self.result = SimulationResult(
+            n_nodes=self.n_total,
+            n_epochs=config.n_epochs,
+            epochs_per_day=config.epochs_per_day,
+        )
+        self._drops_this_round = 0
+        self._placements_this_round = 0
+        self._served_this_epoch: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_population(self, graph: nx.Graph) -> None:
+        config = self.config
+        base_n = self.n_base
+
+        probabilities = sample_distribution(
+            config.online_distribution, base_n, self.np_rng
+        )
+        altruist_p = np.ones(self.n_altruists)
+        # Sybils keep a solid online presence to press the attack.
+        sybil_p = np.full(self.n_sybils, 0.5)
+        # Traitors offer "exceptional online time" — until they vanish.
+        traitor_p = np.ones(self.n_traitors)
+        self.online_probabilities = np.concatenate(
+            [probabilities, altruist_p, sybil_p, traitor_p]
+        )
+
+        self.timezones = sample_timezones(self.n_total, self.np_rng)
+        capacities = sample_capacities(
+            self.n_total,
+            self.np_rng,
+            median_profiles=self.soup.storage_median_profiles,
+            sigma_profiles=self.soup.storage_sigma_profiles,
+            min_profiles=self.soup.storage_min_profiles,
+        )
+        # Altruistic nodes contribute server-class storage (Sec. 5.2.4).
+        capacities[base_n : base_n + self.n_altruists] = (
+            10 * self.soup.storage_median_profiles
+        )
+        # Traitors bait selection with "exceptional storage capacities".
+        first_traitor = base_n + self.n_altruists + self.n_sybils
+        capacities[first_traitor:] = 10 * self.soup.storage_median_profiles
+
+        self.nodes: List[_NodeState] = []
+        for node_id in range(self.n_total):
+            friends = (
+                sorted(graph.neighbors(node_id)) if node_id < base_n else []
+            )
+            kb = KnowledgeBase(owner=node_id, default_ttl=self.soup.kb_ttl)
+            for friend in friends:
+                kb.add_node(friend, is_friend=True)
+            state = _NodeState(
+                node_id=node_id,
+                friends=friends,
+                kb=kb,
+                bootstrap=BootstrapRanker(self.soup),
+                ranker=RegularRanker(kb, self.soup),
+                store=ReplicaStore(node_id, float(capacities[node_id]), self.soup),
+                is_altruist=base_n <= node_id < base_n + self.n_altruists,
+                is_sybil=base_n + self.n_altruists
+                <= node_id
+                < first_traitor,
+                is_traitor=node_id >= first_traitor,
+            )
+            self.nodes.append(state)
+
+        # Sybils befriend each other (cheap) but not honest nodes — "malicious
+        # identities usually have difficulties establishing social
+        # connections to regular nodes" (Sec. 4.6).
+        sybil_ids = [n.node_id for n in self.nodes if n.is_sybil]
+        for sybil in sybil_ids:
+            others = [s for s in sybil_ids if s != sybil]
+            picks = self.rng.sample(others, min(5, len(others)))
+            state = self.nodes[sybil]
+            state.friends = picks
+            for pick in picks:
+                state.kb.add_node(pick, is_friend=True)
+
+        # Join schedule: base nodes and sybils join inside the bootstrap
+        # window; altruists appear at their configured day (Fig. 8).
+        window = max(1, int(config.join_window_days * config.epochs_per_day))
+        joins = join_epochs(self.online_probabilities, window, self.np_rng)
+        altruist_epoch = min(
+            config.n_epochs - 1,
+            int(config.altruist_join_day * config.epochs_per_day),
+        )
+        for node in self.nodes:
+            node.join_epoch = (
+                altruist_epoch if node.is_altruist else int(joins[node.node_id])
+            )
+
+        self.benign_ids = np.array(
+            [n.node_id for n in self.nodes if not (n.is_sybil or n.is_traitor)],
+            dtype=np.int64,
+        )
+
+    def _build_online_matrix(self) -> None:
+        config = self.config
+        model = OnlineModel(
+            base_probabilities=self.online_probabilities,
+            timezone_offsets=self.timezones,
+            epoch_hours=24.0 / config.epochs_per_day,
+            mean_session_epochs=config.mean_session_epochs,
+        )
+        self.online_matrix = model.generate_matrix(config.n_epochs, self.np_rng)
+
+        # Mass departure (Fig. 9): the top-d nodes by online time go dark.
+        if config.departure_fraction > 0.0:
+            departure_epoch = int(config.departure_day * config.epochs_per_day)
+            departing = top_online_nodes(
+                self.online_probabilities[: self.n_base], config.departure_fraction
+            )
+            self.departure_epoch = departure_epoch
+            self.departing_ids = set(departing)
+            for node_id in departing:
+                self.online_matrix[node_id, departure_epoch:] = False
+        else:
+            self.departure_epoch = None
+            self.departing_ids = set()
+
+        # Traitor betrayal (Sec. 4.4): perfect availability until the
+        # betrayal day, then gone for good.
+        if self.n_traitors > 0:
+            betrayal_epoch = min(
+                config.n_epochs - 1,
+                int(config.betrayal_day * config.epochs_per_day),
+            )
+            self.betrayal_epoch = betrayal_epoch
+            first_traitor = self.n_base + self.n_altruists + self.n_sybils
+            self.online_matrix[first_traitor:, betrayal_epoch:] = False
+        else:
+            self.betrayal_epoch = None
+
+        # Mask epochs before each node joins.
+        for node in self.nodes:
+            if node.join_epoch > 0:
+                self.online_matrix[node.node_id, : node.join_epoch] = False
+
+    def _build_attacks(self) -> None:
+        config = self.config
+        self.slander: Optional[SlanderAttack] = None
+        if config.slander_fraction > 0.0:
+            count = int(round(self.n_base * config.slander_fraction))
+            attacker_ids = set(
+                self.rng.sample(range(self.n_base), min(count, self.n_base))
+            )
+            self.slander = SlanderAttack(attacker_ids=attacker_ids)
+            for attacker in attacker_ids:
+                self.nodes[attacker].is_slanderer = True
+
+        self.flooding: Optional[FloodingAttack] = None
+        if self.n_sybils > 0:
+            sybil_ids = {
+                n.node_id for n in self.nodes if n.is_sybil
+            }
+            self.flooding = FloodingAttack(
+                sybil_ids=sybil_ids, flood_requests=config.sybil_flood_requests
+            )
+
+        # Tie-strength extension (Sec. 8): per-edge strengths; attacker
+        # edges (infiltration) are weak, per the sybil-defense literature.
+        self.ties = None
+        if config.use_tie_strength:
+            from repro.extensions.ties import TieStrengthModel
+
+            attacker_ids = (
+                set(self.slander.attacker_ids) if self.slander is not None else set()
+            )
+            edges = {
+                (node.node_id, friend)
+                for node in self.nodes
+                for friend in node.friends
+                if node.node_id < friend
+            }
+            self.ties = TieStrengthModel()
+            self.ties.assign(edges, self.np_rng, attacker_ids=attacker_ids)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        config = self.config
+        n_epochs = config.n_epochs
+        round_period = config.round_period_epochs
+        availability = np.zeros(n_epochs)
+        overhead = np.zeros(n_epochs)
+
+        cohorts = self._cohort_masks()
+        cohort_series = {name: np.zeros(n_epochs) for name in cohorts}
+
+        active_since_round: Set[int] = set()
+        snapshot_epochs = {
+            min(n_epochs - 1, day * config.epochs_per_day - 1): day
+            for day in config.cdf_snapshot_days
+        }
+
+        for epoch in range(n_epochs):
+            online_now = self.online_matrix[:, epoch]
+            self._activate_joins(epoch)
+            online_ids = np.nonzero(online_now)[0]
+            active_since_round.update(int(i) for i in online_ids)
+            self._run_interactions(epoch, online_ids)
+
+            # A node without mirrors selects immediately instead of waiting
+            # for the next round: "users are most active when they have just
+            # joined" and gain a foothold right away (Sec. 4.3).  Pending
+            # replica pushes to previously offline mirrors are also retried.
+            pairs_dirty = False
+            for node_id in online_ids:
+                node = self.nodes[int(node_id)]
+                if node.departed or not node.joined or node.is_sybil:
+                    continue
+                if not node.announced_mirrors:
+                    self._select_and_place(node, epoch)
+                    pairs_dirty = True
+                elif node.pending_placements:
+                    pairs_dirty |= self._retry_pending_placements(node, epoch)
+            if pairs_dirty:
+                self._rebuild_pairs()
+
+            if (epoch + 1) % round_period == 0:
+                participants = [
+                    node_id
+                    for node_id in active_since_round
+                    if self.nodes[node_id].joined and not self.nodes[node_id].departed
+                ]
+                self._run_selection_round(participants, epoch)
+                active_since_round.clear()
+                self._rebuild_pairs()
+
+            availability[epoch], overhead[epoch] = self._measure(online_now)
+            for name, mask in cohorts.items():
+                cohort_series[name][epoch] = self._measure_cohort(online_now, mask)
+
+            if epoch in snapshot_epochs:
+                day = snapshot_epochs[epoch]
+                self.result.stored_profiles_snapshots[day] = [
+                    self.nodes[i].store.replica_count()
+                    for i in range(self.n_total)
+                    if not self.nodes[i].is_sybil
+                ]
+
+        self.result.availability = availability
+        self.result.replica_overhead = overhead
+        self.result.cohort_availability = cohort_series
+        self.result.top_half_replica_share = self._top_half_share()
+        self.result.blacklisted_owner_count = sum(
+            len(node.store.blacklisted_owners()) for node in self.nodes
+        )
+        return self.result
+
+    # ------------------------------------------------------------------
+    # epoch phases
+    # ------------------------------------------------------------------
+    def _activate_joins(self, epoch: int) -> None:
+        online_now = self.online_matrix[:, epoch]
+        for node in self.nodes:
+            if (
+                not node.joined
+                and node.join_epoch <= epoch
+                and not node.departed
+                and online_now[node.node_id]
+            ):
+                # A node joins the OSN at its first online appearance — it
+                # must be online to contact a bootstrap node (Sec. 3.2).
+                node.joined = True
+        if self.departure_epoch is not None and epoch == self.departure_epoch:
+            for node_id in self.departing_ids:
+                node = self.nodes[node_id]
+                node.departed = True
+                # A departing node's stored replicas become unreachable.
+                for owner in node.store.stored_owners():
+                    self.replica_locations[node_id].discard(owner)
+
+    def _run_interactions(self, epoch: int, online_ids: np.ndarray) -> None:
+        """Online nodes contact others and request friends' profiles."""
+        config = self.config
+        if len(online_ids) == 0:
+            return
+        # Per-epoch serving load per mirror (Sec. 5.2.5 overload model).
+        self._served_this_epoch: Dict[int, int] = {}
+        ages_days = np.maximum(
+            0.0,
+            (epoch - np.array([self.nodes[int(i)].join_epoch for i in online_ids]))
+            / config.epochs_per_day,
+        )
+        rates = config.activity.rates_per_day(ages_days) / config.epochs_per_day
+        counts = self.np_rng.poisson(rates)
+
+        for index, node_id in enumerate(online_ids):
+            node = self.nodes[int(node_id)]
+            if not node.joined or node.departed or node.is_sybil:
+                continue
+            interactions = int(counts[index])
+            if node.join_epoch == epoch:
+                # Join burst: a fresh node contacts several nodes right away
+                # (bootstrap node, early friends — Sec. 4.3).
+                interactions += 5
+            for _ in range(interactions):
+                self._one_interaction(node, epoch)
+
+    def _one_interaction(self, node: _NodeState, epoch: int) -> None:
+        """One user session: contact a node, then browse friend profiles."""
+        config = self.config
+        contact_friend = (
+            node.friends
+            and self.rng.random() < config.friend_contact_probability
+        )
+        if contact_friend:
+            target_id = self.rng.choice(node.friends)
+        else:
+            target_id = self.rng.randrange(self.n_total)
+            if target_id == node.node_id:
+                return
+        target = self.nodes[target_id]
+        if target.joined and not target.departed:
+            # Meeting a node makes it (and us) known — KB entries both ways.
+            node.kb.add_node(target_id, is_friend=target_id in set(node.friends))
+            if not target.is_sybil:
+                target.kb.add_node(node.node_id)
+            # Bootstrapping nodes harvest recommendations from every contact.
+            if not node.has_experience:
+                self._collect_recommendations(node, target)
+
+        # Feed browsing: request several friends' profiles, recording
+        # per-mirror outcomes in the respective experience sets (Fig. 4).
+        if not node.friends:
+            return
+        browsed = self.rng.choices(
+            node.friends, k=min(config.profiles_per_session, len(node.friends))
+        )
+        for friend_id in set(browsed):
+            friend = self.nodes[friend_id]
+            if friend.joined and not friend.departed:
+                self._request_profile(node, friend, epoch)
+
+    def _collect_recommendations(self, node: _NodeState, target: _NodeState) -> None:
+        if target.is_slanderer and self.slander is not None:
+            forged = self.slander.forge_recommendations(
+                target.node_id, range(self.n_base), self.rng
+            )
+            node.bootstrap.add_recommendations(forged)
+            return
+        if target.is_sybil:
+            # Sybils recommend fellow sybils to lure storage.
+            accomplices = [
+                s for s in (self.flooding.sybil_ids if self.flooding else set())
+                if s != target.node_id
+            ]
+            picks = self.rng.sample(accomplices, min(3, len(accomplices)))
+            node.bootstrap.add_recommendations(
+                Recommendation(target.node_id, pick, quality=1.0) for pick in picks
+            )
+            return
+        for mirror in target.announced_mirrors:
+            node.bootstrap.add_recommendation(
+                Recommendation(
+                    recommender=target.node_id,
+                    mirror=mirror,
+                    quality=target.kb.experience_of(mirror) or None,
+                )
+            )
+
+    def _request_profile(self, node: _NodeState, friend: _NodeState, epoch: int) -> None:
+        """Fetch a friend's data from its announced mirrors, recording the
+        per-mirror outcome into ES_node(friend) (paper Fig. 4).
+
+        With a configured service capacity, an overloaded mirror denies
+        the request — which the requester observes exactly like an offline
+        mirror, so overload feeds the rankings (Sec. 5.2.5).
+        """
+        es = node.experience_set_for(friend.node_id)
+        online_now = self.online_matrix[:, epoch]
+        capacity = self.config.mirror_request_capacity
+        for mirror_id in friend.announced_mirrors:
+            stores = friend.node_id in self.replica_locations.get(mirror_id, ())
+            success = bool(online_now[mirror_id]) and stores
+            if success and capacity is not None:
+                served = self._served_this_epoch.get(mirror_id, 0)
+                if served >= capacity:
+                    success = False  # request denied: mirror overloaded
+                else:
+                    self._served_this_epoch[mirror_id] = served + 1
+            es.observe(mirror_id, success)
+
+    # ------------------------------------------------------------------
+    # selection rounds
+    # ------------------------------------------------------------------
+    def _run_selection_round(self, participants: List[int], epoch: int) -> None:
+        self._drops_this_round = 0
+        self._placements_this_round = 0
+
+        # Phase 1: experience-set exchanges (and dropping-score exchange).
+        for node_id in participants:
+            self._exchange_experience(self.nodes[node_id])
+
+        # Phase 2: ingest reports, re-rank, run Algorithm 1, place replicas.
+        churn_total = 0
+        churn_count = 0
+        for node_id in participants:
+            node = self.nodes[node_id]
+            if node.is_sybil:
+                continue
+            self._ingest_reports(node)
+            old_set = set(node.selected_mirrors)
+            self._select_and_place(node, epoch)
+            churn_total += len(old_set.symmetric_difference(node.selected_mirrors))
+            churn_count += 1
+
+        # Phase 3: sybils flood (Fig. 11).
+        if self.flooding is not None:
+            for sybil_id in sorted(self.flooding.sybil_ids):
+                node = self.nodes[sybil_id]
+                if node.joined and not node.departed:
+                    self._sybil_flood(node)
+
+        # Phase 4: protective-dropping hygiene — every mirror verifies each
+        # stored owner's *published* mirror set against reality (Sec. 4.6:
+        # "if v observes a copy of w's data in itself, but v is not listed
+        # in w's published mirror set").  This is what catches flooders at
+        # nodes they never revisit.
+        for node_id in participants:
+            node = self.nodes[node_id]
+            for owner in node.store.stored_owners():
+                removed = node.store.observe_published_mirrors(
+                    owner, self.nodes[owner].announced_mirrors
+                )
+                for removed_owner in removed:
+                    self.replica_locations[node_id].discard(removed_owner)
+
+        if churn_count:
+            self.result.mirror_churn_by_round.append(churn_total / churn_count)
+        placed = max(1, self._placements_this_round)
+        self.result.drop_rate_by_round.append(self._drops_this_round / placed)
+
+    def _exchange_experience(self, node: _NodeState) -> None:
+        """Send ES_u(w) to every friend w; swap stored-owner lists."""
+        for friend_id in node.friends:
+            friend = self.nodes[friend_id]
+            if not friend.joined or friend.departed:
+                continue
+            if node.is_slanderer and self.slander is not None:
+                reports = self.slander.forge_reports(
+                    node.node_id, friend.announced_mirrors, self.soup.o_max
+                )
+            else:
+                es = node.experience_sets.get(friend_id)
+                if es is None or len(es) == 0:
+                    reports = []
+                else:
+                    reports = es.drain(node.node_id, self.soup.o_max)
+            if self.ties is not None and reports:
+                from repro.extensions.ties import weigh_reports_by_tie
+
+                reports = weigh_reports_by_tie(reports, friend_id, self.ties)
+            friend.pending_reports.extend(reports)
+
+            # Dropping-score exchange: learn who stores at the friend.
+            removed = node.store.learn_friend_storage(friend.store.stored_owners())
+            for owner in removed:
+                self.replica_locations[node.node_id].discard(owner)
+
+    def _ingest_reports(self, node: _NodeState) -> None:
+        if not node.pending_reports:
+            return
+        node.ranker.ingest_reports(node.pending_reports)
+        node.pending_reports.clear()
+        node.has_experience = True
+
+    def _select_and_place(self, node: _NodeState, epoch: int) -> None:
+        """Run Algorithm 1 for one node and apply the outcome.
+
+        Candidates that are unreachable right now (offline, departed, not
+        yet joined) cannot receive a storage request, so the greedy stage
+        skips them and fills the ε target from reachable candidates —
+        except that mirrors already holding our replica stay selectable
+        while offline (the replica is already there).
+        """
+        online_now = self.online_matrix[:, epoch]
+        holding = {
+            mirror_id
+            for mirror_id in node.announced_mirrors
+            if node.node_id in self.replica_locations[mirror_id]
+        }
+        excluded = {node.node_id} | node.rejected_by
+        excluded.update(self._unreachable_at(epoch) - holding)
+
+        # Candidate ranking, in trust order: (1) first-hand Eq.-(1)
+        # experience; (2) stranger recommendations (bootstrap mode);
+        # (3) every other known contact at the bootstrap prior — the paper's
+        # "randomly select mirrors from her contacts" fallback, which also
+        # keeps Algorithm 1 supplied with trial candidates until enough
+        # measured mirrors exist to reach the ε target.
+        ranking = [
+            (candidate, rank)
+            for candidate, rank in node.ranker.ranking()
+            if rank > 0.0
+        ]
+        known = {candidate for candidate, _ in ranking}
+        for candidate, rank in node.bootstrap.ranking():
+            if candidate not in known:
+                ranking.append((candidate, rank))
+                known.add(candidate)
+        prior = self.soup.bootstrap_prior
+        ranking += [
+            (entry.node_id, prior)
+            for entry in node.kb
+            if entry.node_id not in known
+        ]
+
+        result = select_mirrors(
+            ranking=ranking,
+            friends=node.kb.friends(),
+            config=self.soup,
+            rng=self.rng,
+            exploration_pool=node.kb.unranked_nodes(),
+            exclude=excluded,
+        )
+        node.rejected_by.clear()
+
+        old_mirrors = set(node.selected_mirrors)
+        new_mirrors = list(result.mirrors)
+        new_set = set(new_mirrors)
+
+        # Withdraw replicas from de-selected mirrors.
+        for mirror_id in old_mirrors - new_set:
+            mirror = self.nodes[mirror_id]
+            if mirror.store.remove(node.node_id):
+                self.replica_locations[mirror_id].discard(node.node_id)
+
+        # Place replicas at newly selected mirrors.
+        online_now = self.online_matrix[:, epoch]
+        accepted: List[int] = []
+        friend_set = set(node.friends)
+        for mirror_id in new_mirrors:
+            mirror = self.nodes[mirror_id]
+            already = node.node_id in self.replica_locations[mirror_id]
+            if already:
+                accepted.append(mirror_id)
+                continue
+            if not online_now[mirror_id]:
+                # A fresh replica cannot be pushed to an offline mirror;
+                # the push is retried each epoch both ends are online.
+                node.pending_placements.add(mirror_id)
+                continue
+            decision = mirror.store.request_store(
+                node.node_id, size_profiles=1.0, is_friend=mirror_id in friend_set
+            )
+            self._placements_this_round += 1
+            if decision.accepted:
+                accepted.append(mirror_id)
+                self.replica_locations[mirror_id].add(node.node_id)
+                if decision.dropped_owner is not None:
+                    self.replica_locations[mirror_id].discard(decision.dropped_owner)
+                    self._drops_this_round += 1
+            else:
+                node.rejected_by.add(mirror_id)
+
+        node.pending_placements &= new_set
+        node.selected_mirrors = new_mirrors
+        node.announced_mirrors = accepted
+        node.kb.mark_mirrors(iter(accepted))
+        node.kb.decay_ttls()
+
+        # Mirrors still storing us but not announced would flag a mismatch;
+        # honest owners announce exactly their accepted set, so only stale
+        # storers (which we just withdrew from) could disagree.
+        for mirror_id in accepted:
+            removed = self.nodes[mirror_id].store.observe_published_mirrors(
+                node.node_id, accepted
+            )
+            for owner in removed:
+                self.replica_locations[mirror_id].discard(owner)
+
+    def _unreachable_at(self, epoch: int) -> Set[int]:
+        """Nodes no storage request can reach this epoch (offline, departed
+        or not yet joined) — computed once per epoch, shared by every
+        selecting node."""
+        if getattr(self, "_unreachable_epoch", None) == epoch:
+            return self._unreachable_cache
+        online_now = self.online_matrix[:, epoch]
+        self._unreachable_cache = {
+            n.node_id
+            for n in self.nodes
+            if n.departed or not n.joined or not online_now[n.node_id]
+        }
+        self._unreachable_epoch = epoch
+        return self._unreachable_cache
+
+    def _retry_pending_placements(self, node: _NodeState, epoch: int) -> bool:
+        """Push deferred replicas to mirrors that have come online."""
+        online_now = self.online_matrix[:, epoch]
+        friend_set = set(node.friends)
+        placed = False
+        for mirror_id in sorted(node.pending_placements):
+            if not online_now[mirror_id]:
+                continue
+            node.pending_placements.discard(mirror_id)
+            if node.node_id in self.replica_locations[mirror_id]:
+                continue
+            mirror = self.nodes[mirror_id]
+            decision = mirror.store.request_store(
+                node.node_id, size_profiles=1.0, is_friend=mirror_id in friend_set
+            )
+            self._placements_this_round += 1
+            if decision.accepted:
+                self.replica_locations[mirror_id].add(node.node_id)
+                if decision.dropped_owner is not None:
+                    self.replica_locations[mirror_id].discard(decision.dropped_owner)
+                    self._drops_this_round += 1
+                if mirror_id not in node.announced_mirrors:
+                    node.announced_mirrors.append(mirror_id)
+                placed = True
+            else:
+                node.rejected_by.add(mirror_id)
+        return placed
+
+    def _sybil_flood(self, node: _NodeState) -> None:
+        """One sybil's flooding round (Fig. 11)."""
+        assert self.flooding is not None
+        targets = self.flooding.flood_targets(
+            node.node_id, range(self.n_total), self.rng
+        )
+        accepted: List[int] = []
+        for target_id in targets:
+            target = self.nodes[target_id]
+            if not target.joined or target.departed:
+                continue
+            if node.node_id in self.replica_locations[target_id]:
+                accepted.append(target_id)
+                continue
+            decision = target.store.request_store(
+                node.node_id, size_profiles=1.0, is_friend=False
+            )
+            self._placements_this_round += 1
+            if decision.accepted:
+                accepted.append(target_id)
+                self.replica_locations[target_id].add(node.node_id)
+                if decision.dropped_owner is not None:
+                    self.replica_locations[target_id].discard(decision.dropped_owner)
+                    self._drops_this_round += 1
+
+        # The sybil announces only a small subset; every other storer
+        # observes a mismatch and raises the dropping score by c.
+        announced = self.flooding.announced_set(accepted, self.rng)
+        node.announced_mirrors = announced
+        node.selected_mirrors = accepted
+        for mirror_id in accepted:
+            removed = self.nodes[mirror_id].store.observe_published_mirrors(
+                node.node_id, announced
+            )
+            for owner in removed:
+                self.replica_locations[mirror_id].discard(owner)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _rebuild_pairs(self) -> None:
+        owners: List[int] = []
+        mirrors: List[int] = []
+        for mirror_id, stored in self.replica_locations.items():
+            for owner in stored:
+                owners.append(owner)
+                mirrors.append(mirror_id)
+        self._pair_owners = np.array(owners, dtype=np.int64)
+        self._pair_mirrors = np.array(mirrors, dtype=np.int64)
+
+    def _joined_benign_mask(self) -> np.ndarray:
+        mask = np.zeros(self.n_total, dtype=bool)
+        for node in self.nodes:
+            mask[node.node_id] = (
+                node.joined
+                and not node.departed
+                and not node.is_sybil
+                and not node.is_traitor
+            )
+        return mask
+
+    def _availability_flags(self, online_now: np.ndarray) -> np.ndarray:
+        available = online_now.copy()
+        if len(self._pair_owners):
+            mirror_online = online_now[self._pair_mirrors]
+            available[self._pair_owners[mirror_online]] = True
+        return available
+
+    def _measure(self, online_now: np.ndarray) -> Tuple[float, float]:
+        mask = self._joined_benign_mask()
+        population = int(mask.sum())
+        if population == 0:
+            return 0.0, 0.0
+        available = self._availability_flags(online_now)
+        availability = float(available[mask].sum()) / population
+
+        if len(self._pair_owners):
+            replica_counts = np.bincount(self._pair_owners, minlength=self.n_total)
+            overhead = float(replica_counts[mask].mean())
+        else:
+            overhead = 0.0
+        return availability, overhead
+
+    def _measure_cohort(self, online_now: np.ndarray, cohort: np.ndarray) -> float:
+        mask = self._joined_benign_mask() & cohort
+        population = int(mask.sum())
+        if population == 0:
+            return 0.0
+        available = self._availability_flags(online_now)
+        return float(available[mask].sum()) / population
+
+    def _cohort_masks(self) -> Dict[str, np.ndarray]:
+        """Fig. 7 cohorts: top/bottom 10 % by online time and by friends."""
+        n = self.n_base
+        masks: Dict[str, np.ndarray] = {}
+        p = self.online_probabilities[:n]
+        degrees = np.array([len(self.nodes[i].friends) for i in range(n)])
+        tenth = max(1, n // 10)
+
+        for name, values in (("online", p), ("friends", degrees)):
+            order = np.argsort(values, kind="stable")
+            bottom = np.zeros(self.n_total, dtype=bool)
+            top = np.zeros(self.n_total, dtype=bool)
+            bottom[order[:tenth]] = True
+            top[order[-tenth:]] = True
+            masks[f"bottom_{name}"] = bottom
+            masks[f"top_{name}"] = top
+        return masks
+
+    def _top_half_share(self) -> float:
+        """Share of all replicas hosted by the top half of nodes by online
+        time (Sec. 5.2.2: 'the upper half ... provides more than 90 %')."""
+        if not len(self._pair_mirrors):
+            return 0.0
+        median_p = float(np.median(self.online_probabilities[: self.n_base]))
+        top_half = self.online_probabilities >= median_p
+        return float(top_half[self._pair_mirrors].mean())
+
+
+def run_scenario(config: ScenarioConfig, graph: Optional[nx.Graph] = None) -> SimulationResult:
+    """Build the dataset graph (unless given) and run one simulation."""
+    if graph is None:
+        graph = generate_dataset(config.dataset, scale=config.scale, seed=config.seed)
+    simulation = SoupSimulation(graph, config)
+    return simulation.run()

@@ -1,0 +1,114 @@
+"""Result containers and metric helpers for the replication simulator.
+
+The two basic metrics of Sec. 5.1:
+
+* **Data availability at time t** — ratio of users whose data is available
+  at t to all users in the OSN.
+* **Replica overhead at time t** — average number of replicas per node.
+
+Plus everything the individual figures need: per-cohort availability
+(Fig. 7), stored-profile CDFs (Fig. 6), drop rates and replica-distribution
+shares (Sec. 5.2.2), and mirror-set churn (Fig. 14c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF of ``values`` as (value, P(X <= value)) points."""
+    if len(values) == 0:
+        return []
+    ordered = np.sort(np.asarray(values, dtype=float))
+    n = len(ordered)
+    points = []
+    for index, value in enumerate(ordered):
+        if index + 1 < n and ordered[index + 1] == value:
+            continue  # only the last of a run of equal values
+        points.append((float(value), (index + 1) / n))
+    return points
+
+
+def percentile_of(values: Sequence[float], quantile: float) -> float:
+    """The ``quantile``-th percentile of ``values`` (0..1)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.quantile(np.asarray(values, dtype=float), quantile))
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulator run measured."""
+
+    n_nodes: int
+    n_epochs: int
+    epochs_per_day: int
+
+    #: Fraction of joined benign users whose data is available, per epoch.
+    availability: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Average accepted replicas per joined benign node, per epoch.
+    replica_overhead: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    #: day -> list of per-node stored-replica counts (Fig. 6 snapshots).
+    stored_profiles_snapshots: Dict[int, List[int]] = field(default_factory=dict)
+
+    #: Cohort availability per epoch: cohort name -> series.
+    cohort_availability: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    #: Fraction of placed replicas dropped, per selection round.
+    drop_rate_by_round: List[float] = field(default_factory=list)
+    #: Mean |M_t Δ M_{t-1}| per selection round (mirror-set churn, Fig. 14c).
+    mirror_churn_by_round: List[float] = field(default_factory=list)
+    #: Fraction of all replicas hosted by the top-half online-time nodes.
+    top_half_replica_share: float = 0.0
+    #: Count of owners blacklisted anywhere by protective dropping.
+    blacklisted_owner_count: int = 0
+
+    def day_index(self, day: float) -> int:
+        """Epoch index of the end of ``day`` (clamped to the run length)."""
+        return min(self.n_epochs - 1, int(day * self.epochs_per_day) - 1)
+
+    def availability_at_day(self, day: float) -> float:
+        return float(self.availability[self.day_index(day)])
+
+    def replicas_at_day(self, day: float) -> float:
+        return float(self.replica_overhead[self.day_index(day)])
+
+    def daily_availability(self) -> np.ndarray:
+        """Availability averaged per day (the granularity the paper plots)."""
+        days = self.n_epochs // self.epochs_per_day
+        return self.availability[: days * self.epochs_per_day].reshape(
+            days, self.epochs_per_day
+        ).mean(axis=1)
+
+    def daily_replica_overhead(self) -> np.ndarray:
+        days = self.n_epochs // self.epochs_per_day
+        return self.replica_overhead[: days * self.epochs_per_day].reshape(
+            days, self.epochs_per_day
+        ).mean(axis=1)
+
+    def steady_state_availability(self, skip_days: int = 2) -> float:
+        """Mean availability after the bootstrap transient."""
+        start = min(self.n_epochs - 1, skip_days * self.epochs_per_day)
+        return float(self.availability[start:].mean())
+
+    def steady_state_replicas(self, skip_days: int = 2) -> float:
+        start = min(self.n_epochs - 1, skip_days * self.epochs_per_day)
+        return float(self.replica_overhead[start:].mean())
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers, the shape the paper's text quotes."""
+        return {
+            "availability_day1": self.availability_at_day(1),
+            "availability_steady": self.steady_state_availability(),
+            "replicas_steady": self.steady_state_replicas(),
+            "replicas_peak": float(self.replica_overhead.max(initial=0.0)),
+            "top_half_replica_share": self.top_half_replica_share,
+            "final_drop_rate": self.drop_rate_by_round[-1]
+            if self.drop_rate_by_round
+            else 0.0,
+        }

@@ -1,0 +1,81 @@
+"""Result rendering: sparklines and markdown experiment reports.
+
+Terminal-friendly output for the CLI and for users assembling their own
+EXPERIMENTS-style records from simulation results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> str:
+    """Render a numeric series as unicode blocks.
+
+    Pins the scale to [minimum, maximum] when given (e.g. 0..1 for
+    availability), else to the data range.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    lo = float(data.min()) if minimum is None else float(minimum)
+    hi = float(data.max()) if maximum is None else float(maximum)
+    if hi <= lo:
+        return _BLOCKS[0] * data.size
+    scaled = np.clip((data - lo) / (hi - lo), 0.0, 1.0)
+    indices = np.minimum((scaled * len(_BLOCKS)).astype(int), len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def describe_result(name: str, result: SimulationResult) -> List[str]:
+    """Human-readable multi-line summary of one simulation result."""
+    daily = result.daily_availability()
+    replicas = result.daily_replica_overhead()
+    lines = [
+        f"{name}:",
+        f"  availability  {sparkline(daily, 0.5, 1.0)}  "
+        f"day1={result.availability_at_day(1):.3f} "
+        f"steady={result.steady_state_availability():.3f}",
+        f"  replicas      {sparkline(replicas)}  "
+        f"peak={float(result.replica_overhead.max(initial=0)):.1f} "
+        f"steady={result.steady_state_replicas():.1f}",
+    ]
+    if result.drop_rate_by_round:
+        lines.append(
+            f"  drop rate     {sparkline(result.drop_rate_by_round)}  "
+            f"final={result.drop_rate_by_round[-1]:.4f}"
+        )
+    if result.blacklisted_owner_count:
+        lines.append(f"  blacklist entries: {result.blacklisted_owner_count}")
+    return lines
+
+
+def markdown_report(results: Dict[str, SimulationResult]) -> str:
+    """A markdown table summarizing several runs (sweep output)."""
+    header = (
+        "| run | availability@day1 | steady availability | steady replicas "
+        "| peak replicas | top-half share |\n"
+        "|---|---|---|---|---|---|\n"
+    )
+    rows = []
+    for name, result in results.items():
+        summary = result.summary()
+        rows.append(
+            f"| {name} "
+            f"| {summary['availability_day1']:.3f} "
+            f"| {summary['availability_steady']:.3f} "
+            f"| {summary['replicas_steady']:.2f} "
+            f"| {summary['replicas_peak']:.2f} "
+            f"| {summary['top_half_replica_share']:.2f} |"
+        )
+    return header + "\n".join(rows) + "\n"

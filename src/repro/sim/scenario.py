@@ -1,0 +1,161 @@
+"""Scenario configuration for the replication simulator.
+
+One :class:`ScenarioConfig` fully describes an experiment: which dataset at
+what scale, how long, which behaviour models, and which adverse events
+(altruist arrival, mass departure, slander, flooding).  Every figure in the
+paper's Sec. 5 corresponds to one or a sweep of these configs — see the
+benchmark modules for the exact parameterizations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.behavior.activity import ActivityModel
+from repro.core.config import SoupConfig
+
+
+class OnlineDistribution(enum.Enum):
+    """Node online-time distributions used across experiments.
+
+    ``POWER_LAW`` is SOUP's own assumption (Sec. 5.1).  ``PEERSON`` and
+    ``UNIFORM_03`` reproduce the related-work assumptions of Table 4:
+    PeerSoN's four-bucket mix and Safebook's uniform p = 0.3.
+    """
+
+    POWER_LAW = "powerlaw"
+    PEERSON = "peerson"
+    UNIFORM_03 = "uniform03"
+
+
+#: PeerSoN's online-time buckets (fraction of nodes, online probability).
+#: The published buckets cover 95 % of nodes; the remainder is assigned the
+#: lowest published probability band's complement (p = 0.1).
+PEERSON_BUCKETS = ((0.10, 0.90), (0.25, 0.87), (0.30, 0.75), (0.30, 0.30), (0.05, 0.10))
+
+
+def sample_distribution(
+    distribution: OnlineDistribution, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample per-node online probabilities for any supported distribution."""
+    from repro.behavior.online import sample_online_probabilities
+
+    if distribution is OnlineDistribution.POWER_LAW:
+        return sample_online_probabilities(n, rng)
+    if distribution is OnlineDistribution.UNIFORM_03:
+        return np.full(n, 0.3)
+    if distribution is OnlineDistribution.PEERSON:
+        probabilities = np.empty(n)
+        fractions = np.array([f for f, _ in PEERSON_BUCKETS])
+        values = np.array([p for _, p in PEERSON_BUCKETS])
+        assignments = rng.choice(len(values), size=n, p=fractions / fractions.sum())
+        probabilities[:] = values[assignments]
+        return probabilities
+    raise ValueError(f"unsupported distribution: {distribution}")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything one simulation run needs.
+
+    The defaults reproduce the paper's base experiment (Fig. 5) at a
+    laptop-friendly scale; the benchmark modules override fields per figure.
+    """
+
+    # --- population ------------------------------------------------------
+    dataset: str = "facebook"
+    scale: float = 0.02
+    seed: int = 0
+
+    # --- time -------------------------------------------------------------
+    n_days: int = 20
+    epochs_per_day: int = 24
+    #: Window (days) over which nodes join asynchronously (Sec. 5.1).
+    join_window_days: float = 1.0
+    #: Cadence of ES exchanges + selection rounds, in days.
+    round_period_days: float = 1.0
+
+    # --- models -------------------------------------------------------------
+    soup: SoupConfig = field(default_factory=SoupConfig)
+    activity: ActivityModel = field(default_factory=ActivityModel)
+    online_distribution: OnlineDistribution = OnlineDistribution.POWER_LAW
+    mean_session_epochs: float = 3.0
+    #: Probability an interaction targets a friend (vs a random stranger).
+    friend_contact_probability: float = 0.8
+    #: Friend profiles browsed per interaction session.  OSN interactions
+    #: are feed/profile-browsing sessions touching several friends [22, 23],
+    #: which is what feeds experience sets enough observations per exchange
+    #: period for Eq. (1) to average over.
+    profiles_per_session: int = 6
+
+    # --- openness: altruistic nodes (Fig. 8) ---------------------------------
+    altruist_fraction: float = 0.0
+    altruist_join_day: float = 10.0
+
+    # --- resiliency: mass departure (Fig. 9) ---------------------------------
+    departure_fraction: float = 0.0
+    departure_day: float = 10.0
+
+    # --- attacks (Figs. 10, 11; Sec. 4.4 traitor) --------------------------------
+    #: Fraction of extra identities performing the traitor attack: they
+    #: "offer exceptional storage capacities and online time to get
+    #: selected as a mirror by many users, just to disappear later".
+    traitor_fraction: float = 0.0
+    #: Day the traitors disappear.
+    betrayal_day: float = 8.0
+    #: Fraction of OSN nodes performing the slander attack.
+    slander_fraction: float = 0.0
+    #: Sybil identities created per benign node (m = 0.5 means sybils equal
+    #: half the regular identities, per Fig. 11's percentages).
+    sybil_fraction: float = 0.0
+    #: Storage requests each sybil issues per selection round.
+    sybil_flood_requests: int = 20
+
+    # --- service capacity (Sec. 5.2.5) -------------------------------------------
+    #: Profile requests a mirror can serve per epoch; None = unlimited.
+    #: With a cap, "mirrors of popular data deny service due to
+    #: overloading... these mirrors will receive a lower ranking, and SOUP
+    #: will distribute the load among additional mirrors".
+    mirror_request_capacity: Optional[int] = None
+
+    # --- extensions (Sec. 8) ----------------------------------------------------
+    #: Tie-strength extension: weigh friends' experience reports by the
+    #: strength of the relation (strong ties more audible; infiltration
+    #: ties weak), further dampening slander.
+    use_tie_strength: bool = False
+
+    # --- measurement -----------------------------------------------------------
+    #: Days at which to snapshot the stored-profile CDF (Fig. 6).
+    cdf_snapshot_days: tuple = (1, 14, 30)
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0 or self.epochs_per_day <= 0:
+            raise ValueError("simulation duration must be positive")
+        if not 0.0 <= self.altruist_fraction < 1.0:
+            raise ValueError("altruist fraction must be in [0, 1)")
+        if not 0.0 <= self.departure_fraction < 1.0:
+            raise ValueError("departure fraction must be in [0, 1)")
+        if not 0.0 <= self.slander_fraction <= 0.9:
+            raise ValueError("slander fraction must be in [0, 0.9]")
+        if not 0.0 <= self.traitor_fraction < 1.0:
+            raise ValueError("traitor fraction must be in [0, 1)")
+        if not 0.0 <= self.sybil_fraction <= 1.0:
+            raise ValueError("sybil fraction must be in [0, 1]")
+        if not 0.0 <= self.friend_contact_probability <= 1.0:
+            raise ValueError("friend contact probability must be in [0, 1]")
+
+    @property
+    def n_epochs(self) -> int:
+        return self.n_days * self.epochs_per_day
+
+    @property
+    def round_period_epochs(self) -> int:
+        return max(1, int(round(self.round_period_days * self.epochs_per_day)))
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,47 @@
+"""Tests for the Cachet baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cachet import CachetModel
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_availability_high_with_repair(rng):
+    model = CachetModel(replication_factor=8)
+    matrix = rng.random((200, 96)) < 0.3
+    series = model.availability_series(matrix, rng)
+    assert series[10:].mean() > 0.9
+
+
+def test_more_replicas_higher_availability(rng):
+    matrix = rng.random((200, 96)) < 0.2
+    low = CachetModel(replication_factor=2).availability_series(matrix, np.random.default_rng(1))
+    high = CachetModel(replication_factor=10).availability_series(matrix, np.random.default_rng(1))
+    assert high.mean() > low.mean()
+
+
+def test_churn_traffic_counts_offline_transitions():
+    model = CachetModel(profile_size_bytes=1e6)
+    matrix = np.array([[True, False, True, False]])  # two offline transitions
+    traffic = model.churn_traffic_bytes(matrix, stored_per_node=3.0)
+    assert traffic == pytest.approx(2 * 3.0 * 1e6)
+
+
+def test_summary_reports_churn_cost(rng):
+    model = CachetModel()
+    p = np.full(150, 0.25)
+    summary = model.summary(p, seed=0, n_epochs=24 * 3)
+    assert summary["availability"] > 0.85
+    assert summary["churn_traffic_gb"] > 0
+    assert summary["replicas"] == model.replication_factor
+
+
+def test_cachet_overhead_exceeds_soup_equilibrium(rng):
+    """Sec. 2: Cachet 'does not minimize the number of replicas'."""
+    model = CachetModel()
+    assert model.replication_factor >= 8

@@ -1,0 +1,61 @@
+"""Tests for the Table 1 feature matrix."""
+
+from repro.baselines.features import (
+    FEATURES,
+    SYSTEMS,
+    feature_matrix,
+    missing_feature_count,
+    table1_rows,
+)
+
+import pytest
+
+
+def test_soup_supports_everything():
+    assert missing_feature_count("SOUP") == 0
+
+
+def test_every_competitor_lacks_multiple_features():
+    """The paper: "each solution has deficiencies in multiple categories"."""
+    for system in SYSTEMS:
+        if system == "SOUP":
+            continue
+        assert missing_feature_count(system) >= 2, system
+
+
+def test_matrix_shape():
+    matrix = feature_matrix()
+    assert set(matrix) == set(SYSTEMS)
+    for features in matrix.values():
+        assert set(features) == set(FEATURES)
+
+
+def test_table_rows_render():
+    rows = table1_rows()
+    assert len(rows) == len(SYSTEMS)
+    assert rows[-1][0] == "SOUP"  # SOUP listed last
+    assert all(cell in "+-" for row in rows for cell in row[1:])
+    soup_row = rows[-1]
+    assert all(cell == "+" for cell in soup_row[1:])
+
+
+def test_specific_paper_claims():
+    # Diaspora/SuperNova: no user data encryption (Sec. 2).
+    assert "data_encryption" not in SYSTEMS["Diaspora"]
+    assert "data_encryption" not in SYSTEMS["SuperNova"]
+    # Safebook-family discriminate by social links.
+    assert "no_user_discrimination" not in SYSTEMS["Safebook"]
+    assert "no_user_discrimination" not in SYSTEMS["MyZone"]
+    # Server-based approaches depend on dedicated infrastructure.
+    assert "no_dedicated_servers" not in SYSTEMS["Diaspora"]
+    assert "no_dedicated_servers" not in SYSTEMS["Vis-a-Vis"]
+    # None of the competitors are attack resilient (Sec. 5.2.6: "None of
+    # the existing DOSN solutions consider attacks on their system").
+    for system in SYSTEMS:
+        if system != "SOUP":
+            assert "attack_resilient" not in SYSTEMS[system]
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(KeyError):
+        missing_feature_count("Friendster")

@@ -1,0 +1,62 @@
+"""Tests for the PeerSoN baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.peerson import PeerSonModel
+from repro.sim.scenario import OnlineDistribution, sample_distribution
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_partner_counts(rng):
+    model = PeerSonModel(replica_count=6)
+    p = rng.random(200)
+    partners = model.assign_partners(p, rng)
+    assert all(len(ps) == 6 for ps in partners)
+    for node, ps in enumerate(partners):
+        assert node not in ps
+
+
+def test_assortative_matching(rng):
+    """Partners have similar online probabilities (mutual agreements only
+    form between comparable peers)."""
+    model = PeerSonModel(replica_count=4, assortativity_band=0.1)
+    p = np.sort(rng.random(500))
+    partners = model.assign_partners(p, rng)
+    gaps = [
+        abs(p[node] - p[partner])
+        for node, ps in enumerate(partners)
+        for partner in ps
+    ]
+    assert np.mean(gaps) < 0.15
+
+
+def test_availability_depends_on_own_online_time(rng):
+    """The paper's criticism: rarely-online users get rarely-online
+    partners, so their availability stays low."""
+    model = PeerSonModel(replica_count=6)
+    p = sample_distribution(OnlineDistribution.PEERSON, 800, rng)
+    summary = model.summary(p, seed=1, n_epochs=24 * 5)
+    assert summary["availability_max"] > 0.97
+    assert summary["availability_min"] < 0.92
+    assert summary["replicas"] == pytest.approx(6.0, abs=0.5)
+
+
+def test_summary_availability_reasonable(rng):
+    model = PeerSonModel()
+    p = np.full(300, 0.75)
+    summary = model.summary(p, seed=0, n_epochs=24 * 3)
+    assert summary["availability"] > 0.95
+
+
+def test_availability_series_bounds(rng):
+    model = PeerSonModel(replica_count=2)
+    matrix = rng.random((50, 48)) < 0.4
+    partners = model.assign_partners(rng.random(50), rng)
+    series = model.availability_series(matrix, partners)
+    assert len(series) == 48
+    assert np.all((series >= 0) & (series <= 1))

@@ -1,0 +1,62 @@
+"""Tests for the Safebook baseline model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.safebook import SafebookModel
+from repro.graphs.datasets import generate_dataset
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_mirrors_are_friends_only(rng):
+    graph = generate_dataset("epinions", scale=0.005, seed=0)
+    p = rng.random(graph.number_of_nodes())
+    model = SafebookModel(max_mirrors=5)
+    mirrors = model.assign_mirrors(graph, p, rng)
+    for node, ms in enumerate(mirrors):
+        friends = set(graph.neighbors(node))
+        assert set(ms) <= friends
+        assert len(ms) <= 5
+
+
+def test_low_degree_nodes_get_few_mirrors(rng):
+    graph = nx.star_graph(10)  # leaves have exactly one friend
+    p = np.full(11, 0.5)
+    model = SafebookModel(max_mirrors=8)
+    mirrors = model.assign_mirrors(graph, p, rng)
+    assert len(mirrors[0]) == 8  # the hub
+    assert all(len(mirrors[leaf]) == 1 for leaf in range(1, 11))
+
+
+def test_unavailable_friends_excluded(rng):
+    graph = nx.complete_graph(5)
+    p = np.array([0.5, 0.01, 0.01, 0.5, 0.5])
+    model = SafebookModel(min_mirror_probability=0.05)
+    mirrors = model.assign_mirrors(graph, p, rng)
+    assert 1 not in mirrors[0]
+    assert 2 not in mirrors[0]
+
+
+def test_uniform_03_summary_matches_paper_band(rng):
+    """Table 4: Safebook at uniform p=0.3 reaches ~90 % availability with
+    13-24 replicas."""
+    graph = generate_dataset("facebook", scale=0.004, seed=1)
+    p = np.full(graph.number_of_nodes(), 0.3)
+    model = SafebookModel(max_mirrors=24)
+    summary = model.summary(graph, p, seed=0, n_epochs=24 * 4)
+    assert 0.80 <= summary["availability"] <= 0.97
+    assert summary["replicas"] <= 24
+
+
+def test_summary_reports_mirrorless_nodes(rng):
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (2, 3)])
+    graph.add_node(4)  # isolated: no friends at all
+    p = np.full(5, 0.5)
+    summary = SafebookModel().summary(graph, p, seed=0, n_epochs=24)
+    assert summary["nodes_without_mirrors"] == 1

@@ -1,0 +1,64 @@
+"""Tests for the exponentially decaying activity model."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.activity import ActivityModel
+
+
+def test_peak_at_join():
+    model = ActivityModel(peak_per_day=20.0, floor_per_day=0.5)
+    assert model.rate_per_day(0.0) == pytest.approx(20.0)
+
+
+def test_decays_below_one_per_day():
+    """Sec. 5.1: activity decreases exponentially to < 1 interaction/day."""
+    model = ActivityModel()
+    assert model.rate_per_day(30.0) < 1.0
+
+
+def test_floor_is_asymptote():
+    model = ActivityModel(floor_per_day=0.5)
+    assert model.rate_per_day(1000.0) == pytest.approx(0.5, abs=1e-6)
+
+
+def test_monotone_decrease():
+    model = ActivityModel()
+    rates = [model.rate_per_day(d) for d in range(0, 20)]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_vectorized_matches_scalar():
+    model = ActivityModel()
+    ages = np.array([0.0, 1.0, 5.0, 30.0])
+    vector = model.rates_per_day(ages)
+    for age, rate in zip(ages, vector):
+        assert rate == pytest.approx(model.rate_per_day(float(age)))
+
+
+def test_sample_interactions_poisson_mean():
+    model = ActivityModel(peak_per_day=10.0, floor_per_day=10.0, decay_per_day=0.0)
+    rng = np.random.default_rng(0)
+    draws = model.sample_interactions(np.zeros(20_000), epoch_days=1.0, rng=rng)
+    assert draws.mean() == pytest.approx(10.0, rel=0.05)
+
+
+def test_negative_age_rejected():
+    model = ActivityModel()
+    with pytest.raises(ValueError):
+        model.rate_per_day(-1.0)
+    with pytest.raises(ValueError):
+        model.rates_per_day(np.array([-1.0]))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ActivityModel(peak_per_day=1.0, floor_per_day=2.0)
+    with pytest.raises(ValueError):
+        ActivityModel(floor_per_day=-1.0)
+
+
+def test_invalid_epoch_rejected():
+    model = ActivityModel()
+    with pytest.raises(ValueError):
+        model.sample_interactions(np.zeros(3), epoch_days=0.0, rng=np.random.default_rng(0))

@@ -1,0 +1,34 @@
+"""Tests for the storage-capacity model."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.capacity import sample_capacities
+
+
+def test_median_matches_paper():
+    rng = np.random.default_rng(0)
+    capacities = sample_capacities(50_000, rng)
+    assert np.median(capacities) == pytest.approx(50.0, rel=0.03)
+
+
+def test_minimum_enforced():
+    rng = np.random.default_rng(0)
+    capacities = sample_capacities(10_000, rng, sigma_profiles=60.0, min_profiles=5.0)
+    assert capacities.min() >= 5.0
+
+
+def test_spread_controlled_by_sigma():
+    rng = np.random.default_rng(0)
+    tight = sample_capacities(5000, rng, sigma_profiles=1.0)
+    rng = np.random.default_rng(0)
+    wide = sample_capacities(5000, rng, sigma_profiles=25.0)
+    assert wide.std() > tight.std()
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_capacities(0, rng)
+    with pytest.raises(ValueError):
+        sample_capacities(10, rng, median_profiles=-5)

@@ -1,0 +1,43 @@
+"""Tests for join schedules and departure selection."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.churn import join_epochs, top_online_nodes
+
+
+def test_join_epochs_within_window():
+    rng = np.random.default_rng(0)
+    p = np.random.default_rng(1).random(1000)
+    epochs = join_epochs(p, join_window_epochs=24, rng=rng)
+    assert epochs.min() >= 0
+    assert epochs.max() <= 23
+
+
+def test_highly_available_nodes_join_earlier():
+    rng = np.random.default_rng(0)
+    p = np.concatenate([np.full(2000, 0.9), np.full(2000, 0.05)])
+    epochs = join_epochs(p, join_window_epochs=24, rng=rng)
+    assert epochs[:2000].mean() < epochs[2000:].mean()
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        join_epochs(np.array([0.5]), 0, np.random.default_rng(0))
+
+
+def test_top_online_nodes_sorted_by_probability():
+    p = np.array([0.1, 0.9, 0.5, 0.95, 0.2])
+    top = top_online_nodes(p, fraction=0.4)
+    assert top == [3, 1]
+
+
+def test_top_online_nodes_minimum_one():
+    assert len(top_online_nodes(np.array([0.1, 0.2]), fraction=0.01)) == 1
+
+
+def test_top_fraction_bounds():
+    with pytest.raises(ValueError):
+        top_online_nodes(np.array([0.5]), fraction=0.0)
+    with pytest.raises(ValueError):
+        top_online_nodes(np.array([0.5]), fraction=1.5)

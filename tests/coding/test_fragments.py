@@ -1,0 +1,83 @@
+"""Tests for erasure-coded replica placement."""
+
+import numpy as np
+import pytest
+
+from repro.coding.fragments import (
+    availability_probability,
+    coded_availability,
+    equivalent_full_replication,
+    plan_for_profile,
+)
+from repro.coding.reed_solomon import ReedSolomonError
+
+
+def test_plan_shapes():
+    plan = plan_for_profile(owner=1, profile_bytes=10_000_000, mirrors=list(range(12)), k=8)
+    assert plan.n == 12
+    assert plan.fragment_bytes == 1_250_000
+    assert plan.storage_overhead == pytest.approx(1.5)
+    assert plan.holders() == list(range(12))
+
+
+def test_plan_requires_enough_mirrors():
+    with pytest.raises(ReedSolomonError):
+        plan_for_profile(1, 1000, mirrors=[1, 2], k=3)
+
+
+def test_zero_byte_profile():
+    plan = plan_for_profile(1, 0, mirrors=[1, 2, 3], k=2)
+    assert plan.fragment_bytes == 0
+    assert plan.storage_overhead == 0.0
+
+
+def test_coded_availability_threshold():
+    plan = plan_for_profile(1, 1000, mirrors=list(range(10)), k=4)
+    online = {m: m < 4 for m in range(10)}
+    assert coded_availability(plan, online)
+    online[3] = False
+    assert not coded_availability(plan, online)
+
+
+def test_coded_availability_with_numpy_row():
+    plan = plan_for_profile(1, 1000, mirrors=[0, 1, 2, 3], k=2)
+    online = np.array([True, True, False, False])
+    assert coded_availability(plan, online)
+    assert not coded_availability(plan, np.array([True, False, False, False]))
+
+
+class TestAvailabilityProbability:
+    def test_k_one_matches_any_online(self):
+        p = [0.3, 0.5]
+        expected = 1 - 0.7 * 0.5
+        assert availability_probability(p, 1) == pytest.approx(expected)
+
+    def test_all_required(self):
+        p = [0.5, 0.5, 0.5]
+        assert availability_probability(p, 3) == pytest.approx(0.125)
+
+    def test_monotone_in_k(self):
+        p = [0.4] * 10
+        values = [availability_probability(p, k) for k in range(1, 11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_insufficient_holders(self):
+        assert availability_probability([0.9], 2) == 0.0
+
+    def test_k_zero_always_available(self):
+        assert availability_probability([], 0) == 1.0
+
+
+def test_coding_beats_replication_on_storage():
+    """The paper's motivation: at comparable availability, fragments cost
+    far less storage than full replicas for large profiles."""
+    holder_p = [0.6] * 12
+    # Full replication: replicas to push perr below 1 %.
+    replicas = equivalent_full_replication(holder_p, epsilon=0.01)
+    full_storage = replicas * 1.0  # profiles
+    # Coding: (12, 5) needs storage 12/5 = 2.4 profiles and still keeps
+    # P(>=5 of 12 online at p=0.6) above 90 %.
+    coded_av = availability_probability(holder_p, 5)
+    coded_storage = 12 / 5
+    assert coded_av > 0.9
+    assert coded_storage < full_storage

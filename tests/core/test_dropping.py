@@ -1,0 +1,144 @@
+"""Tests for protective dropping (Sec. 4.6)."""
+
+import pytest
+
+from repro.core.config import SoupConfig
+from repro.core.dropping import ReplicaStore
+
+
+@pytest.fixture()
+def config():
+    return SoupConfig()
+
+
+def make_store(capacity=5.0, config=None):
+    return ReplicaStore(owner=999, capacity_profiles=capacity, config=config or SoupConfig())
+
+
+def test_store_within_capacity(config):
+    store = make_store(3.0, config)
+    assert store.request_store(1).accepted
+    assert store.request_store(2).accepted
+    assert store.stores_for(1)
+    assert store.replica_count() == 2
+    assert store.free_profiles == 1.0
+
+
+def test_no_self_storage(config):
+    store = make_store()
+    with pytest.raises(ValueError):
+        store.request_store(999)
+
+
+def test_restore_is_idempotent(config):
+    store = make_store(2.0, config)
+    assert store.request_store(1).accepted
+    decision = store.request_store(1)
+    assert decision.accepted
+    assert decision.reason == "already stored"
+    assert store.replica_count() == 1
+
+
+def test_oversized_replica_rejected(config):
+    store = make_store(2.0, config)
+    assert not store.request_store(1, size_profiles=3.0).accepted
+
+
+def test_eviction_picks_highest_dropping_score(config):
+    store = make_store(2.0, config)
+    store.request_store(1)
+    store.request_store(2)
+    # Owner 2 also stores everywhere: its score rises via exchanges.
+    store.learn_friend_storage([2])
+    store.learn_friend_storage([2])
+    decision = store.request_store(3)
+    assert decision.accepted
+    assert decision.dropped_owner == 2
+    assert store.stores_for(1)
+    assert not store.stores_for(2)
+
+
+def test_friends_protected_from_eviction(config):
+    store = make_store(2.0, config)
+    store.request_store(1, is_friend=True)
+    store.request_store(2, is_friend=True)
+    decision = store.request_store(3)
+    assert not decision.accepted
+    assert decision.reason == "storage exhausted"
+
+
+def test_friend_scores_decrease(config):
+    store = make_store(5.0, config)
+    store.request_store(1, is_friend=True)
+    store.learn_friend_storage([])
+    assert store.dropping_score(1) == pytest.approx(-1.0 / config.beta)
+
+
+def test_mismatch_penalty_and_three_strikes(config):
+    store = make_store(5.0, config)
+    store.request_store(1)
+    # Two mismatches: score 200 < theta.
+    store.observe_published_mirrors(1, announced=[5, 6])
+    store.observe_published_mirrors(1, announced=[5])
+    assert not store.is_blacklisted(1)
+    # Third strike blacklists and evicts.
+    removed = store.observe_published_mirrors(1, announced=[])
+    assert removed == [1]
+    assert store.is_blacklisted(1)
+    assert not store.stores_for(1)
+
+
+def test_honest_announcement_no_penalty(config):
+    store = make_store(5.0, config)
+    store.request_store(1)
+    store.observe_published_mirrors(1, announced=[999, 5])
+    assert store.dropping_score(1) == 0.0
+
+
+def test_mismatch_for_unstored_owner_ignored(config):
+    store = make_store(5.0, config)
+    store.observe_published_mirrors(42, announced=[])
+    assert store.dropping_score(42) == 0.0
+
+
+def test_blacklisted_owner_rejected(config):
+    store = make_store(5.0, config)
+    store.request_store(1)
+    for _ in range(3):
+        store.observe_published_mirrors(1, announced=[])
+    decision = store.request_store(1)
+    assert not decision.accepted
+    assert decision.reason == "blacklisted"
+    assert store.blacklisted_owners() == {1}
+
+
+def test_flooder_scores_rise_via_exchange(config):
+    store = make_store(10.0, config)
+    store.request_store(7)
+    # Every exchanged friend also stores 7's data: the flooding signal.
+    for _ in range(5):
+        store.learn_friend_storage([7])
+    assert store.dropping_score(7) == pytest.approx(5.0)
+
+
+def test_remove_withdrawn_replica(config):
+    store = make_store(5.0, config)
+    store.request_store(1)
+    assert store.remove(1)
+    assert not store.remove(1)
+    assert store.replica_count() == 0
+
+
+def test_capacity_validation(config):
+    with pytest.raises(ValueError):
+        ReplicaStore(owner=1, capacity_profiles=0.0, config=config)
+
+
+def test_eviction_frees_enough_space_for_larger_replica(config):
+    store = make_store(3.0, config)
+    store.request_store(1, size_profiles=1.0)
+    store.request_store(2, size_profiles=1.0)
+    store.request_store(3, size_profiles=1.0)
+    decision = store.request_store(4, size_profiles=2.0)
+    assert decision.accepted
+    assert store.used_profiles <= 3.0

@@ -1,0 +1,151 @@
+"""Tests for experience sets and the Eq. (1) update."""
+
+import pytest
+
+from repro.core.experience import (
+    ExperienceReport,
+    ExperienceSet,
+    ObservationRecord,
+    update_experience,
+)
+
+
+class TestObservationRecord:
+    def test_availability_empty(self):
+        assert ObservationRecord().availability == 0.0
+
+    def test_availability_ratio(self):
+        record = ObservationRecord()
+        record.observe(True)
+        record.observe(True)
+        record.observe(False)
+        assert record.requests == 3
+        assert record.successes == 2
+        assert record.availability == pytest.approx(2 / 3)
+
+    def test_copy_is_independent(self):
+        record = ObservationRecord(5, 3)
+        clone = record.copy()
+        clone.observe(True)
+        assert record.requests == 5
+
+
+class TestExperienceSet:
+    def test_observe_and_drain(self):
+        es = ExperienceSet(observed_friend=7)
+        es.observe(1, True)
+        es.observe(1, False)
+        es.observe(2, True)
+        reports = es.drain(reporter=9, o_max=10)
+        by_mirror = {r.mirror: r for r in reports}
+        assert by_mirror[1].observations == 2
+        assert by_mirror[1].availability == pytest.approx(0.5)
+        assert by_mirror[2].availability == 1.0
+        assert all(r.reporter == 9 for r in reports)
+
+    def test_drain_resets(self):
+        es = ExperienceSet(observed_friend=7)
+        es.observe(1, True)
+        es.drain(reporter=9, o_max=10)
+        assert len(es) == 0
+        assert es.drain(reporter=9, o_max=10) == []
+
+    def test_drain_caps_at_o_max(self):
+        es = ExperienceSet(observed_friend=7)
+        for _ in range(50):
+            es.observe(1, True)
+        (report,) = es.drain(reporter=9, o_max=3)
+        assert report.observations == 3
+        assert report.availability == 1.0
+
+    def test_record_for_unknown_mirror_empty(self):
+        es = ExperienceSet(observed_friend=7)
+        assert es.record_for(99).requests == 0
+
+
+class TestUpdateExperienceByCap:
+    """The formula exactly as printed in the paper."""
+
+    def test_full_saturation_tracks_availability(self):
+        reports = [
+            ExperienceReport(reporter=j, mirror=1, observations=5, availability=0.8)
+            for j in range(4)
+        ]
+        updated = update_experience({}, reports, alpha=1.0, o_max=5, normalization="by_cap")
+        assert updated[1] == pytest.approx(0.8)
+
+    def test_sparse_observations_are_diluted(self):
+        reports = [
+            ExperienceReport(reporter=1, mirror=1, observations=1, availability=1.0)
+        ]
+        updated = update_experience({}, reports, alpha=1.0, o_max=5, normalization="by_cap")
+        assert updated[1] == pytest.approx(0.2)
+
+    def test_aging_blends_old_value(self):
+        reports = [
+            ExperienceReport(reporter=1, mirror=1, observations=5, availability=1.0)
+        ]
+        updated = update_experience(
+            {1: 0.4}, reports, alpha=0.75, o_max=5, normalization="by_cap"
+        )
+        assert updated[1] == pytest.approx(0.25 * 0.4 + 0.75 * 1.0)
+
+
+class TestUpdateExperienceByObservations:
+    def test_observation_weighted_mean(self):
+        reports = [
+            ExperienceReport(reporter=1, mirror=1, observations=3, availability=1.0),
+            ExperienceReport(reporter=2, mirror=1, observations=1, availability=0.0),
+        ]
+        updated = update_experience(
+            {}, reports, alpha=1.0, o_max=5, normalization="by_observations"
+        )
+        assert updated[1] == pytest.approx(3 / 4)
+
+    def test_cap_bounds_single_reporter(self):
+        # One reporter claiming 1000 observations is capped at o_max.
+        reports = [
+            ExperienceReport(reporter=1, mirror=1, observations=1000, availability=0.0),
+            ExperienceReport(reporter=2, mirror=1, observations=5, availability=1.0),
+        ]
+        updated = update_experience(
+            {}, reports, alpha=1.0, o_max=5, normalization="by_observations"
+        )
+        assert updated[1] == pytest.approx(0.5)
+
+    def test_multiple_mirrors_updated_independently(self):
+        reports = [
+            ExperienceReport(reporter=1, mirror=1, observations=2, availability=1.0),
+            ExperienceReport(reporter=1, mirror=2, observations=2, availability=0.0),
+        ]
+        updated = update_experience(
+            {}, reports, alpha=1.0, o_max=5, normalization="by_observations"
+        )
+        assert updated[1] == 1.0
+        assert updated[2] == 0.0
+
+
+def test_unreported_mirrors_untouched():
+    updated = update_experience(
+        {5: 0.9},
+        [ExperienceReport(reporter=1, mirror=1, observations=1, availability=1.0)],
+        alpha=0.75,
+        o_max=5,
+    )
+    assert 5 not in updated
+
+
+def test_invalid_alpha_rejected():
+    with pytest.raises(ValueError):
+        update_experience({}, [], alpha=1.5, o_max=5)
+
+
+def test_invalid_normalization_rejected():
+    with pytest.raises(ValueError):
+        update_experience({}, [], alpha=0.5, o_max=5, normalization="nope")
+
+
+def test_malformed_report_rejected():
+    bad = ExperienceReport(reporter=1, mirror=1, observations=1, availability=2.0)
+    with pytest.raises(ValueError):
+        update_experience({}, [bad], alpha=0.5, o_max=5)

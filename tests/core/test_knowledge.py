@@ -1,0 +1,112 @@
+"""Tests for the knowledge base."""
+
+import pytest
+
+from repro.core.knowledge import KBEntry, KnowledgeBase
+
+
+@pytest.fixture()
+def kb():
+    return KnowledgeBase(owner=100, default_ttl=3)
+
+
+def test_add_and_contains(kb):
+    kb.add_node(1)
+    assert 1 in kb
+    assert 2 not in kb
+    assert len(kb) == 1
+
+
+def test_no_self_entry(kb):
+    with pytest.raises(ValueError):
+        kb.add_node(100)
+
+
+def test_friend_upgrade_preserved(kb):
+    kb.add_node(1)
+    kb.add_node(1, is_friend=True)
+    assert kb.get(1).is_friend
+    # Re-adding without the flag does not downgrade.
+    kb.add_node(1)
+    assert kb.get(1).is_friend
+
+
+def test_friends_listing(kb):
+    kb.add_node(1, is_friend=True)
+    kb.add_node(2)
+    kb.set_friend(3)
+    assert sorted(kb.friends()) == [1, 3]
+
+
+def test_experience_recording_and_clamping(kb):
+    kb.set_experience(1, 0.7)
+    assert kb.experience_of(1) == pytest.approx(0.7)
+    kb.set_experience(1, 1.5)
+    assert kb.experience_of(1) == 1.0
+    kb.set_experience(1, -0.5)
+    assert kb.experience_of(1) == 0.0
+
+
+def test_experience_of_unknown_is_zero(kb):
+    assert kb.experience_of(42) == 0.0
+
+
+def test_ranked_candidates_sorted(kb):
+    kb.set_experience(1, 0.2)
+    kb.set_experience(2, 0.9)
+    kb.set_experience(3, 0.5)
+    assert [node for node, _ in kb.ranked_candidates()] == [2, 3, 1]
+
+
+def test_unranked_nodes(kb):
+    kb.add_node(1)
+    kb.set_experience(2, 0.4)
+    assert kb.unranked_nodes() == [1]
+
+
+def test_ttl_decay_prunes_strangers(kb):
+    kb.add_node(1)  # stranger, ttl=3
+    for _ in range(2):
+        assert kb.decay_ttls() == []
+    assert kb.decay_ttls() == [1]
+    assert 1 not in kb
+
+
+def test_friends_never_expire(kb):
+    kb.add_node(1, is_friend=True)
+    for _ in range(10):
+        kb.decay_ttls()
+    assert 1 in kb
+
+
+def test_mirrors_refresh_ttl(kb):
+    kb.add_node(1)
+    kb.mark_mirrors(iter([1]))
+    for _ in range(10):
+        kb.decay_ttls()
+    assert 1 in kb
+    # De-selecting restarts the countdown.
+    kb.mark_mirrors(iter([]))
+    for _ in range(3):
+        kb.decay_ttls()
+    assert 1 not in kb
+
+
+def test_set_experience_refreshes_ttl(kb):
+    kb.add_node(1)
+    kb.decay_ttls()
+    kb.decay_ttls()
+    kb.set_experience(1, 0.3)
+    assert kb.decay_ttls() == []  # countdown restarted
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        KBEntry(node_id=1, experience=1.5)
+
+
+def test_iteration_yields_entries(kb):
+    kb.add_node(1)
+    kb.add_node(2, is_friend=True)
+    ids = {entry.node_id for entry in kb}
+    assert ids == {1, 2}

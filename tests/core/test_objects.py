@@ -1,0 +1,63 @@
+"""Tests for SOUP objects."""
+
+import pytest
+
+from repro.core.objects import ObjectType, SoupObject
+
+
+def test_sequence_monotonic():
+    a = SoupObject(1, 2, ObjectType.MESSAGE)
+    b = SoupObject(1, 2, ObjectType.MESSAGE)
+    assert b.sequence > a.sequence
+
+
+def test_signing_bytes_deterministic_for_same_object():
+    obj = SoupObject(1, 2, ObjectType.MESSAGE, payload={"text": "hi"}, timestamp=5.0)
+    assert obj.signing_bytes() == obj.signing_bytes()
+
+
+def test_signing_bytes_cover_payload():
+    a = SoupObject(1, 2, ObjectType.MESSAGE, payload={"text": "hi"}, timestamp=5.0)
+    b = SoupObject(1, 2, ObjectType.MESSAGE, payload={"text": "yo"}, timestamp=5.0)
+    assert a.signing_bytes() != b.signing_bytes()
+
+
+def test_signing_bytes_cover_header_fields():
+    a = SoupObject(1, 2, ObjectType.MESSAGE, payload=None, timestamp=1.0)
+    b = SoupObject(1, 3, ObjectType.MESSAGE, payload=None, timestamp=1.0)
+    assert a.signing_bytes() != b.signing_bytes()
+
+
+def test_bytes_payload_supported():
+    obj = SoupObject(1, 2, ObjectType.REPLICA_PUSH, payload=b"\x00\x01binary")
+    assert b"binary" in obj.signing_bytes()
+    assert obj.size_bytes() >= len(b"\x00\x01binary")
+
+
+def test_size_accounts_for_payload():
+    small = SoupObject(1, 2, ObjectType.MESSAGE, payload={"t": "x"})
+    large = SoupObject(1, 2, ObjectType.MESSAGE, payload={"t": "x" * 5000})
+    assert large.size_bytes() - small.size_bytes() >= 4500
+
+
+def test_size_of_empty_payload_is_header_only():
+    obj = SoupObject(1, 2, ObjectType.LOOKUP_ENTRY)
+    assert obj.size_bytes() == 8 + 8 + 16 + 8 + 8 + 128
+
+
+def test_is_signed():
+    obj = SoupObject(1, 2, ObjectType.MESSAGE)
+    assert not obj.is_signed()
+    obj.signature = 12345
+    assert obj.is_signed()
+
+
+def test_payload_with_sets_serializable():
+    obj = SoupObject(1, 2, ObjectType.PUBLISH_ENTRY, payload={"mirrors": {3, 1, 2}})
+    assert obj.size_bytes() > 0
+    assert obj.signing_bytes()
+
+
+def test_all_object_types_distinct():
+    values = [t.value for t in ObjectType]
+    assert len(values) == len(set(values))

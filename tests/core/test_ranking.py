@@ -1,0 +1,165 @@
+"""Tests for bootstrap and regular ranking modes."""
+
+import random
+
+import pytest
+
+from repro.core.config import SoupConfig
+from repro.core.experience import ExperienceReport
+from repro.core.knowledge import KnowledgeBase
+from repro.core.ranking import BootstrapRanker, Recommendation, RegularRanker
+
+
+@pytest.fixture()
+def config():
+    return SoupConfig()
+
+
+class TestBootstrapRanker:
+    def test_recommendations_ranked_by_quality(self, config):
+        ranker = BootstrapRanker(config)
+        ranker.add_recommendation(Recommendation(1, mirror=10, quality=0.9))
+        ranker.add_recommendation(Recommendation(1, mirror=11, quality=0.2))
+        ranking = ranker.ranking()
+        assert [m for m, _ in ranking] == [10, 11]
+
+    def test_quality_discounted(self, config):
+        ranker = BootstrapRanker(config)
+        ranker.add_recommendation(Recommendation(1, mirror=10, quality=1.0))
+        ((_, rank),) = ranker.ranking()
+        assert rank == pytest.approx(BootstrapRanker.TRUST_DISCOUNT)
+
+    def test_unknown_quality_gets_prior(self, config):
+        ranker = BootstrapRanker(config)
+        ranker.add_recommendation(Recommendation(1, mirror=10, quality=None))
+        ((_, rank),) = ranker.ranking()
+        assert rank == pytest.approx(
+            BootstrapRanker.TRUST_DISCOUNT * config.bootstrap_prior
+        )
+
+    def test_multiple_recommendations_averaged(self, config):
+        ranker = BootstrapRanker(config)
+        ranker.add_recommendations(
+            [
+                Recommendation(1, mirror=10, quality=1.0),
+                Recommendation(2, mirror=10, quality=0.5),
+            ]
+        )
+        ((_, rank),) = ranker.ranking()
+        assert rank == pytest.approx(BootstrapRanker.TRUST_DISCOUNT * 0.75)
+        assert ranker.recommendation_count == 2
+
+    def test_quality_clamped(self, config):
+        ranker = BootstrapRanker(config)
+        ranker.add_recommendation(Recommendation(1, mirror=10, quality=7.0))
+        ((_, rank),) = ranker.ranking()
+        assert rank <= 1.0
+
+    def test_fallback_ranking_uses_contacts(self, config):
+        ranker = BootstrapRanker(config)
+        ranking = ranker.fallback_ranking([1, 2, 3], random.Random(0))
+        assert {m for m, _ in ranking} == {1, 2, 3}
+        assert all(r == config.bootstrap_prior for _, r in ranking)
+
+
+class TestRegularRankerAgedCounts:
+    def test_experience_tracks_reported_availability(self, config):
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        for _ in range(12):
+            ranker.ingest_reports(
+                [
+                    ExperienceReport(reporter=j, mirror=5, observations=3, availability=0.9)
+                    for j in range(3)
+                ]
+            )
+        # With many saturated reports, exp converges near 0.9 despite the
+        # prior shrinkage.
+        assert kb.experience_of(5) == pytest.approx(0.9, abs=0.07)
+
+    def test_single_lucky_observation_does_not_dominate(self, config):
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        ranker.ingest_reports(
+            [ExperienceReport(reporter=1, mirror=5, observations=1, availability=1.0)]
+        )
+        # Prior shrinkage keeps one success well below certainty.
+        assert kb.experience_of(5) < 0.6
+
+    def test_failure_reports_sink_experience(self, config):
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        for _ in range(10):
+            ranker.ingest_reports(
+                [ExperienceReport(reporter=1, mirror=5, observations=3, availability=1.0)]
+            )
+        high = kb.experience_of(5)
+        for _ in range(10):
+            ranker.ingest_reports(
+                [ExperienceReport(reporter=1, mirror=5, observations=3, availability=0.0)]
+            )
+        assert kb.experience_of(5) < high / 2
+
+    def test_reporter_influence_capped(self, config):
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        # One slanderer claiming many failed observations vs three honest
+        # friends: the slanderer's weight is capped at o_max.
+        ranker.ingest_reports(
+            [ExperienceReport(reporter=666, mirror=5, observations=500, availability=0.0)]
+            + [
+                ExperienceReport(reporter=j, mirror=5, observations=3, availability=1.0)
+                for j in range(3)
+            ]
+        )
+        # Honest weight 9 vs capped malicious weight o_max=3.
+        assert kb.experience_of(5) > 0.5
+
+    def test_reports_about_owner_ignored(self, config):
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        ranker.ingest_reports(
+            [ExperienceReport(reporter=1, mirror=0, observations=3, availability=1.0)]
+        )
+        assert 0 not in kb
+
+
+class TestRegularRankerEq1Modes:
+    @pytest.mark.parametrize("normalization", ["by_cap", "by_observations"])
+    def test_eq1_modes_work_through_ranker(self, normalization):
+        config = SoupConfig(experience_normalization=normalization)
+        kb = KnowledgeBase(owner=0)
+        ranker = RegularRanker(kb, config)
+        ranker.ingest_reports(
+            [
+                ExperienceReport(
+                    reporter=1, mirror=5, observations=config.o_max, availability=0.8
+                )
+            ]
+        )
+        assert kb.experience_of(5) == pytest.approx(0.75 * 0.8)
+
+    def test_age_unreported_decays(self):
+        config = SoupConfig(experience_normalization="by_cap")
+        kb = KnowledgeBase(owner=0)
+        kb.set_experience(5, 0.8)
+        ranker = RegularRanker(kb, config)
+        ranker.age_unreported(mirrors=[5], reported=[])
+        assert kb.experience_of(5) == pytest.approx(0.25 * 0.8)
+
+    def test_age_unreported_skips_reported(self):
+        config = SoupConfig(experience_normalization="by_cap")
+        kb = KnowledgeBase(owner=0)
+        kb.set_experience(5, 0.8)
+        ranker = RegularRanker(kb, config)
+        ranker.age_unreported(mirrors=[5], reported=[5])
+        assert kb.experience_of(5) == pytest.approx(0.8)
+
+
+def test_ranking_delegates_to_kb():
+    config = SoupConfig()
+    kb = KnowledgeBase(owner=0)
+    kb.set_experience(1, 0.5)
+    kb.set_experience(2, 0.9)
+    ranker = RegularRanker(kb, config)
+    assert [n for n, _ in ranker.ranking()] == [2, 1]

@@ -1,0 +1,105 @@
+"""Tests for the simulation-grade CP-ABE."""
+
+import pytest
+
+from repro.crypto import abe
+from repro.crypto.abe import AbeAuthority, AbeError
+from repro.crypto.access import and_of, attr, or_of, threshold
+
+
+@pytest.fixture()
+def authority():
+    return AbeAuthority(master_secret=b"m" * 32, authority_id="auth-1")
+
+
+def test_roundtrip_single_attribute(authority):
+    ciphertext = authority.encrypt(b"payload", attr("friend"))
+    key = authority.issue_key(["friend"])
+    assert abe.decrypt(ciphertext, key) == b"payload"
+
+
+def test_missing_attribute_cannot_decrypt(authority):
+    ciphertext = authority.encrypt(b"payload", attr("friend"))
+    key = authority.issue_key(["colleague"])
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, key)
+
+
+def test_and_policy_requires_both(authority):
+    policy = and_of(attr("colleague"), attr("family"))
+    ciphertext = authority.encrypt(b"secret", policy)
+    assert abe.decrypt(ciphertext, authority.issue_key(["colleague", "family"])) == b"secret"
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, authority.issue_key(["colleague"]))
+
+
+def test_or_policy_any_branch(authority):
+    policy = or_of(attr("a"), attr("b"))
+    ciphertext = authority.encrypt(b"x", policy)
+    assert abe.decrypt(ciphertext, authority.issue_key(["a"])) == b"x"
+    assert abe.decrypt(ciphertext, authority.issue_key(["b"])) == b"x"
+
+
+def test_threshold_policy(authority):
+    policy = threshold(2, attr("a"), attr("b"), attr("c"))
+    ciphertext = authority.encrypt(b"x", policy)
+    assert abe.decrypt(ciphertext, authority.issue_key(["a", "c"])) == b"x"
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, authority.issue_key(["c"]))
+
+
+def test_nested_policy(authority):
+    policy = and_of(attr("colleague"), or_of(attr("nearby"), attr("family")))
+    ciphertext = authority.encrypt(b"fine-grained", policy)
+    assert (
+        abe.decrypt(ciphertext, authority.issue_key(["colleague", "family"]))
+        == b"fine-grained"
+    )
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, authority.issue_key(["nearby", "family"]))
+
+
+def test_mirror_without_keys_cannot_read(authority):
+    """The core privacy property: mirrors store data they cannot decrypt."""
+    ciphertext = authority.encrypt(b"private profile", attr("friend"))
+    # A mirror holds no attribute keys at all; it only sees ciphertext.
+    assert b"private profile" not in ciphertext.payload
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, authority.issue_key(["mirror-operator"]))
+
+
+def test_cross_authority_key_rejected(authority):
+    other = AbeAuthority(master_secret=b"o" * 32, authority_id="auth-2")
+    ciphertext = authority.encrypt(b"x", attr("friend"))
+    with pytest.raises(AbeError):
+        abe.decrypt(ciphertext, other.issue_key(["friend"]))
+
+
+def test_empty_attribute_key_rejected(authority):
+    with pytest.raises(AbeError):
+        authority.issue_key([])
+
+
+def test_large_payload(authority):
+    payload = b"p" * 300_000
+    ciphertext = authority.encrypt(payload, attr("friend"))
+    assert abe.decrypt(ciphertext, authority.issue_key(["friend"])) == payload
+
+
+def test_ciphertext_size_accounts_payload_and_shares(authority):
+    ciphertext = authority.encrypt(b"x" * 1000, and_of(attr("a"), attr("b")))
+    assert ciphertext.size_bytes() > 1000
+    assert len(ciphertext.wrapped_shares) == 2
+
+
+def test_deterministic_with_pinned_rng(authority):
+    counter = [0]
+
+    def fixed_bytes(n):
+        counter[0] += 1
+        return bytes((counter[0] % 256,)) * n
+
+    c1 = authority.encrypt(b"data", attr("a"), rng_bytes=fixed_bytes)
+    counter[0] = 0
+    c2 = authority.encrypt(b"data", attr("a"), rng_bytes=fixed_bytes)
+    assert c1.payload == c2.payload

@@ -1,0 +1,79 @@
+"""Tests for access-structure trees."""
+
+import pytest
+
+from repro.crypto.access import AccessStructure, and_of, attr, or_of, threshold
+
+
+def test_leaf_satisfied_by_matching_attribute():
+    assert attr("colleague").is_satisfied_by({"colleague"})
+    assert not attr("colleague").is_satisfied_by({"family"})
+    assert not attr("colleague").is_satisfied_by(set())
+
+
+def test_and_requires_all():
+    policy = and_of(attr("a"), attr("b"))
+    assert policy.is_satisfied_by({"a", "b"})
+    assert policy.is_satisfied_by({"a", "b", "c"})
+    assert not policy.is_satisfied_by({"a"})
+    assert not policy.is_satisfied_by({"b"})
+
+
+def test_or_requires_any():
+    policy = or_of(attr("a"), attr("b"))
+    assert policy.is_satisfied_by({"a"})
+    assert policy.is_satisfied_by({"b"})
+    assert not policy.is_satisfied_by({"c"})
+
+
+def test_threshold_gate():
+    policy = threshold(2, attr("a"), attr("b"), attr("c"))
+    assert policy.is_satisfied_by({"a", "b"})
+    assert policy.is_satisfied_by({"b", "c"})
+    assert not policy.is_satisfied_by({"a"})
+
+
+def test_nested_structure():
+    # The paper's example: two attributes for one item, three for another.
+    policy = and_of(attr("colleague"), or_of(attr("lives-nearby"), attr("family")))
+    assert policy.is_satisfied_by({"colleague", "family"})
+    assert policy.is_satisfied_by({"colleague", "lives-nearby"})
+    assert not policy.is_satisfied_by({"colleague"})
+    assert not policy.is_satisfied_by({"family", "lives-nearby"})
+
+
+def test_attributes_collects_all_leaves():
+    policy = and_of(attr("a"), or_of(attr("b"), attr("c")))
+    assert policy.attributes() == frozenset({"a", "b", "c"})
+
+
+def test_describe_readable():
+    policy = and_of(attr("a"), or_of(attr("b"), attr("c")))
+    text = policy.describe()
+    assert "AND" in text and "OR" in text and "a" in text
+
+
+def test_describe_threshold():
+    assert "2-of-" in threshold(2, attr("a"), attr("b"), attr("c")).describe()
+
+
+def test_empty_attribute_rejected():
+    with pytest.raises(ValueError):
+        attr("")
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        threshold(3, attr("a"), attr("b"))
+    with pytest.raises(ValueError):
+        threshold(0, attr("a"))
+
+
+def test_internal_node_needs_children():
+    with pytest.raises(ValueError):
+        AccessStructure(threshold=1, children=())
+
+
+def test_leaf_cannot_have_children():
+    with pytest.raises(ValueError):
+        AccessStructure(attribute="a", threshold=1, children=(attr("b"),))

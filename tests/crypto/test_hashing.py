@@ -1,0 +1,58 @@
+"""Tests for SOUP ID derivation and hash helpers."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    SOUP_ID_SPACE,
+    dht_key_for_string,
+    format_soup_id,
+    sha256,
+    sha256_int,
+    soup_id_from_public_key,
+    truncate_to_id,
+)
+
+
+def test_sha256_known_vector():
+    # SHA-256 of empty input, first bytes.
+    assert sha256(b"").hex().startswith("e3b0c44298fc1c14")
+
+
+def test_sha256_int_matches_bytes():
+    digest = sha256(b"abc")
+    assert sha256_int(b"abc") == int.from_bytes(digest, "big")
+
+
+def test_soup_id_is_64_bits():
+    soup_id = soup_id_from_public_key(b"some public key bytes")
+    assert 0 <= soup_id < SOUP_ID_SPACE
+
+
+def test_soup_id_deterministic_and_key_sensitive():
+    a = soup_id_from_public_key(b"key-a")
+    assert a == soup_id_from_public_key(b"key-a")
+    assert a != soup_id_from_public_key(b"key-b")
+
+
+def test_truncation_uses_top_bytes():
+    digest = bytes(range(32))
+    assert truncate_to_id(digest) == int.from_bytes(digest[:8], "big")
+
+
+def test_dht_key_for_string_in_range():
+    key = dht_key_for_string("alice")
+    assert 0 <= key < SOUP_ID_SPACE
+    assert key != dht_key_for_string("bob")
+
+
+def test_format_soup_id_fixed_width():
+    assert format_soup_id(0) == "0" * 16
+    assert format_soup_id(SOUP_ID_SPACE - 1) == "f" * 16
+    assert len(format_soup_id(12345)) == 16
+
+
+def test_format_soup_id_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        format_soup_id(SOUP_ID_SPACE)
+    with pytest.raises(ValueError):
+        format_soup_id(-1)

@@ -1,0 +1,59 @@
+"""Tests for identity key pairs and signed envelopes."""
+
+import pytest
+
+from repro.crypto.hashing import SOUP_ID_SPACE, soup_id_from_public_key
+from repro.crypto.keys import KeyPair, sign_payload, verify_envelope
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return KeyPair.generate(bits=512, seed=11)
+
+
+def test_soup_id_derived_from_public_key(keys):
+    assert keys.soup_id == soup_id_from_public_key(keys.public.to_bytes())
+    assert 0 <= keys.soup_id < SOUP_ID_SPACE
+
+
+def test_different_seeds_different_ids():
+    a = KeyPair.generate(bits=512, seed=1)
+    b = KeyPair.generate(bits=512, seed=2)
+    assert a.soup_id != b.soup_id
+
+
+def test_sign_and_verify_bytes(keys):
+    envelope = sign_payload(b"raw bytes", keys)
+    assert envelope.signer_id == keys.soup_id
+    assert verify_envelope(envelope, keys.public)
+
+
+def test_sign_and_verify_json_payload(keys):
+    envelope = sign_payload({"action": "friend_request", "to": 42}, keys)
+    assert verify_envelope(envelope, keys.public)
+
+
+def test_json_payload_canonicalized(keys):
+    a = sign_payload({"b": 1, "a": 2}, keys)
+    b = sign_payload({"a": 2, "b": 1}, keys)
+    assert a.payload == b.payload
+    assert a.signature == b.signature
+
+
+def test_tampered_envelope_rejected(keys):
+    envelope = sign_payload(b"original", keys)
+    from dataclasses import replace
+
+    forged = replace(envelope, payload=b"forged")
+    assert not verify_envelope(forged, keys.public)
+
+
+def test_wrong_key_rejected(keys):
+    other = KeyPair.generate(bits=512, seed=99)
+    envelope = sign_payload(b"data", keys)
+    assert not verify_envelope(envelope, other.public)
+
+
+def test_envelope_size_includes_signature(keys):
+    envelope = sign_payload(b"12345", keys)
+    assert envelope.size_bytes() == 5 + 8 + 128

@@ -1,0 +1,58 @@
+"""Tests for the Miller-Rabin prime generator."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 15, 100, 561, 1105, 1729, 2821, 6601, 2**31, 7919 * 104729]
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes_pass(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_fail(n):
+    # Includes Carmichael numbers (561, 1105, 1729 ...), which fool the
+    # Fermat test but not Miller-Rabin.
+    assert not is_probable_prime(n)
+
+
+def test_negative_and_zero_are_not_prime():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+def test_generated_prime_has_exact_bit_length():
+    rng = random.Random(42)
+    for bits in (16, 32, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generated_primes_are_odd():
+    rng = random.Random(0)
+    assert generate_prime(32, rng) % 2 == 1
+
+
+def test_generation_is_deterministic_per_seed():
+    assert generate_prime(64, random.Random(7)) == generate_prime(64, random.Random(7))
+    assert generate_prime(64, random.Random(7)) != generate_prime(64, random.Random(8))
+
+
+def test_tiny_bit_size_rejected():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+def test_large_prime_probabilistic_path():
+    # Above the deterministic bound the random-witness path is used.
+    rng = random.Random(1)
+    p = generate_prime(96, rng)
+    assert is_probable_prime(p, rounds=10, rng=random.Random(2))

@@ -1,0 +1,75 @@
+"""Tests for the SHA-256 keystream cipher."""
+
+import pytest
+
+from repro.crypto.symmetric import (
+    SymmetricCipherError,
+    symmetric_decrypt,
+    symmetric_encrypt,
+)
+
+KEY = b"0123456789abcdef"
+
+
+def test_roundtrip():
+    blob = symmetric_encrypt(KEY, b"attack at dawn")
+    assert symmetric_decrypt(KEY, blob) == b"attack at dawn"
+
+
+def test_empty_plaintext_roundtrip():
+    blob = symmetric_encrypt(KEY, b"")
+    assert symmetric_decrypt(KEY, blob) == b""
+
+
+def test_large_plaintext_roundtrip():
+    data = bytes(range(256)) * 512  # 128 KiB, many keystream blocks
+    assert symmetric_decrypt(KEY, symmetric_encrypt(KEY, data)) == data
+
+
+def test_ciphertext_differs_from_plaintext():
+    blob = symmetric_encrypt(KEY, b"secret message body")
+    assert b"secret message body" not in blob
+
+
+def test_random_nonce_gives_distinct_ciphertexts():
+    assert symmetric_encrypt(KEY, b"x") != symmetric_encrypt(KEY, b"x")
+
+
+def test_pinned_nonce_is_deterministic():
+    nonce = b"n" * 16
+    assert symmetric_encrypt(KEY, b"x", nonce) == symmetric_encrypt(KEY, b"x", nonce)
+
+
+def test_wrong_key_fails_authentication():
+    blob = symmetric_encrypt(KEY, b"data")
+    with pytest.raises(SymmetricCipherError):
+        symmetric_decrypt(b"fedcba9876543210", blob)
+
+
+def test_tampered_body_fails_authentication():
+    blob = bytearray(symmetric_encrypt(KEY, b"data payload"))
+    blob[20] ^= 0xFF
+    with pytest.raises(SymmetricCipherError):
+        symmetric_decrypt(KEY, bytes(blob))
+
+
+def test_tampered_tag_fails_authentication():
+    blob = bytearray(symmetric_encrypt(KEY, b"data payload"))
+    blob[-1] ^= 0x01
+    with pytest.raises(SymmetricCipherError):
+        symmetric_decrypt(KEY, bytes(blob))
+
+
+def test_truncated_blob_rejected():
+    with pytest.raises(SymmetricCipherError):
+        symmetric_decrypt(KEY, b"short")
+
+
+def test_short_key_rejected():
+    with pytest.raises(SymmetricCipherError):
+        symmetric_encrypt(b"tiny", b"data")
+
+
+def test_bad_nonce_size_rejected():
+    with pytest.raises(SymmetricCipherError):
+        symmetric_encrypt(KEY, b"data", nonce=b"short")

@@ -1,0 +1,61 @@
+"""Tests for the 31-node deployment emulation (Sec. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.emulation import Deployment
+
+
+@pytest.fixture(scope="module")
+def report():
+    deployment = Deployment(n_desktop=27, n_mobile=4, seed=7)
+    return deployment.run(duration_s=1200.0, selection_rounds=12)
+
+
+def test_population_matches_paper(report):
+    assert report.n_users == 31
+    assert report.n_mobile == 4
+
+
+def test_workload_volumes(report):
+    assert report.friendships == 282
+    assert report.messages_sent > 1000
+    assert report.photos_shared >= 204
+
+
+def test_no_data_loss(report):
+    """The paper: "we did not observe a single loss"."""
+    assert report.profile_requests > 0
+    assert report.availability > 0.99
+
+
+def test_mirror_sets_stabilize(report):
+    """Fig. 14c: after the initial rounds, variance falls toward ~1 (the
+    random exploration node)."""
+    variance = report.mirror_variance_by_round
+    assert len(variance) >= 10
+    early = np.mean(variance[:3])
+    late = np.mean(variance[-3:])
+    assert late < early
+    assert late < 3.0
+
+
+def test_gateway_control_traffic_shape(report):
+    """Fig. 14a: spikes of tens of KB/s on join/leave; otherwise quiet."""
+    series = [kb for _, kb in report.gateway_series]
+    assert 10.0 <= max(series) <= 80.0
+    busy = sum(1 for kb in series if kb > 5.0)
+    assert busy < len(series) * 0.1  # quiet most of the time
+
+
+def test_user_traffic_mostly_idle(report):
+    """Fig. 14b: messaging is hardly distinguishable from an idle link."""
+    series = [kb for _, kb in report.busiest_user_series]
+    idle_fraction = np.mean(np.array(series) < 5.0)
+    assert idle_fraction > 0.6
+    assert max(series) > 100  # but publication events do spike
+
+
+def test_deployment_needs_gateway():
+    with pytest.raises(ValueError):
+        Deployment(n_desktop=0)

@@ -1,0 +1,55 @@
+"""Tests for the deployment workload builder."""
+
+import random
+
+import pytest
+
+from repro.deploy.workload import build_workload
+
+
+def test_paper_volumes():
+    events = build_workload(31, 1800.0, random.Random(0))
+    kinds = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    assert kinds["friendship"] == 282
+    assert kinds["photo"] == 204
+    assert kinds["message"] == 1189
+
+
+def test_events_sorted_by_time():
+    events = build_workload(31, 1800.0, random.Random(0))
+    times = [e.time_s for e in events]
+    assert times == sorted(times)
+
+
+def test_friendships_front_loaded():
+    events = build_workload(31, 900.0, random.Random(1))
+    friend_times = [e.time_s for e in events if e.kind == "friendship"]
+    assert max(friend_times) <= 300.0
+
+
+def test_no_self_events():
+    events = build_workload(10, 100.0, random.Random(2))
+    assert all(e.actor != e.target for e in events)
+
+
+def test_friendships_unique_pairs():
+    events = build_workload(31, 1800.0, random.Random(3))
+    pairs = [
+        (min(e.actor, e.target), max(e.actor, e.target))
+        for e in events
+        if e.kind == "friendship"
+    ]
+    assert len(pairs) == len(set(pairs))
+
+
+def test_friendships_capped_by_pair_count():
+    events = build_workload(4, 100.0, random.Random(4), n_friendships=1000)
+    friendships = [e for e in events if e.kind == "friendship"]
+    assert len(friendships) == 6  # C(4, 2)
+
+
+def test_too_few_users_rejected():
+    with pytest.raises(ValueError):
+        build_workload(1, 100.0, random.Random(0))

@@ -1,0 +1,40 @@
+"""Tests for the bootstrap-node registry."""
+
+import random
+
+import pytest
+
+from repro.dht.bootstrap import BootstrapRegistry
+
+
+def test_register_and_pick():
+    registry = BootstrapRegistry([1, 2, 3])
+    assert len(registry) == 3
+    assert registry.pick(random.Random(0)) in (1, 2, 3)
+
+
+def test_register_idempotent():
+    registry = BootstrapRegistry()
+    registry.register(5)
+    registry.register(5)
+    assert registry.all() == [5]
+
+
+def test_unregister():
+    registry = BootstrapRegistry([1, 2])
+    registry.unregister(1)
+    assert registry.all() == [2]
+    registry.unregister(99)  # no-op
+    assert len(registry) == 1
+
+
+def test_empty_pick_raises():
+    with pytest.raises(LookupError):
+        BootstrapRegistry().pick(random.Random(0))
+
+
+def test_pick_spreads_load():
+    registry = BootstrapRegistry(list(range(10)))
+    rng = random.Random(1)
+    picks = {registry.pick(rng) for _ in range(100)}
+    assert len(picks) > 5

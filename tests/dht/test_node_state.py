@@ -1,0 +1,122 @@
+"""Tests for Pastry routing tables and leaf sets."""
+
+import pytest
+
+from repro.dht.node_state import (
+    ID_DIGITS,
+    LeafSet,
+    RoutingTable,
+    digit_at,
+    ring_distance,
+    shared_prefix_length,
+)
+
+
+class TestDigits:
+    def test_digit_extraction(self):
+        node_id = 0xABCDEF0123456789
+        assert digit_at(node_id, 0) == 0xA
+        assert digit_at(node_id, 1) == 0xB
+        assert digit_at(node_id, 15) == 0x9
+
+    def test_digit_position_bounds(self):
+        with pytest.raises(ValueError):
+            digit_at(0, 16)
+        with pytest.raises(ValueError):
+            digit_at(0, -1)
+
+    def test_shared_prefix(self):
+        assert shared_prefix_length(0xAB00, 0xAB00) == ID_DIGITS
+        a = 0xAB00_0000_0000_0000
+        b = 0xAC00_0000_0000_0000
+        assert shared_prefix_length(a, b) == 1
+
+    def test_ring_distance_wraps(self):
+        assert ring_distance(0, 1) == 1
+        assert ring_distance(0, (1 << 64) - 1) == 1
+        assert ring_distance(5, 5) == 0
+
+
+class TestRoutingTable:
+    def test_consider_places_by_prefix(self):
+        owner = 0xA000_0000_0000_0000
+        table = RoutingTable(owner)
+        other = 0xB000_0000_0000_0000
+        assert table.consider(other)
+        assert table.entry(0, 0xB) == other
+
+    def test_owner_not_inserted(self):
+        table = RoutingTable(5)
+        assert not table.consider(5)
+
+    def test_first_entry_kept(self):
+        owner = 0xA000_0000_0000_0000
+        table = RoutingTable(owner)
+        first = 0xB100_0000_0000_0000
+        second = 0xB200_0000_0000_0000
+        assert table.consider(first)
+        assert not table.consider(second)
+        assert table.entry(0, 0xB) == first
+
+    def test_next_hop_matches_prefix(self):
+        owner = 0xA000_0000_0000_0000
+        table = RoutingTable(owner)
+        target_region = 0xB500_0000_0000_0000
+        table.consider(target_region)
+        key = 0xB777_0000_0000_0000
+        assert table.next_hop(key) == target_region
+
+    def test_remove(self):
+        owner = 0xA000_0000_0000_0000
+        table = RoutingTable(owner)
+        other = 0xB000_0000_0000_0000
+        table.consider(other)
+        table.remove(other)
+        assert table.entry(0, 0xB) is None
+        assert table.size() == 0
+
+    def test_known_nodes(self):
+        owner = 0xA000_0000_0000_0000
+        table = RoutingTable(owner)
+        nodes = [0xB000_0000_0000_0000, 0xA100_0000_0000_0000]
+        for node in nodes:
+            table.consider(node)
+        assert sorted(table.known_nodes()) == sorted(nodes)
+
+
+class TestLeafSet:
+    def test_keeps_closest(self):
+        leaf = LeafSet(owner=1000, half_size=2)
+        for node in [1001, 1002, 1003, 1004, 999, 998, 2000, 5000]:
+            leaf.consider(node)
+        members = leaf.members()
+        assert len(members) == 4
+        assert 5000 not in members
+        assert 1001 in members and 999 in members
+
+    def test_owner_excluded(self):
+        leaf = LeafSet(owner=10)
+        leaf.consider(10)
+        assert len(leaf) == 0
+
+    def test_covers_within_span(self):
+        leaf = LeafSet(owner=1000, half_size=2)
+        leaf.consider_all([900, 1100])
+        assert leaf.covers(1050)
+        assert not leaf.covers(5000)
+
+    def test_closest_to_includes_owner(self):
+        leaf = LeafSet(owner=1000, half_size=2)
+        leaf.consider_all([500, 2000])
+        assert leaf.closest_to(1001) == 1000
+        assert leaf.closest_to(1999) == 2000
+
+    def test_remove(self):
+        leaf = LeafSet(owner=0, half_size=2)
+        leaf.consider(5)
+        leaf.remove(5)
+        assert 5 not in leaf
+
+    def test_invalid_half_size(self):
+        with pytest.raises(ValueError):
+            LeafSet(owner=0, half_size=0)

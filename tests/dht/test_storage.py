@@ -1,0 +1,29 @@
+"""Tests for directory entries."""
+
+from repro.dht.storage import DirectoryEntry
+
+
+def test_with_mirrors_bumps_version():
+    entry = DirectoryEntry(soup_id=5, name="alice", mirror_ids=(1,), version=3)
+    updated = entry.with_mirrors([7, 8])
+    assert updated.version == 4
+    assert updated.mirror_ids == (7, 8)
+    assert updated.name == "alice"
+    assert entry.mirror_ids == (1,)  # original untouched
+
+
+def test_with_mirrors_preserves_key():
+    entry = DirectoryEntry(soup_id=5, public_key="pk")
+    assert entry.with_mirrors([1]).public_key == "pk"
+
+
+def test_size_scales_with_contents():
+    small = DirectoryEntry(soup_id=1)
+    big = DirectoryEntry(
+        soup_id=1,
+        name="a-rather-long-user-name",
+        interfaces=("10.0.0.1", "192.168.0.2"),
+        mirror_ids=tuple(range(10)),
+    )
+    assert big.size_bytes() > small.size_bytes()
+    assert big.size_bytes() - small.size_bytes() >= 10 * 8

@@ -1,0 +1,83 @@
+"""Tests for the bandwidth-aware recommendation extension."""
+
+import pytest
+
+from repro.core.experience import ExperienceReport
+from repro.extensions.bandwidth import (
+    BandwidthTracker,
+    qos_adjusted_ranking,
+    simulate_qos_benefit,
+)
+
+
+def report(mirror, bandwidth):
+    return ExperienceReport(
+        reporter=1, mirror=mirror, observations=3, availability=0.9,
+        bandwidth_kb_s=bandwidth,
+    )
+
+
+class TestTracker:
+    def test_first_report_sets_estimate(self):
+        tracker = BandwidthTracker()
+        tracker.ingest_reports([report(5, 400.0)])
+        assert tracker.estimate(5) == 400.0
+
+    def test_ewma_smoothing(self):
+        tracker = BandwidthTracker(smoothing=0.5)
+        tracker.ingest_reports([report(5, 400.0)])
+        tracker.ingest_reports([report(5, 200.0)])
+        assert tracker.estimate(5) == pytest.approx(300.0)
+
+    def test_reports_without_bandwidth_ignored(self):
+        tracker = BandwidthTracker()
+        tracker.ingest_reports(
+            [ExperienceReport(reporter=1, mirror=5, observations=3, availability=0.9)]
+        )
+        assert tracker.estimate(5) is None
+        assert tracker.known_mirrors() == []
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            BandwidthTracker(smoothing=0.0)
+
+
+class TestQosRanking:
+    def test_availability_stays_primary(self):
+        tracker = BandwidthTracker()
+        tracker.ingest_reports([report(1, 50.0), report(2, 2000.0)])
+        # Mirror 1: much better availability, terrible bandwidth.
+        ranking = qos_adjusted_ranking([(1, 0.9), (2, 0.4)], tracker, qos_weight=0.25)
+        assert ranking[0][0] == 1
+
+    def test_bandwidth_breaks_near_ties(self):
+        tracker = BandwidthTracker()
+        tracker.ingest_reports([report(1, 50.0), report(2, 2000.0)])
+        ranking = qos_adjusted_ranking([(1, 0.80), (2, 0.79)], tracker, qos_weight=0.25)
+        assert ranking[0][0] == 2
+
+    def test_unknown_bandwidth_neutral(self):
+        tracker = BandwidthTracker()
+        ranking = qos_adjusted_ranking([(1, 0.5), (2, 0.4)], tracker, qos_weight=0.25)
+        assert [m for m, _ in ranking] == [1, 2]
+        assert ranking[0][1] == pytest.approx(0.5)
+
+    def test_zero_weight_is_identity(self):
+        tracker = BandwidthTracker()
+        tracker.ingest_reports([report(2, 2000.0)])
+        original = [(1, 0.5), (2, 0.49)]
+        ranking = qos_adjusted_ranking(original, tracker, qos_weight=0.0)
+        assert ranking == sorted(original, key=lambda p: -p[1])
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            qos_adjusted_ranking([], BandwidthTracker(), qos_weight=1.0)
+
+
+def test_qos_experiment_improves_bandwidth_at_same_availability():
+    """The Sec. 8 claim: better QoS without giving up availability."""
+    outcomes = simulate_qos_benefit(n_mirrors=150, n_selectors=60, seed=3)
+    baseline = outcomes["baseline"]
+    qos = outcomes["qos"]
+    assert qos.mean_mirror_bandwidth_kb_s > baseline.mean_mirror_bandwidth_kb_s
+    assert qos.estimated_availability > baseline.estimated_availability - 0.02

@@ -1,0 +1,56 @@
+"""Tests for the edge-list loader."""
+
+import gzip
+
+import pytest
+
+from repro.graphs.loader import load_edge_list
+
+
+def test_load_plain_edge_list(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# comment line\n0 1\n1 2\n2 0\n")
+    graph = load_edge_list(path)
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 3
+
+
+def test_load_gzipped_edge_list(tmp_path):
+    path = tmp_path / "edges.txt.gz"
+    with gzip.open(path, "wt") as handle:
+        handle.write("0 1\n1 2\n")
+    graph = load_edge_list(path)
+    assert graph.number_of_edges() == 2
+
+
+def test_directed_edges_symmetrized(tmp_path):
+    path = tmp_path / "trust.txt"
+    path.write_text("0 1\n1 0\n")  # both directions collapse to one edge
+    graph = load_edge_list(path)
+    assert graph.number_of_edges() == 1
+
+
+def test_self_loops_dropped(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("0 0\n0 1\n")
+    graph = load_edge_list(path)
+    assert graph.number_of_edges() == 1
+
+
+def test_relabeled_to_contiguous_integers(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("1000 2000\n2000 50\n")
+    graph = load_edge_list(path)
+    assert set(graph.nodes) == {0, 1, 2}
+
+
+def test_missing_file_raises():
+    with pytest.raises(FileNotFoundError):
+        load_edge_list("/nonexistent/file.txt")
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("justonetoken\n")
+    with pytest.raises(ValueError):
+        load_edge_list(path)

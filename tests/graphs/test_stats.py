@@ -1,0 +1,48 @@
+"""Tests for graph statistics."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.datasets import generate_dataset
+from repro.graphs.stats import degree_ccdf, graph_stats
+
+
+def test_stats_on_known_graph():
+    graph = nx.complete_graph(5)
+    stats = graph_stats(graph)
+    assert stats.nodes == 5
+    assert stats.edges == 10
+    assert stats.average_degree == 4.0
+    assert stats.median_degree == 4.0
+    assert stats.max_degree == 4
+    assert stats.degree_gini == pytest.approx(0.0, abs=1e-9)
+    assert stats.clustering_sample == 1.0
+
+
+def test_gini_detects_heterogeneity():
+    star = graph_stats(nx.star_graph(20))
+    ring = graph_stats(nx.cycle_graph(21))
+    assert star.degree_gini > ring.degree_gini
+
+
+def test_as_row_matches_table3_view():
+    graph = nx.complete_graph(4)
+    assert graph_stats(graph).as_row() == (4, 6, 3.0)
+
+
+def test_clustering_sampled_for_large_graphs():
+    graph = generate_dataset("epinions", scale=0.02, seed=0)
+    stats = graph_stats(graph, clustering_sample_size=100, seed=1)
+    assert 0.0 <= stats.clustering_sample <= 1.0
+
+
+def test_degree_ccdf_monotone():
+    graph = generate_dataset("epinions", scale=0.005, seed=0)
+    ccdf = degree_ccdf(graph)
+    fractions = [f for _, f in ccdf]
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[0] == 1.0
+
+
+def test_degree_ccdf_empty_graph():
+    assert degree_ccdf(nx.Graph()) == []

@@ -1,0 +1,41 @@
+"""Tests for the Application Manager."""
+
+from repro.core.objects import ObjectType, SoupObject
+from repro.node.application_manager import ApplicationManager
+
+
+def test_encapsulation_sets_header_fields():
+    apps = ApplicationManager(owner_id=7)
+    obj = apps.encapsulate(9, ObjectType.MESSAGE, {"text": "hi"}, timestamp=3.0)
+    assert obj.source == 7
+    assert obj.dest == 9
+    assert obj.timestamp == 3.0
+    assert obj.payload == {"text": "hi"}
+
+
+def test_deliver_dispatches_to_registered_callbacks():
+    apps = ApplicationManager(owner_id=7)
+    seen = []
+    apps.register(ObjectType.MESSAGE, seen.append)
+    message = SoupObject(1, 7, ObjectType.MESSAGE, {"text": "yo"})
+    other = SoupObject(1, 7, ObjectType.UPDATE, {"x": 1})
+    apps.deliver(message)
+    apps.deliver(other)
+    assert seen == [message]
+    assert len(apps.inbox) == 2
+
+
+def test_multiple_callbacks_all_fire():
+    apps = ApplicationManager(owner_id=7)
+    counts = [0, 0]
+    apps.register(ObjectType.MESSAGE, lambda o: counts.__setitem__(0, counts[0] + 1))
+    apps.register(ObjectType.MESSAGE, lambda o: counts.__setitem__(1, counts[1] + 1))
+    apps.deliver(SoupObject(1, 7, ObjectType.MESSAGE))
+    assert counts == [1, 1]
+
+
+def test_messages_received_filter():
+    apps = ApplicationManager(owner_id=7)
+    apps.deliver(SoupObject(1, 7, ObjectType.MESSAGE))
+    apps.deliver(SoupObject(1, 7, ObjectType.FRIEND_REQUEST))
+    assert len(apps.messages_received()) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for the Interface Manager's traffic accounting."""
+
+import pytest
+
+from repro.core.objects import ObjectType, SoupObject
+from repro.dht.pastry import DhtError, PastryOverlay
+from repro.dht.storage import DirectoryEntry
+from repro.network.events import EventLoop
+from repro.network.simnet import SimNetwork
+from repro.node.interface_manager import InterfaceManager
+
+
+@pytest.fixture()
+def setup():
+    loop = EventLoop()
+    network = SimNetwork(loop)
+    overlay = PastryOverlay()
+    ids = [0x1000 + i * 0x1111_1111_1111 for i in range(8)]
+    for index, node_id in enumerate(ids):
+        network.register(node_id, lambda s, m: None)
+        overlay.join(node_id, bootstrap_id=ids[0] if index else None)
+    return loop, network, overlay, ids
+
+
+def test_publish_charges_control_meters(setup):
+    loop, network, overlay, ids = setup
+    interface = InterfaceManager(ids[0], network, overlay)
+    entry = DirectoryEntry(soup_id=0x9999_0000_0000_0000, name="alice")
+    route = interface.publish_entry(entry)
+    if route.hops:
+        sender_meter = network.control_meter(route.path[0])
+        assert sender_meter.total_sent() > 0
+    # Data meters untouched by control traffic.
+    assert network.meters[ids[0]].total_sent() == 0
+
+
+def test_lookup_returns_entry_and_charges(setup):
+    loop, network, overlay, ids = setup
+    publisher = InterfaceManager(ids[0], network, overlay)
+    reader = InterfaceManager(ids[3], network, overlay)
+    key = 0x7777_0000_0000_0000
+    publisher.publish_entry(DirectoryEntry(soup_id=key, name="bob"))
+    entry, route = reader.lookup_entry(key)
+    assert entry is not None and entry.name == "bob"
+
+
+def test_mobile_relay_charges_gateway(setup):
+    loop, network, overlay, ids = setup
+    mobile_id = 0xABCD_0000_0000_0000
+    network.register(mobile_id, lambda s, m: None)
+    mobile = InterfaceManager(mobile_id, network, overlay, is_mobile=True)
+    mobile.set_gateway(ids[0])
+    mobile.lookup_entry(0x1234)
+    gateway_meter = network.control_meter(ids[0])
+    assert gateway_meter.total_sent() > 0
+    assert gateway_meter.total_received() > 0
+    assert network.control_meter(mobile_id).total_sent() > 0
+
+
+def test_mobile_without_gateway_rejected(setup):
+    loop, network, overlay, ids = setup
+    mobile = InterfaceManager(0xAB, network, overlay, is_mobile=True)
+    with pytest.raises(DhtError):
+        mobile.lookup_entry(0x1234)
+
+
+def test_regular_node_cannot_set_gateway(setup):
+    loop, network, overlay, ids = setup
+    interface = InterfaceManager(ids[0], network, overlay)
+    with pytest.raises(ValueError):
+        interface.set_gateway(ids[1])
+
+
+def test_send_object_uses_data_meter(setup):
+    loop, network, overlay, ids = setup
+    interface = InterfaceManager(ids[0], network, overlay)
+    obj = SoupObject(ids[0], ids[1], ObjectType.MESSAGE, {"text": "x"})
+    interface.send_object(obj)
+    loop.run_until(5)
+    assert network.meters[ids[0]].total_sent() == obj.size_bytes()
+    assert network.meters[ids[1]].total_received() == obj.size_bytes()
+
+
+def test_send_bytes_overrides_size(setup):
+    loop, network, overlay, ids = setup
+    interface = InterfaceManager(ids[0], network, overlay)
+    obj = SoupObject(ids[0], ids[1], ObjectType.REPLICA_PUSH)
+    interface.send_bytes(ids[1], obj, 1_000_000)
+    loop.run_until(60)
+    assert network.meters[ids[1]].total_received() == 1_000_000

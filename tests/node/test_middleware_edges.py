@@ -1,0 +1,129 @@
+"""Edge-case tests for middleware paths not covered elsewhere."""
+
+import pytest
+
+from repro.core.config import SoupConfig
+from repro.dht.bootstrap import BootstrapRegistry
+from repro.dht.pastry import PastryOverlay
+from repro.network.events import EventLoop
+from repro.network.simnet import SimNetwork
+from repro.node.middleware import SoupNode
+from repro.node.profile import DataItem
+
+
+@pytest.fixture()
+def world():
+    loop = EventLoop()
+    network = SimNetwork(loop)
+    overlay = PastryOverlay()
+    registry = BootstrapRegistry()
+    nodes = {}
+
+    def make(name, seed, **kwargs):
+        node = SoupNode(
+            name=name, network=network, overlay=overlay, registry=registry,
+            peer_resolver=nodes.get, config=SoupConfig(), seed=seed,
+            key_bits=256, **kwargs,
+        )
+        nodes[node.node_id] = node
+        return node
+
+    boot = make("boot", 1)
+    boot.join()
+    boot.make_bootstrap_node()
+    users = [make(f"u{i}", 10 + i) for i in range(8)]
+    for user in users:
+        user.join()
+    for a in [boot] + users:
+        for b in [boot] + users:
+            if a is not b:
+                a.contact(b.node_id)
+    return loop, network, nodes, boot, users, make
+
+
+def test_offline_node_selection_round_is_noop(world):
+    loop, network, nodes, boot, users, make = world
+    node = users[0]
+    node.run_selection_round()
+    before = list(node.mirror_manager.announced_mirrors)
+    node.go_offline()
+    assert node.run_selection_round() == before
+
+
+def test_go_online_is_idempotent(world):
+    loop, network, nodes, boot, users, make = world
+    node = users[1]
+    node.go_online()  # already online: no-op
+    assert node.online
+    node.go_offline()
+    node.go_offline()  # double offline: no-op
+    assert not node.online
+
+
+def test_withdrawn_mirror_loses_replica_and_log(world):
+    loop, network, nodes, boot, users, make = world
+    owner = users[2]
+    accepted = owner.run_selection_round()
+    owner.post_item(DataItem.text(1000, created_at=loop.now))
+    mirror = nodes[accepted[0]]
+    assert mirror.mirror_manager.store.stores_for(owner.node_id)
+    assert mirror.mirror_manager.update_log_for(owner.node_id) is not None
+    mirror.mirror_manager.handle_withdraw(owner.node_id)
+    assert not mirror.mirror_manager.store.stores_for(owner.node_id)
+    assert mirror.mirror_manager.update_log_for(owner.node_id) is None
+
+
+def test_befriend_offline_target_fails(world):
+    loop, network, nodes, boot, users, make = world
+    a, b = users[3], users[4]
+    b.go_offline()
+    assert not a.befriend(b.node_id)
+    assert not a.social.is_friend(b.node_id)
+    b.go_online()
+
+
+def test_republishing_bumps_entry_version(world):
+    loop, network, nodes, boot, users, make = world
+    node = users[5]
+    node.publish_entry()
+    first = boot.lookup_user(node.node_id).version
+    node.publish_entry()
+    assert boot.lookup_user(node.node_id).version == first + 1
+
+
+def test_exchange_without_observations_sends_nothing(world):
+    loop, network, nodes, boot, users, make = world
+    a, b = users[6], users[7]
+    a.befriend(b.node_id)
+    assert a.exchange_experience_sets() == 0  # nothing observed yet
+
+
+def test_profile_request_observes_only_for_friends(world):
+    loop, network, nodes, boot, users, make = world
+    owner = users[0]
+    stranger = users[6]
+    owner.run_selection_round()
+    owner.go_offline()
+    stranger.request_profile(owner.node_id)
+    es = stranger.mirror_manager.experience_sets.get(owner.node_id)
+    assert es is None or len(es) == 0  # strangers record no experience
+    owner.go_online()
+
+
+def test_sync_unknown_device_rejected(world):
+    loop, network, nodes, boot, users, make = world
+    with pytest.raises(LookupError):
+        users[0].sync_device("ghost-device")
+
+
+def test_coded_node_with_too_few_mirrors_falls_back_to_full(world):
+    loop, network, nodes, boot, users, make = world
+    owner = make("coded-owner", 99, coding_k=30, coding_threshold_bytes=1000)
+    owner.join()
+    for other in users:
+        owner.contact(other.node_id)
+    owner.post_item(DataItem.video(5_000_000, created_at=loop.now))
+    accepted = owner.run_selection_round()
+    # Fewer than k mirrors available: full replication is used instead.
+    assert len(accepted) < 30
+    assert owner.mirror_manager.coded_plan is None

@@ -1,0 +1,88 @@
+"""Tests for the Security Manager."""
+
+import pytest
+
+from repro.core.objects import ObjectType, SoupObject
+from repro.crypto.abe import AbeError
+from repro.crypto.access import and_of, attr
+from repro.crypto.keys import KeyPair
+from repro.node.security_manager import SecurityManager
+
+
+@pytest.fixture(scope="module")
+def alice_keys():
+    return KeyPair.generate(bits=512, seed=1)
+
+
+@pytest.fixture(scope="module")
+def bob_keys():
+    return KeyPair.generate(bits=512, seed=2)
+
+
+@pytest.fixture()
+def alice(alice_keys):
+    return SecurityManager(alice_keys, master_secret=b"a" * 32)
+
+
+@pytest.fixture()
+def bob(bob_keys):
+    return SecurityManager(bob_keys, master_secret=b"b" * 32)
+
+
+def test_sign_and_verify_between_nodes(alice, bob, alice_keys):
+    obj = SoupObject(alice_keys.soup_id, bob.keys.soup_id, ObjectType.MESSAGE, {"t": "hi"})
+    alice.sign_object(obj)
+    bob.learn_public_key(alice_keys.soup_id, alice_keys.public)
+    assert bob.verify_object(obj)
+
+
+def test_unknown_sender_rejected(alice, bob, alice_keys):
+    obj = SoupObject(alice_keys.soup_id, bob.keys.soup_id, ObjectType.MESSAGE, {"t": "hi"})
+    alice.sign_object(obj)
+    assert not bob.verify_object(obj)  # bob never learned alice's key
+
+
+def test_unsigned_object_rejected(bob, alice_keys):
+    obj = SoupObject(alice_keys.soup_id, bob.keys.soup_id, ObjectType.MESSAGE)
+    assert not bob.verify_object(obj)
+
+
+def test_tampered_object_rejected(alice, bob, alice_keys):
+    obj = SoupObject(alice_keys.soup_id, bob.keys.soup_id, ObjectType.MESSAGE, {"t": "hi"})
+    alice.sign_object(obj)
+    bob.learn_public_key(alice_keys.soup_id, alice_keys.public)
+    obj.payload = {"t": "forged"}
+    assert not bob.verify_object(obj)
+
+
+def test_friend_can_decrypt_replica(alice, bob):
+    ciphertext = alice.encrypt_replica(b"alice's data")
+    key = alice.issue_attribute_key(["friend"])
+    bob.receive_attribute_key(alice.keys.soup_id, key)
+    assert bob.decrypt_from(alice.keys.soup_id, ciphertext) == b"alice's data"
+    assert bob.can_decrypt_from(alice.keys.soup_id)
+
+
+def test_stranger_cannot_decrypt(alice, bob):
+    ciphertext = alice.encrypt_replica(b"private")
+    with pytest.raises(AbeError):
+        bob.decrypt_from(alice.keys.soup_id, ciphertext)
+
+
+def test_wrong_attributes_cannot_decrypt(alice, bob):
+    policy = and_of(attr("friend"), attr("colleague"))
+    ciphertext = alice.encrypt_replica(b"work stuff", policy)
+    bob.receive_attribute_key(
+        alice.keys.soup_id, alice.issue_attribute_key(["friend"])
+    )
+    with pytest.raises(AbeError):
+        bob.decrypt_from(alice.keys.soup_id, ciphertext)
+
+
+def test_custom_policy_respected(alice, bob):
+    policy = and_of(attr("friend"), attr("colleague"))
+    ciphertext = alice.encrypt_replica(b"work stuff", policy)
+    bob.receive_attribute_key(
+        alice.keys.soup_id, alice.issue_attribute_key(["friend", "colleague"])
+    )
+    assert bob.decrypt_from(alice.keys.soup_id, ciphertext) == b"work stuff"

@@ -1,0 +1,63 @@
+"""Tests for the Social Manager."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.node.security_manager import SecurityManager
+from repro.node.social_manager import SocialManager
+
+
+@pytest.fixture()
+def social():
+    keys = KeyPair.generate(bits=512, seed=1)
+    return SocialManager(owner_id=keys.soup_id, security=SecurityManager(keys))
+
+
+def test_request_accept_flow(social):
+    social.receive_request(42)
+    assert social.pending_incoming() == [42]
+    key = social.accept_request(42)
+    assert social.is_friend(42)
+    assert social.pending_incoming() == []
+    assert "friend" in key.attributes()
+
+
+def test_accept_unknown_request_rejected(social):
+    with pytest.raises(LookupError):
+        social.accept_request(7)
+
+
+def test_outgoing_confirmation(social):
+    social.initiate_request(9)
+    key = social.confirm_accepted(9)
+    assert social.is_friend(9)
+    assert "friend" in key.attributes()
+
+
+def test_self_friendship_rejected(social):
+    with pytest.raises(ValueError):
+        social.initiate_request(social.owner_id)
+
+
+def test_duplicate_requests_ignored(social):
+    social.receive_request(42)
+    social.accept_request(42)
+    social.receive_request(42)  # already friends: no new pending entry
+    assert social.pending_incoming() == []
+
+
+def test_friendship_listeners_fire_once(social):
+    events = []
+    social.on_friendship(events.append)
+    social.receive_request(42)
+    social.accept_request(42)
+    social.initiate_request(42)  # no-op: already friends
+    assert events == [42]
+
+
+def test_friend_count_and_listing(social):
+    for node in (5, 3, 9):
+        social.receive_request(node)
+        social.accept_request(node)
+    assert social.friend_count() == 3
+    assert social.friends() == [3, 5, 9]

@@ -1,0 +1,67 @@
+"""Tests for update buffering and reconciliation (Sec. 3.5)."""
+
+from repro.node.sync import PendingUpdate, UpdateBuffer, merge_update_streams
+
+
+def update(target=1, origin=2, timestamp=0.0, sequence=0, payload="x"):
+    return PendingUpdate(
+        target_id=target,
+        origin_id=origin,
+        timestamp=timestamp,
+        sequence=sequence,
+        payload=payload,
+    )
+
+
+class TestUpdateBuffer:
+    def test_add_and_collect(self):
+        buffer = UpdateBuffer()
+        buffer.add(update(sequence=1))
+        buffer.add(update(sequence=2))
+        collected = buffer.collect(1)
+        assert len(collected) == 2
+        assert buffer.pending_count(1) == 0
+
+    def test_duplicates_deduplicated(self):
+        buffer = UpdateBuffer()
+        buffer.add(update(sequence=1))
+        buffer.add(update(sequence=1))  # same origin+sequence via two paths
+        assert buffer.pending_count(1) == 1
+
+    def test_ordering_by_timestamp(self):
+        buffer = UpdateBuffer()
+        buffer.add(update(timestamp=5.0, sequence=2))
+        buffer.add(update(timestamp=1.0, sequence=1))
+        ordered = buffer.pending_for(1)
+        assert [u.timestamp for u in ordered] == [1.0, 5.0]
+
+    def test_per_target_isolation(self):
+        buffer = UpdateBuffer()
+        buffer.add(update(target=1, sequence=1))
+        buffer.add(update(target=2, sequence=2))
+        assert buffer.pending_count(1) == 1
+        assert buffer.pending_count() == 2
+        buffer.collect(1)
+        assert buffer.pending_count(2) == 1
+
+
+class TestMerge:
+    def test_merge_deduplicates_across_mirrors(self):
+        a = [update(sequence=1), update(sequence=2)]
+        b = [update(sequence=2), update(sequence=3)]
+        merged = merge_update_streams(a, b)
+        assert len(merged) == 3
+
+    def test_merge_orders_by_timestamp(self):
+        a = [update(timestamp=3.0, sequence=1)]
+        b = [update(timestamp=1.0, sequence=2), update(timestamp=2.0, sequence=3)]
+        merged = merge_update_streams(a, b)
+        assert [u.timestamp for u in merged] == [1.0, 2.0, 3.0]
+
+    def test_merge_distinguishes_origins(self):
+        a = [update(origin=10, sequence=1)]
+        b = [update(origin=11, sequence=1)]
+        assert len(merge_update_streams(a, b)) == 2
+
+    def test_merge_empty(self):
+        assert merge_update_streams([], []) == []

@@ -1,0 +1,63 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import abe
+from repro.crypto.abe import AbeAuthority, AbeError
+from repro.crypto.access import AccessStructure, attr, threshold
+from repro.crypto.symmetric import symmetric_decrypt, symmetric_encrypt
+
+AUTHORITY = AbeAuthority(master_secret=b"prop" * 8, authority_id="prop")
+ATTRIBUTES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def access_structures(draw, depth=0):
+    """Random access-structure trees over the fixed attribute universe."""
+    if depth >= 2 or draw(st.booleans()):
+        return attr(draw(st.sampled_from(ATTRIBUTES)))
+    n_children = draw(st.integers(1, 3))
+    children = [draw(access_structures(depth=depth + 1)) for _ in range(n_children)]
+    k = draw(st.integers(1, n_children))
+    return threshold(k, *children)
+
+
+@given(policy=access_structures(), held=st.sets(st.sampled_from(ATTRIBUTES)))
+@settings(max_examples=80, deadline=None)
+def test_abe_decrypts_exactly_when_policy_satisfied(policy, held):
+    ciphertext = AUTHORITY.encrypt(b"payload", policy)
+    if not held:
+        return  # issuing an empty key is rejected by design
+    key = AUTHORITY.issue_key(held)
+    if policy.is_satisfied_by(held):
+        assert abe.decrypt(ciphertext, key) == b"payload"
+    else:
+        try:
+            abe.decrypt(ciphertext, key)
+            raise AssertionError("decryption succeeded without satisfying policy")
+        except AbeError:
+            pass
+
+
+@given(policy=access_structures())
+@settings(max_examples=50, deadline=None)
+def test_policy_attribute_closure(policy):
+    """Holding every mentioned attribute always satisfies the structure."""
+    assert policy.is_satisfied_by(policy.attributes())
+
+
+@given(data=st.binary(max_size=4096), key=st.binary(min_size=16, max_size=32))
+@settings(max_examples=80, deadline=None)
+def test_symmetric_roundtrip(data, key):
+    assert symmetric_decrypt(key, symmetric_encrypt(key, data)) == data
+
+
+@given(data=st.binary(min_size=1, max_size=512))
+@settings(max_examples=40, deadline=None)
+def test_symmetric_ciphertext_never_contains_long_plaintext_run(data):
+    if len(data) < 16:
+        return
+    blob = symmetric_encrypt(b"k" * 16, data)
+    body = blob[16:-32]
+    assert body != data

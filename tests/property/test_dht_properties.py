@@ -1,0 +1,81 @@
+"""Property-based tests for the Pastry overlay."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.node_state import ID_DIGITS, digit_at, ring_distance, shared_prefix_length
+from repro.dht.pastry import PastryOverlay
+from repro.dht.storage import DirectoryEntry
+
+ids_strategy = st.integers(0, (1 << 64) - 1)
+
+
+@given(a=ids_strategy, b=ids_strategy)
+def test_ring_distance_symmetric_and_bounded(a, b):
+    assert ring_distance(a, b) == ring_distance(b, a)
+    assert 0 <= ring_distance(a, b) <= 1 << 63
+
+
+@given(a=ids_strategy)
+def test_ring_distance_identity(a):
+    assert ring_distance(a, a) == 0
+
+
+@given(a=ids_strategy, b=ids_strategy)
+def test_shared_prefix_consistent_with_digits(a, b):
+    length = shared_prefix_length(a, b)
+    for position in range(length):
+        assert digit_at(a, position) == digit_at(b, position)
+    if length < ID_DIGITS:
+        assert digit_at(a, length) != digit_at(b, length)
+
+
+@given(
+    membership=st.sets(ids_strategy, min_size=2, max_size=40),
+    keys=st.lists(ids_strategy, min_size=1, max_size=10),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=25, deadline=None)
+def test_publish_lookup_always_agrees(membership, keys, seed):
+    """Routing from any member reaches the entry published from any other."""
+    rng = random.Random(seed)
+    members = sorted(membership)
+    overlay = PastryOverlay()
+    for index, node_id in enumerate(members):
+        overlay.join(node_id, bootstrap_id=members[0] if index else None)
+    for key in keys:
+        publisher = rng.choice(members)
+        overlay.publish(publisher, key, DirectoryEntry(soup_id=key, name=str(key)))
+        reader = rng.choice(members)
+        entry, _ = overlay.lookup(reader, key)
+        assert entry is not None
+        assert entry.name == str(key)
+    assert overlay.misplaced_entries() == []
+
+
+@given(
+    membership=st.sets(ids_strategy, min_size=5, max_size=30),
+    departures=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=20, deadline=None)
+def test_leave_preserves_entry_placement(membership, departures, seed):
+    rng = random.Random(seed)
+    members = sorted(membership)
+    overlay = PastryOverlay()
+    for index, node_id in enumerate(members):
+        overlay.join(node_id, bootstrap_id=members[0] if index else None)
+    keys = [rng.getrandbits(64) for _ in range(5)]
+    for key in keys:
+        overlay.publish(members[0], key, DirectoryEntry(soup_id=key))
+    alive = list(members)
+    for _ in range(min(departures, len(alive) - 2)):
+        victim = rng.choice(alive)
+        alive.remove(victim)
+        overlay.leave(victim)
+    assert overlay.misplaced_entries() == []
+    for key in keys:
+        entry, _ = overlay.lookup(alive[0], key)
+        assert entry is not None

@@ -1,0 +1,109 @@
+"""White-box tests of engine internals: exchanges, recommendations, ties."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import generate_dataset
+from repro.sim.engine import SoupSimulation
+from repro.sim.scenario import ScenarioConfig
+
+
+def build(**overrides):
+    base = dict(dataset="facebook", scale=0.004, n_days=4, seed=7)
+    base.update(overrides)
+    config = ScenarioConfig(**base)
+    graph = generate_dataset(config.dataset, config.scale, config.seed)
+    return SoupSimulation(graph, config), config
+
+
+class TestExchanges:
+    def test_reports_flow_between_friends(self):
+        sim, config = build()
+        sim.run()
+        # Someone must have ingested reports (regular mode reached).
+        assert any(node.has_experience for node in sim.nodes)
+
+    def test_slander_reports_are_forged(self):
+        sim, config = build(slander_fraction=0.3)
+        attacker = next(n for n in sim.nodes if n.is_slanderer)
+        victim_id = attacker.friends[0] if attacker.friends else None
+        if victim_id is None:
+            pytest.skip("attacker without friends in this sample")
+        victim = sim.nodes[victim_id]
+        victim.joined = True
+        victim.announced_mirrors = [1, 2, 3]
+        attacker.joined = True
+        sim._exchange_experience(attacker)
+        forged = [r for r in victim.pending_reports if r.reporter == attacker.node_id]
+        assert forged
+        assert all(r.availability == 0.0 for r in forged)
+        assert all(r.observations == sim.soup.o_max for r in forged)
+
+    def test_tie_weights_applied_to_reports(self):
+        sim, config = build(use_tie_strength=True)
+        assert sim.ties is not None
+        node = next(n for n in sim.nodes if n.friends)
+        friend = sim.nodes[node.friends[0]]
+        node.joined = friend.joined = True
+        es = node.experience_set_for(friend.node_id)
+        es.observe(5, True)
+        sim._exchange_experience(node)
+        reports = [r for r in friend.pending_reports if r.reporter == node.node_id]
+        assert reports
+        strength = sim.ties.strength(friend.node_id, node.node_id)
+        assert reports[0].weight == pytest.approx(max(0.1, strength))
+
+    def test_tie_model_covers_all_edges(self):
+        sim, config = build(use_tie_strength=True)
+        for node in sim.nodes:
+            for friend in node.friends:
+                assert sim.ties.strength(node.node_id, friend) > 0.0
+
+
+class TestRecommendations:
+    def test_contacts_harvest_recommendations_in_bootstrap_mode(self):
+        sim, config = build()
+        sim.run()
+        received = sum(
+            node.bootstrap.recommendation_count
+            for node in sim.nodes
+            if not node.is_sybil
+        )
+        assert received > 0
+
+    def test_overload_capacity_limits_served_requests(self):
+        sim, config = build(mirror_request_capacity=1)
+        node = sim.nodes[0]
+        friend_id = node.friends[0]
+        friend = sim.nodes[friend_id]
+        node.joined = friend.joined = True
+        mirror_id = 5
+        friend.announced_mirrors = [mirror_id]
+        sim.replica_locations[mirror_id].add(friend_id)
+        sim.online_matrix[mirror_id, 0] = True
+        sim._served_this_epoch = {}
+        sim._request_profile(node, friend, epoch=0)
+        sim._request_profile(node, friend, epoch=0)
+        record = node.experience_set_for(friend_id).record_for(mirror_id)
+        assert record.requests == 2
+        assert record.successes == 1  # second request denied: overloaded
+
+
+class TestMeasurement:
+    def test_availability_flags_use_replica_locations(self):
+        sim, config = build()
+        online = np.zeros(sim.n_total, dtype=bool)
+        owner, mirror = 0, 1
+        sim.replica_locations[mirror].add(owner)
+        sim._rebuild_pairs()
+        online[mirror] = True
+        flags = sim._availability_flags(online)
+        assert flags[owner]
+        online[mirror] = False
+        flags = sim._availability_flags(online)
+        assert not flags[owner]
+
+    def test_top_half_share_range(self):
+        sim, config = build()
+        sim.run()
+        assert 0.0 <= sim.result.top_half_replica_share <= 1.0

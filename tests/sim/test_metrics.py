@@ -1,0 +1,73 @@
+"""Tests for simulation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import SimulationResult, cdf_points, percentile_of
+
+
+class TestCdf:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_simple(self):
+        points = cdf_points([1, 2, 2, 4])
+        assert points == [(1.0, 0.25), (2.0, 0.75), (4.0, 1.0)]
+
+    def test_monotone(self):
+        points = cdf_points(np.random.default_rng(0).integers(0, 50, 200))
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+def test_percentile_of():
+    assert percentile_of([1, 2, 3, 4, 5], 0.5) == 3.0
+    assert percentile_of([], 0.5) == 0.0
+
+
+@pytest.fixture()
+def result():
+    r = SimulationResult(n_nodes=100, n_epochs=48, epochs_per_day=24)
+    r.availability = np.linspace(0.5, 1.0, 48)
+    r.replica_overhead = np.full(48, 7.0)
+    return r
+
+
+def test_day_index_clamped(result):
+    assert result.day_index(1) == 23
+    assert result.day_index(100) == 47
+
+
+def test_availability_at_day(result):
+    assert result.availability_at_day(2) == pytest.approx(1.0)
+
+
+def test_daily_series_shape(result):
+    assert len(result.daily_availability()) == 2
+    assert len(result.daily_replica_overhead()) == 2
+    assert result.daily_replica_overhead()[0] == 7.0
+
+
+def test_steady_state_skips_transient(result):
+    assert result.steady_state_availability(skip_days=1) == pytest.approx(
+        result.availability[24:].mean()
+    )
+
+
+def test_summary_keys(result):
+    summary = result.summary()
+    for key in (
+        "availability_day1",
+        "availability_steady",
+        "replicas_steady",
+        "replicas_peak",
+        "top_half_replica_share",
+        "final_drop_rate",
+    ):
+        assert key in summary
+
+
+def test_summary_with_drop_rates(result):
+    result.drop_rate_by_round = [0.1, 0.05]
+    assert result.summary()["final_drop_rate"] == 0.05

@@ -1,0 +1,68 @@
+"""Tests for scenario configuration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import (
+    PEERSON_BUCKETS,
+    OnlineDistribution,
+    ScenarioConfig,
+    sample_distribution,
+)
+
+
+def test_defaults_reproduce_base_experiment():
+    config = ScenarioConfig()
+    assert config.dataset == "facebook"
+    assert config.online_distribution is OnlineDistribution.POWER_LAW
+    assert config.n_epochs == config.n_days * config.epochs_per_day
+
+
+def test_round_period_epochs():
+    config = ScenarioConfig(round_period_days=0.5, epochs_per_day=24)
+    assert config.round_period_epochs == 12
+
+
+def test_with_overrides_copies():
+    base = ScenarioConfig()
+    swept = base.with_overrides(slander_fraction=0.5)
+    assert swept.slander_fraction == 0.5
+    assert base.slander_fraction == 0.0
+    assert swept.dataset == base.dataset
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_days", 0),
+        ("altruist_fraction", 1.0),
+        ("departure_fraction", -0.1),
+        ("slander_fraction", 0.95),
+        ("sybil_fraction", 1.5),
+        ("friend_contact_probability", 2.0),
+    ],
+)
+def test_validation(field, value):
+    with pytest.raises(ValueError):
+        ScenarioConfig(**{field: value})
+
+
+class TestDistributions:
+    def test_power_law(self):
+        rng = np.random.default_rng(0)
+        p = sample_distribution(OnlineDistribution.POWER_LAW, 10_000, rng)
+        assert np.mean(p < 0.2) == pytest.approx(0.6, abs=0.05)
+
+    def test_uniform_03(self):
+        rng = np.random.default_rng(0)
+        p = sample_distribution(OnlineDistribution.UNIFORM_03, 100, rng)
+        assert np.all(p == 0.3)
+
+    def test_peerson_buckets(self):
+        rng = np.random.default_rng(0)
+        p = sample_distribution(OnlineDistribution.PEERSON, 50_000, rng)
+        for fraction, value in PEERSON_BUCKETS:
+            assert np.mean(np.isclose(p, value)) == pytest.approx(fraction, abs=0.02)
+
+    def test_peerson_buckets_cover_population(self):
+        assert sum(f for f, _ in PEERSON_BUCKETS) == pytest.approx(1.0)

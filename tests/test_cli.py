@@ -1,0 +1,148 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "SOUP" in out
+    assert "Diaspora" in out
+
+
+def test_table3_full_scale(capsys):
+    code, out = run_cli(capsys, "table3")
+    assert code == 0
+    assert "facebook" in out and "90269" in out
+    assert "6.71" in out
+
+
+def test_fig5_small(capsys):
+    code, out = run_cli(
+        capsys, "fig5", "--scale", "0.004", "--days", "3", "--dataset", "epinions"
+    )
+    assert code == 0
+    assert "availability/day:" in out
+    assert "replicas/day:" in out
+
+
+def test_fig10_with_ties_flag(capsys):
+    code, out = run_cli(
+        capsys,
+        "fig10",
+        "--scale", "0.004",
+        "--days", "3",
+        "--fraction", "0.3",
+        "--ties",
+    )
+    assert code == 0
+    assert "slander fraction=0.3" in out
+
+
+def test_fig11_reports_blacklist(capsys):
+    code, out = run_cli(
+        capsys, "fig11", "--scale", "0.004", "--days", "3", "--fraction", "0.3"
+    )
+    assert code == 0
+    assert "blacklist entries:" in out
+
+
+def test_fig15(capsys):
+    code, out = run_cli(capsys, "fig15", "--rate", "5", "--duration", "30")
+    assert code == 0
+    assert "mean=" in out and "timeouts=" in out
+
+
+def test_deploy_small(capsys):
+    code, out = run_cli(
+        capsys, "deploy", "--desktop", "8", "--mobile", "1",
+        "--duration", "120", "--rounds", "3",
+    )
+    assert code == 0
+    assert "users=9" in out
+    assert "availability=" in out
+
+
+def test_fig6_snapshots(capsys):
+    code, out = run_cli(
+        capsys, "fig6", "--scale", "0.004", "--days", "3", "--dataset", "epinions"
+    )
+    assert code == 0
+    assert "day   1:" in out or "day 1" in out
+    assert "top-half replica share" in out
+
+
+def test_fig7_cohorts(capsys):
+    code, out = run_cli(capsys, "fig7", "--scale", "0.004", "--days", "2")
+    assert code == 0
+    for cohort in ("top_online", "bottom_online", "top_friends", "bottom_friends"):
+        assert cohort in out
+
+
+def test_fig8_altruism(capsys):
+    code, out = run_cli(
+        capsys, "fig8", "--scale", "0.004", "--days", "3",
+        "--fraction", "0.05", "--event-day", "1",
+    )
+    assert code == 0
+    assert "altruism fraction=0.05" in out
+
+
+def test_fig9_departure(capsys):
+    code, out = run_cli(
+        capsys, "fig9", "--scale", "0.004", "--days", "3",
+        "--fraction", "0.05", "--event-day", "1",
+    )
+    assert code == 0
+    assert "departure fraction=0.05" in out
+
+
+def test_fig5_sparkline_present(capsys):
+    code, out = run_cli(capsys, "fig5", "--scale", "0.004", "--days", "2")
+    assert code == 0
+    assert any(block in out for block in "▁▂▃▄▅▆▇█")
+
+
+def test_fig5_json_export(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "fig5", "--scale", "0.004", "--days", "2", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["dataset"] == "facebook"
+    assert len(payload["daily_availability"]) == 2
+    assert 0.0 <= payload["steady_availability"] <= 1.0
+
+
+def test_fig11_json_export(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "fig11", "--scale", "0.004", "--days", "2",
+        "--fraction", "0.2", "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["experiment"] == "flooding"
+    assert payload["fraction"] == 0.2
+    assert "blacklisted_owner_count" in payload
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["does-not-exist"])
+
+
+def test_parser_rejects_bad_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5", "--dataset", "myspace"])
