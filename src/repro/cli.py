@@ -47,12 +47,25 @@ def _result_json(result, **extra) -> str:
     return json.dumps(payload, indent=2)
 
 
+def _correctness_overrides(args) -> dict:
+    """ScenarioConfig overrides from the shared correctness-harness flags."""
+    overrides = {}
+    if getattr(args, "check_invariants", False):
+        overrides["check_invariants"] = True
+    if getattr(args, "faults", None):
+        overrides["faults"] = args.faults
+        # A fault-injected run without the checker would corrupt silently.
+        overrides.setdefault("check_invariants", True)
+    return overrides
+
+
 def _cmd_fig5(args) -> int:
     from repro.sim.engine import run_scenario
     from repro.sim.scenario import ScenarioConfig
 
     config = ScenarioConfig(
-        dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed
+        dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed,
+        **_correctness_overrides(args),
     )
     result = run_scenario(config)
     if getattr(args, "json", False):
@@ -84,6 +97,7 @@ def _cmd_fig6(args) -> int:
         cdf_snapshot_days=tuple(
             d for d in (1, 14, args.days) if d <= args.days
         ),
+        **_correctness_overrides(args),
     )
     result = run_scenario(config)
     for day, counts in sorted(result.stored_profiles_snapshots.items()):
@@ -100,7 +114,10 @@ def _cmd_fig7(args) -> int:
     from repro.sim.scenario import ScenarioConfig
 
     result = run_scenario(
-        ScenarioConfig(dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed)
+        ScenarioConfig(
+            dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed,
+            **_correctness_overrides(args),
+        )
     )
     for cohort, series in sorted(result.cohort_availability.items()):
         days = len(series) // result.epochs_per_day
@@ -113,7 +130,7 @@ def _cmd_attack(args, kind: str) -> int:
     from repro.sim.engine import run_scenario
     from repro.sim.scenario import ScenarioConfig
 
-    overrides = {}
+    overrides = _correctness_overrides(args)
     if kind == "slander":
         overrides["slander_fraction"] = args.fraction
         overrides["use_tie_strength"] = getattr(args, "ties", False)
@@ -230,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=5)
         p.add_argument("--json", action="store_true",
                        help="emit the result series as JSON")
+        p.add_argument("--check-invariants", action="store_true",
+                       help="verify protocol invariants every epoch; a "
+                            "violation aborts with a one-line repro string")
+        p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault-injection plan, e.g. "
+                            "'drop_transfer:rate=1.0:from_epoch=24' "
+                            "(implies --check-invariants)")
 
     common(sub.add_parser("fig5", help="availability & replica overhead"))
     common(sub.add_parser("fig6", help="stored-profile CDF snapshots"), days=30)
@@ -267,11 +291,38 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--duration", type=int, default=300)
     pf.add_argument("--seed", type=int, default=7)
 
+    pr = sub.add_parser("replay", help="replay a soup-repro/v1 violation line")
+    pr.add_argument("line", help="one-line repro string from an InvariantViolation")
+
     return parser
+
+
+def _cmd_replay(args) -> int:
+    from repro.sim.invariants import run_repro
+
+    violation = run_repro(args.line)
+    if violation is None:
+        print("no violation: scenario completed with invariant checks green")
+        return 1
+    print(violation.to_json())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except Exception as exc:  # noqa: BLE001 - surface repro line, keep traceback opt-in
+        from repro.sim.invariants import InvariantViolation
+
+        if not isinstance(exc, InvariantViolation):
+            raise
+        print(f"invariant violation: {str(exc).splitlines()[0]}", file=sys.stderr)
+        print(f"repro: {exc.repro}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     command = args.command
     if command == "fig5":
         return _cmd_fig5(args)
@@ -297,6 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_deploy(args)
     if command == "fig15":
         return _cmd_fig15(args)
+    if command == "replay":
+        return _cmd_replay(args)
     raise AssertionError(f"unhandled command {command}")
 
 

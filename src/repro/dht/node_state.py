@@ -9,7 +9,7 @@ wraparound, as the ID space is a ring).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Tuple
 
 ID_BITS = 64
 ID_DIGITS = 16  # 64 bits / 4 bits per hex digit
@@ -93,7 +93,15 @@ class RoutingTable:
 
 
 class LeafSet:
-    """The numerically closest neighbours on the ID ring."""
+    """The numerically closest neighbours on the ID ring.
+
+    Pastry keeps the ``l/2`` nearest nodes on *each side* of the owner
+    (clockwise successors and counter-clockwise predecessors), not the
+    ``l`` nearest by absolute ring distance.  The per-side split matters
+    for correctness: it guarantees the immediate neighbour in both
+    directions stays in the set, which is what makes leaf-set delivery
+    land on the numerically closest node.
+    """
 
     def __init__(self, owner: int, half_size: int = 8) -> None:
         if half_size < 1:
@@ -102,16 +110,24 @@ class LeafSet:
         self.half_size = half_size
         self._members: Set[int] = set()
 
+    def _cw_distance(self, node_id: int) -> int:
+        return (node_id - self.owner) % ID_SPACE
+
+    def _sides(self) -> Tuple[List[int], List[int]]:
+        """Members split into (successors, predecessors), nearest first."""
+        by_cw = sorted(self._members, key=self._cw_distance)
+        successors = by_cw[: self.half_size]
+        predecessors = by_cw[::-1][: self.half_size]
+        return successors, predecessors
+
     def consider(self, node_id: int) -> None:
-        """Offer a node; trims to the closest ``2 * half_size`` members."""
+        """Offer a node; keeps the ``half_size`` nearest per side."""
         if node_id == self.owner:
             return
         self._members.add(node_id)
         if len(self._members) > 2 * self.half_size:
-            ordered = sorted(
-                self._members, key=lambda nid: ring_distance(nid, self.owner)
-            )
-            self._members = set(ordered[: 2 * self.half_size])
+            successors, predecessors = self._sides()
+            self._members = set(successors) | set(predecessors)
 
     def consider_all(self, node_ids: Iterable[int]) -> None:
         for node_id in node_ids:
@@ -130,13 +146,27 @@ class LeafSet:
         return len(self._members)
 
     def covers(self, key: int) -> bool:
-        """Whether ``key`` falls within the leaf set's ring span."""
+        """Whether ``key`` falls within the leaf set's ring span.
+
+        The span is measured per side, with every member counted in the
+        direction it is actually nearer: a key is covered when it lies no
+        farther clockwise than the farthest successor, or no farther
+        counter-clockwise than the farthest predecessor.
+        """
         if not self._members:
             return False
-        span = max(
-            ring_distance(member, self.owner) for member in self._members
-        )
-        return ring_distance(key, self.owner) <= span
+        succ_span = 0
+        pred_span = 0
+        for member in self._members:
+            cw = self._cw_distance(member)
+            ccw = ID_SPACE - cw
+            if cw <= ccw:
+                succ_span = max(succ_span, cw)
+            else:
+                pred_span = max(pred_span, ccw)
+        key_cw = self._cw_distance(key)
+        key_ccw = (ID_SPACE - key_cw) % ID_SPACE
+        return (0 < key_cw <= succ_span) or (0 < key_ccw <= pred_span) or key_cw == 0
 
     def closest_to(self, key: int) -> int:
         """The leaf-set member (or owner) numerically closest to ``key``."""

@@ -136,6 +136,11 @@ class PastryOverlay:
                 member.leaf_set.consider(node_id)
                 member.routing_table.consider(node_id)
 
+        # Periodic leaf-set maintenance, run eagerly at churn events: nodes
+        # the join announcement did not reach would otherwise keep routing
+        # around the joiner, delivering keys it is now responsible for to
+        # the old owner.
+        self._repair_leaf_sets()
         self._shift_entries_to_new_node(new_node)
         return route
 
@@ -150,6 +155,9 @@ class PastryOverlay:
         for other in self._nodes.values():
             other.leaf_set.remove(node_id)
             other.routing_table.remove(node_id)
+        # Repair leaf sets *before* re-homing so the surviving ring agrees
+        # on responsibility while entries move.
+        self._repair_leaf_sets()
 
         transfers: List[TransferRecord] = []
         for key, entry in departing.entries.items():
@@ -165,8 +173,11 @@ class PastryOverlay:
             )
             transfers.append(record)
             self.transfer_log.append(record)
-        # Repair leaf sets that may have thinned below capacity.
-        self._repair_leaf_sets()
+        # Responsibility can also shift for entries on *surviving* nodes
+        # (e.g. an entry the departed node had delivered to a neighbour
+        # while leaf sets were still converging).  Sweep and re-home them
+        # as part of the same repair round.
+        transfers.extend(self._rehome_misplaced_entries())
         return transfers
 
     def fail(self, node_id: int) -> None:
@@ -183,18 +194,48 @@ class PastryOverlay:
         self._repair_leaf_sets()
 
     def _repair_leaf_sets(self) -> None:
-        """Refill thin leaf sets from ring neighbours (periodic repair)."""
+        """Offer every node its true ring neighbours (periodic repair).
+
+        Real Pastry nodes periodically exchange leaf sets with their
+        neighbours, which converges each set to the actual ``l/2`` nearest
+        nodes per side.  The simulation runs that maintenance eagerly at
+        every churn event: a leaf set can be *full* yet stale (holding
+        one-sided or distant members harvested from an old join path), and
+        such sets silently misroute keys near ring boundaries — so repair
+        must not be limited to sets that have thinned below capacity.
+        """
         if len(self._nodes) <= 1:
             return
         ordered = sorted(self._nodes)
         n = len(ordered)
         for index, node_id in enumerate(ordered):
             node = self._nodes[node_id]
-            if len(node.leaf_set) >= min(2 * self._leaf_half_size, n - 1):
-                continue
             for offset in range(1, self._leaf_half_size + 1):
                 node.leaf_set.consider(ordered[(index + offset) % n])
                 node.leaf_set.consider(ordered[(index - offset) % n])
+
+    def _rehome_misplaced_entries(self) -> List[TransferRecord]:
+        """Move every entry stored away from its responsible node home."""
+        transfers: List[TransferRecord] = []
+        for node in list(self._nodes.values()):
+            moved = [
+                key
+                for key in node.entries
+                if self._responsible_node(key) != node.node_id
+            ]
+            for key in moved:
+                entry = node.entries.pop(key)
+                new_home = self._responsible_node(key)
+                self._nodes[new_home].entries[key] = entry
+                record = TransferRecord(
+                    from_node=node.node_id,
+                    to_node=new_home,
+                    key=key,
+                    size_bytes=entry.size_bytes(),
+                )
+                transfers.append(record)
+                self.transfer_log.append(record)
+        return transfers
 
     # --- routing ------------------------------------------------------------
     def route(self, start_id: int, key: int) -> RouteResult:
@@ -210,30 +251,46 @@ class PastryOverlay:
         raise DhtError(f"routing loop for key {key:#x} from {start_id:#x}")
 
     def _next_hop(self, node: _OverlayNode, key: int) -> Optional[int]:
-        """One Pastry routing step from ``node`` toward ``key``."""
+        """One Pastry routing step from ``node`` toward ``key``.
+
+        Every hop must strictly decrease ``(ring_distance to key, node id)``
+        — the same total order :meth:`_responsible_node` minimises.  Pure
+        prefix-progress hops that move numerically *away* from the key are
+        rejected; mixing them with leaf-set hops is what allowed two nodes
+        with different leaf-set views to bounce a message between each
+        other forever.  With the monotone rule, routing provably
+        terminates, and accurate leaf sets make the final node the
+        numerically closest one.
+        """
+        own_order = (ring_distance(node.node_id, key), node.node_id)
+
+        def improves(candidate: Optional[int]) -> bool:
+            return (
+                candidate is not None
+                and candidate in self._nodes
+                and (ring_distance(candidate, key), candidate) < own_order
+            )
+
         # Leaf-set range: deliver to the numerically closest member.
         if node.leaf_set.covers(key) or not node.leaf_set.members():
             closest = node.leaf_set.closest_to(key)
-            return None if closest == node.node_id else closest
-        # Routing table: match one more prefix digit.
+            return closest if improves(closest) else None
+        # Routing table: match one more prefix digit (if that makes
+        # numeric progress too).
         table_hop = node.routing_table.next_hop(key)
-        if table_hop is not None and table_hop in self._nodes:
+        if improves(table_hop):
             return table_hop
         # Rare case: any known node strictly closer to the key.
-        own_distance = ring_distance(node.node_id, key)
-        own_prefix = shared_prefix_length(node.node_id, key)
         candidates = node.routing_table.known_nodes() + node.leaf_set.members()
         best = None
-        best_distance = own_distance
+        best_order = own_order
         for candidate in candidates:
             if candidate not in self._nodes:
                 continue
-            if shared_prefix_length(candidate, key) < own_prefix:
-                continue
-            distance = ring_distance(candidate, key)
-            if distance < best_distance:
+            order = (ring_distance(candidate, key), candidate)
+            if order < best_order:
                 best = candidate
-                best_distance = distance
+                best_order = order
         return best
 
     def _responsible_node(self, key: int) -> int:

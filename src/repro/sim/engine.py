@@ -39,7 +39,10 @@ from repro.core.ranking import BootstrapRanker, Recommendation, RegularRanker
 from repro.core.selection import select_mirrors
 from repro.core.experience import ExperienceReport, ExperienceSet
 from repro.graphs.datasets import generate_dataset
+from repro.sim import invariants as invariants_mod
 from repro.sim.attacks import FloodingAttack, SlanderAttack
+from repro.sim.faults import FaultInjector
+from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import OnlineDistribution, ScenarioConfig, sample_distribution
 
@@ -120,6 +123,31 @@ class SoupSimulation:
         self._drops_this_round = 0
         self._placements_this_round = 0
         self._served_this_epoch: Dict[int, int] = {}
+
+        #: owner -> mirrors that dropped the owner's replica since the
+        #: owner's last selection round.  The owner still announces them
+        #: (it has not been told), which the invariant checker must not
+        #: confuse with a genuinely lost transfer.
+        self._stale_announced: Dict[int, Set[int]] = {}
+        #: Optional fault-injection plan (deterministic; see repro.sim.faults).
+        self.faults = FaultInjector.from_spec(config.faults, base_seed=config.seed)
+        #: Optional per-epoch runtime invariant checker.
+        self.invariant_checker: Optional[InvariantChecker] = (
+            InvariantChecker(config.invariant_names)
+            if (config.check_invariants or invariants_mod.FORCE_CHECKS)
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # invariant bookkeeping
+    # ------------------------------------------------------------------
+    def mark_stale_announcement(self, owner: int, mirror: int) -> None:
+        """Record that ``mirror`` dropped ``owner``'s replica before the
+        owner could rebuild its announced set."""
+        self._stale_announced.setdefault(owner, set()).add(mirror)
+
+    def stale_announcements_of(self, owner: int) -> Set[int]:
+        return self._stale_announced.get(owner, set())
 
     # ------------------------------------------------------------------
     # construction
@@ -310,6 +338,8 @@ class SoupSimulation:
         }
 
         for epoch in range(n_epochs):
+            if self.faults is not None:
+                self.faults.on_epoch_start(self, epoch)
             online_now = self.online_matrix[:, epoch]
             self._activate_joins(epoch)
             online_ids = np.nonzero(online_now)[0]
@@ -355,6 +385,9 @@ class SoupSimulation:
                     if not self.nodes[i].is_sybil
                 ]
 
+            if self.invariant_checker is not None:
+                self.invariant_checker.check_epoch(self, epoch)
+
         self.result.availability = availability
         self.result.replica_overhead = overhead
         self.result.cohort_availability = cohort_series
@@ -386,6 +419,7 @@ class SoupSimulation:
                 # A departing node's stored replicas become unreachable.
                 for owner in node.store.stored_owners():
                     self.replica_locations[node_id].discard(owner)
+                    self.mark_stale_announcement(owner, node_id)
 
     def _run_interactions(self, epoch: int, online_ids: np.ndarray) -> None:
         """Online nodes contact others and request friends' profiles."""
@@ -507,7 +541,7 @@ class SoupSimulation:
 
         # Phase 1: experience-set exchanges (and dropping-score exchange).
         for node_id in participants:
-            self._exchange_experience(self.nodes[node_id])
+            self._exchange_experience(self.nodes[node_id], epoch)
 
         # Phase 2: ingest reports, re-rank, run Algorithm 1, place replicas.
         churn_total = 0
@@ -516,7 +550,7 @@ class SoupSimulation:
             node = self.nodes[node_id]
             if node.is_sybil:
                 continue
-            self._ingest_reports(node)
+            self._ingest_reports(node, epoch)
             old_set = set(node.selected_mirrors)
             self._select_and_place(node, epoch)
             churn_total += len(old_set.symmetric_difference(node.selected_mirrors))
@@ -542,13 +576,14 @@ class SoupSimulation:
                 )
                 for removed_owner in removed:
                     self.replica_locations[node_id].discard(removed_owner)
+                    self.mark_stale_announcement(removed_owner, node_id)
 
         if churn_count:
             self.result.mirror_churn_by_round.append(churn_total / churn_count)
         placed = max(1, self._placements_this_round)
         self.result.drop_rate_by_round.append(self._drops_this_round / placed)
 
-    def _exchange_experience(self, node: _NodeState) -> None:
+    def _exchange_experience(self, node: _NodeState, epoch: int = 0) -> None:
         """Send ES_u(w) to every friend w; swap stored-owner lists."""
         for friend_id in node.friends:
             friend = self.nodes[friend_id]
@@ -568,16 +603,23 @@ class SoupSimulation:
                 from repro.extensions.ties import weigh_reports_by_tie
 
                 reports = weigh_reports_by_tie(reports, friend_id, self.ties)
+            if self.faults is not None:
+                reports = self.faults.tamper_reports(
+                    node.node_id, friend_id, reports, epoch
+                )
             friend.pending_reports.extend(reports)
 
             # Dropping-score exchange: learn who stores at the friend.
             removed = node.store.learn_friend_storage(friend.store.stored_owners())
             for owner in removed:
                 self.replica_locations[node.node_id].discard(owner)
+                self.mark_stale_announcement(owner, node.node_id)
 
-    def _ingest_reports(self, node: _NodeState) -> None:
+    def _ingest_reports(self, node: _NodeState, epoch: int = 0) -> None:
         if not node.pending_reports:
             return
+        if self.faults is not None:
+            self.faults.shuffle_reports(node.node_id, node.pending_reports, epoch)
         node.ranker.ingest_reports(node.pending_reports)
         node.pending_reports.clear()
         node.has_experience = True
@@ -664,16 +706,28 @@ class SoupSimulation:
             self._placements_this_round += 1
             if decision.accepted:
                 accepted.append(mirror_id)
-                self.replica_locations[mirror_id].add(node.node_id)
                 if decision.dropped_owner is not None:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
+                    self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
+                if self.faults is not None and self.faults.drop_transfer(
+                    node.node_id, mirror_id, epoch
+                ):
+                    # Injected fault: the mirror acknowledged the request but
+                    # the replica payload never arrived.  The owner announces
+                    # the mirror anyway — which the invariant checker flags.
+                    mirror.store.remove(node.node_id)
+                else:
+                    self.replica_locations[mirror_id].add(node.node_id)
             else:
                 node.rejected_by.add(mirror_id)
 
         node.pending_placements &= new_set
         node.selected_mirrors = new_mirrors
         node.announced_mirrors = accepted
+        # The owner has just rebuilt its announced set from live accepts, so
+        # earlier drop notices are no longer pending for it.
+        self._stale_announced.pop(node.node_id, None)
         node.kb.mark_mirrors(iter(accepted))
         node.kb.decay_ttls()
 
@@ -686,6 +740,7 @@ class SoupSimulation:
             )
             for owner in removed:
                 self.replica_locations[mirror_id].discard(owner)
+                self.mark_stale_announcement(owner, mirror_id)
 
     def _unreachable_at(self, epoch: int) -> Set[int]:
         """Nodes no storage request can reach this epoch (offline, departed
@@ -719,10 +774,16 @@ class SoupSimulation:
             )
             self._placements_this_round += 1
             if decision.accepted:
-                self.replica_locations[mirror_id].add(node.node_id)
                 if decision.dropped_owner is not None:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
+                    self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
+                if self.faults is not None and self.faults.drop_transfer(
+                    node.node_id, mirror_id, epoch
+                ):
+                    mirror.store.remove(node.node_id)
+                else:
+                    self.replica_locations[mirror_id].add(node.node_id)
                 if mirror_id not in node.announced_mirrors:
                     node.announced_mirrors.append(mirror_id)
                 placed = True
@@ -753,6 +814,7 @@ class SoupSimulation:
                 self.replica_locations[target_id].add(node.node_id)
                 if decision.dropped_owner is not None:
                     self.replica_locations[target_id].discard(decision.dropped_owner)
+                    self.mark_stale_announcement(decision.dropped_owner, target_id)
                     self._drops_this_round += 1
 
         # The sybil announces only a small subset; every other storer
@@ -760,12 +822,14 @@ class SoupSimulation:
         announced = self.flooding.announced_set(accepted, self.rng)
         node.announced_mirrors = announced
         node.selected_mirrors = accepted
+        self._stale_announced.pop(node.node_id, None)
         for mirror_id in accepted:
             removed = self.nodes[mirror_id].store.observe_published_mirrors(
                 node.node_id, announced
             )
             for owner in removed:
                 self.replica_locations[mirror_id].discard(owner)
+                self.mark_stale_announcement(owner, mirror_id)
 
     # ------------------------------------------------------------------
     # measurement

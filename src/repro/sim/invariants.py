@@ -1,0 +1,575 @@
+"""Runtime invariant checking for the simulation core.
+
+The north star is a production-scale system under heavy churn, which is
+exactly the regime where the seed's one latent DHT bug lived: an entry on
+the wrong node after a departure is invisible until an unlucky lookup.
+This module turns those latent states into immediate, reproducible
+failures.  Every epoch (behind ``ScenarioConfig.check_invariants``) a
+:class:`InvariantChecker` validates:
+
+* ``announced-mirrors-stored`` — every mirror a node *announces* in the
+  directory actually stores its replica, unless the engine knows the owner
+  has not yet learned of a legitimate drop (the paper's protective-dropping
+  precondition: announced-vs-real mismatches must come from attackers, not
+  from the engine's own bookkeeping).
+* ``replica-locations-consistent`` — the engine's ground-truth
+  ``replica_locations`` map and every node's :class:`ReplicaStore` agree
+  (conservation of replicas across placement, withdrawal, dropping,
+  blacklisting and departure).
+* ``replica-count-meets-target`` — an online owner retains at least as
+  many live replicas as its net announced mirror set (Algorithm 1's
+  accepted selection target).
+* ``storage-within-capacity`` — conservation of stored bytes: no replica
+  store exceeds its capacity budget.
+
+For DHT overlays (:class:`repro.dht.pastry.PastryOverlay`) the companion
+:func:`overlay_violations` checks entry placement (every directory entry
+on its responsible node — the check that would have caught the seed's
+``leave()`` bug), leaf-set symmetry/liveness and routing-table liveness.
+:func:`mirror_manager_violations` gives the protocol-level node
+(:class:`repro.node.mirror_manager.MirrorManager`) the same treatment.
+
+Violations raise :class:`InvariantViolation` carrying the epoch, the node
+ids involved, a minimal serialized state snapshot, and a **one-line repro
+string** that replays the exact scenario (config + fault plan) with
+checking enabled — see :func:`format_repro` / :func:`parse_repro` /
+:func:`run_repro`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Set by ``pytest --check-invariants`` (repro.testing.plugin): forces every
+#: SoupSimulation built afterwards to run with the checker on, regardless
+#: of its ScenarioConfig.
+FORCE_CHECKS = False
+
+
+@dataclass
+class Violation:
+    """One invariant breach, with a minimal serializable snapshot."""
+
+    invariant: str
+    epoch: int
+    node_ids: Tuple[int, ...]
+    detail: str
+    snapshot: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "invariant": self.invariant,
+            "epoch": self.epoch,
+            "node_ids": list(self.node_ids),
+            "detail": self.detail,
+            "snapshot": self.snapshot,
+        }
+
+
+class InvariantViolation(Exception):
+    """Raised when a runtime invariant check fails.
+
+    Carries every violation found in the failing check plus the one-line
+    repro string that replays it deterministically.
+    """
+
+    def __init__(self, violations: Sequence[Violation], repro: str = "") -> None:
+        if not violations:
+            raise ValueError("InvariantViolation requires at least one violation")
+        self.violations = list(violations)
+        self.repro = repro
+        first = self.violations[0]
+        self.invariant = first.invariant
+        self.epoch = first.epoch
+        self.node_ids = first.node_ids
+        lines = [
+            f"{len(self.violations)} invariant violation(s); first: "
+            f"[{first.invariant}] epoch={first.epoch} nodes={list(first.node_ids)}: "
+            f"{first.detail}"
+        ]
+        if repro:
+            lines.append(f"repro: {repro}")
+        super().__init__("\n".join(lines))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "invariant": self.invariant,
+            "epoch": self.epoch,
+            "node_ids": list(self.node_ids),
+            "repro": self.repro,
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+# ---------------------------------------------------------------------------
+# engine (SoupSimulation) invariants
+# ---------------------------------------------------------------------------
+def _announced_mirrors_stored(sim, epoch: int) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in sim.nodes:
+        if not node.joined or node.departed:
+            continue
+        stale = sim.stale_announcements_of(node.node_id)
+        missing = [
+            mirror_id
+            for mirror_id in node.announced_mirrors
+            if node.node_id not in sim.replica_locations[mirror_id]
+            and mirror_id not in stale
+        ]
+        if missing:
+            violations.append(
+                Violation(
+                    invariant="announced-mirrors-stored",
+                    epoch=epoch,
+                    node_ids=(node.node_id, *missing),
+                    detail=(
+                        f"node {node.node_id} announces mirrors {missing} "
+                        "that do not store its replica (and no drop is pending "
+                        "notification)"
+                    ),
+                    snapshot={
+                        "owner": node.node_id,
+                        "announced": list(node.announced_mirrors),
+                        "actually_stored_at": sorted(
+                            mirror_id
+                            for mirror_id, owners in sim.replica_locations.items()
+                            if node.node_id in owners
+                        ),
+                        "pending_drop_notice": sorted(stale),
+                    },
+                )
+            )
+    return violations
+
+
+def _replica_locations_consistent(sim, epoch: int) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in sim.nodes:
+        recorded = sim.replica_locations[node.node_id]
+        stored = set(node.store.stored_owners())
+        if node.departed:
+            # A departed mirror's replicas are unreachable: the engine clears
+            # its ground-truth locations while the store object is frozen.
+            if recorded:
+                violations.append(
+                    Violation(
+                        invariant="replica-locations-consistent",
+                        epoch=epoch,
+                        node_ids=(node.node_id,),
+                        detail=(
+                            f"departed mirror {node.node_id} still listed as "
+                            f"storing {sorted(recorded)}"
+                        ),
+                        snapshot={"mirror": node.node_id, "recorded": sorted(recorded)},
+                    )
+                )
+            continue
+        if recorded != stored:
+            violations.append(
+                Violation(
+                    invariant="replica-locations-consistent",
+                    epoch=epoch,
+                    node_ids=(node.node_id,),
+                    detail=(
+                        f"mirror {node.node_id}: ground truth and ReplicaStore "
+                        f"disagree (only-ground-truth={sorted(recorded - stored)}, "
+                        f"only-store={sorted(stored - recorded)})"
+                    ),
+                    snapshot={
+                        "mirror": node.node_id,
+                        "ground_truth": sorted(recorded),
+                        "replica_store": sorted(stored),
+                    },
+                )
+            )
+    return violations
+
+
+def _replica_count_meets_target(sim, epoch: int) -> List[Violation]:
+    violations: List[Violation] = []
+    online_now = sim.online_matrix[:, epoch]
+    for node in sim.nodes:
+        if (
+            not node.joined
+            or node.departed
+            or node.is_sybil
+            or not online_now[node.node_id]
+        ):
+            continue
+        stale = sim.stale_announcements_of(node.node_id)
+        target = len(set(node.announced_mirrors) - stale)
+        live = sum(
+            1
+            for mirror_id in set(node.announced_mirrors)
+            if node.node_id in sim.replica_locations[mirror_id]
+        )
+        if live < target:
+            violations.append(
+                Violation(
+                    invariant="replica-count-meets-target",
+                    epoch=epoch,
+                    node_ids=(node.node_id,),
+                    detail=(
+                        f"online owner {node.node_id} retains {live} live "
+                        f"replicas, below its accepted selection target {target}"
+                    ),
+                    snapshot={
+                        "owner": node.node_id,
+                        "announced": list(node.announced_mirrors),
+                        "live_replicas": live,
+                        "target": target,
+                    },
+                )
+            )
+    return violations
+
+
+def _storage_within_capacity(sim, epoch: int) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in sim.nodes:
+        used = node.store.used_profiles
+        capacity = node.store.capacity_profiles
+        if used > capacity + 1e-9:
+            violations.append(
+                Violation(
+                    invariant="storage-within-capacity",
+                    epoch=epoch,
+                    node_ids=(node.node_id,),
+                    detail=(
+                        f"mirror {node.node_id} stores {used:.3f} profiles, "
+                        f"over its {capacity:.3f}-profile capacity"
+                    ),
+                    snapshot={
+                        "mirror": node.node_id,
+                        "used_profiles": used,
+                        "capacity_profiles": capacity,
+                        "stored_owners": sorted(node.store.stored_owners()),
+                    },
+                )
+            )
+    return violations
+
+
+ENGINE_INVARIANTS: Dict[str, Callable] = {
+    "announced-mirrors-stored": _announced_mirrors_stored,
+    "replica-locations-consistent": _replica_locations_consistent,
+    "replica-count-meets-target": _replica_count_meets_target,
+    "storage-within-capacity": _storage_within_capacity,
+}
+
+
+class InvariantChecker:
+    """Pluggable per-epoch invariant runner for :class:`SoupSimulation`.
+
+    ``names`` selects a subset of :data:`ENGINE_INVARIANTS`; ``None``
+    enables all of them.  Custom invariants register via :meth:`add`.
+    """
+
+    def __init__(self, names: Optional[Iterable[str]] = None) -> None:
+        if names is None:
+            self._checks = dict(ENGINE_INVARIANTS)
+        else:
+            unknown = [name for name in names if name not in ENGINE_INVARIANTS]
+            if unknown:
+                raise ValueError(
+                    f"unknown invariant(s) {unknown}; "
+                    f"available: {sorted(ENGINE_INVARIANTS)}"
+                )
+            self._checks = {name: ENGINE_INVARIANTS[name] for name in names}
+        #: Count of completed epoch checks, for reporting.
+        self.epochs_checked = 0
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._checks)
+
+    def add(self, name: str, check: Callable) -> None:
+        self._checks[name] = check
+
+    def violations(self, sim, epoch: int) -> List[Violation]:
+        found: List[Violation] = []
+        for check in self._checks.values():
+            found.extend(check(sim, epoch))
+        return found
+
+    def check_epoch(self, sim, epoch: int) -> None:
+        found = self.violations(sim, epoch)
+        self.epochs_checked += 1
+        if found:
+            raise InvariantViolation(found, repro=format_repro(sim.config))
+
+
+# ---------------------------------------------------------------------------
+# DHT overlay invariants
+# ---------------------------------------------------------------------------
+def overlay_violations(overlay, epoch: int = -1) -> List[Violation]:
+    """Structural invariants of a :class:`PastryOverlay`.
+
+    * ``dht-entry-placement`` — every directory entry lives on the node
+      numerically closest to its key (the seed's ``leave()`` bug violated
+      exactly this).
+    * ``leaf-set-live-and-symmetric`` — leaf sets reference only live
+      nodes, and converged membership is symmetric: if ``b`` is among
+      ``a``'s nearest neighbours on one side, ``a`` is among ``b``'s on
+      the other.
+    * ``routing-table-live`` — routing tables reference only live nodes.
+    """
+    violations: List[Violation] = []
+    nodes = overlay._nodes
+
+    misplaced = overlay.misplaced_entries()
+    if misplaced:
+        placement = {}
+        for key in misplaced:
+            holders = [
+                node_id for node_id, node in nodes.items() if key in node.entries
+            ]
+            placement[str(key)] = {
+                "stored_at": holders,
+                "responsible": overlay._responsible_node(key),
+            }
+        violations.append(
+            Violation(
+                invariant="dht-entry-placement",
+                epoch=epoch,
+                node_ids=tuple(
+                    sorted({h for info in placement.values() for h in info["stored_at"]})
+                ),
+                detail=f"{len(misplaced)} entr(ies) stored away from their responsible node",
+                snapshot={"misplaced": placement},
+            )
+        )
+
+    for node_id, node in nodes.items():
+        dead = [m for m in node.leaf_set.members() if m not in nodes]
+        asymmetric = [
+            m
+            for m in node.leaf_set.members()
+            if m in nodes and node_id not in nodes[m].leaf_set
+        ]
+        if dead or asymmetric:
+            violations.append(
+                Violation(
+                    invariant="leaf-set-live-and-symmetric",
+                    epoch=epoch,
+                    node_ids=(node_id, *dead, *asymmetric),
+                    detail=(
+                        f"node {node_id:#x}: dead leaf members {dead}, "
+                        f"asymmetric members {asymmetric}"
+                    ),
+                    snapshot={
+                        "node": node_id,
+                        "leaf_set": node.leaf_set.members(),
+                        "dead": dead,
+                        "asymmetric": asymmetric,
+                    },
+                )
+            )
+        dead_routes = [m for m in node.routing_table.known_nodes() if m not in nodes]
+        if dead_routes:
+            violations.append(
+                Violation(
+                    invariant="routing-table-live",
+                    epoch=epoch,
+                    node_ids=(node_id, *dead_routes),
+                    detail=f"node {node_id:#x} routes via departed nodes {dead_routes}",
+                    snapshot={"node": node_id, "dead_routes": dead_routes},
+                )
+            )
+    return violations
+
+
+def check_overlay(overlay, epoch: int = -1, repro: str = "") -> None:
+    """Raise :class:`InvariantViolation` if the overlay is inconsistent."""
+    found = overlay_violations(overlay, epoch)
+    if found:
+        raise InvariantViolation(found, repro=repro)
+
+
+# ---------------------------------------------------------------------------
+# protocol-node (MirrorManager) invariants
+# ---------------------------------------------------------------------------
+def mirror_manager_violations(manager, epoch: int = -1) -> List[Violation]:
+    """Local-state invariants of one :class:`MirrorManager`.
+
+    * the replica store never exceeds its capacity;
+    * no blacklisted owner's replica is still stored;
+    * the announced mirror set is a subset of the selected one (a node
+      only publishes mirrors Algorithm 1 actually chose and that accepted).
+    """
+    violations: List[Violation] = []
+    used = manager.store.used_profiles
+    capacity = manager.store.capacity_profiles
+    if used > capacity + 1e-9:
+        violations.append(
+            Violation(
+                invariant="storage-within-capacity",
+                epoch=epoch,
+                node_ids=(manager.owner_id,),
+                detail=f"node {manager.owner_id} stores {used:.3f}/{capacity:.3f} profiles",
+                snapshot={"used": used, "capacity": capacity},
+            )
+        )
+    stored_blacklisted = [
+        owner
+        for owner in manager.store.stored_owners()
+        if manager.store.is_blacklisted(owner)
+    ]
+    if stored_blacklisted:
+        violations.append(
+            Violation(
+                invariant="no-blacklisted-replicas",
+                epoch=epoch,
+                node_ids=(manager.owner_id, *stored_blacklisted),
+                detail=(
+                    f"node {manager.owner_id} still stores replicas of "
+                    f"blacklisted owners {stored_blacklisted}"
+                ),
+                snapshot={"blacklisted_stored": stored_blacklisted},
+            )
+        )
+    extra = set(manager.announced_mirrors) - set(manager.selected_mirrors)
+    if extra:
+        violations.append(
+            Violation(
+                invariant="announced-subset-of-selected",
+                epoch=epoch,
+                node_ids=(manager.owner_id, *sorted(extra)),
+                detail=(
+                    f"node {manager.owner_id} announces mirrors {sorted(extra)} "
+                    "that Algorithm 1 never selected"
+                ),
+                snapshot={
+                    "announced": list(manager.announced_mirrors),
+                    "selected": list(manager.selected_mirrors),
+                },
+            )
+        )
+    return violations
+
+
+def check_mirror_manager(manager, epoch: int = -1, repro: str = "") -> None:
+    found = mirror_manager_violations(manager, epoch)
+    if found:
+        raise InvariantViolation(found, repro=repro)
+
+
+# ---------------------------------------------------------------------------
+# one-line repro strings
+# ---------------------------------------------------------------------------
+_REPRO_PREFIX = "soup-repro/v1"
+
+#: token -> ScenarioConfig field.  Only scalar fields participate; model
+#: objects (SoupConfig, ActivityModel) keep their defaults on replay.
+_REPRO_FIELDS: Dict[str, str] = {
+    "dataset": "dataset",
+    "scale": "scale",
+    "seed": "seed",
+    "days": "n_days",
+    "epd": "epochs_per_day",
+    "join_window": "join_window_days",
+    "round_days": "round_period_days",
+    "dist": "online_distribution",
+    "session": "mean_session_epochs",
+    "friend_p": "friend_contact_probability",
+    "profiles": "profiles_per_session",
+    "altruists": "altruist_fraction",
+    "altruist_day": "altruist_join_day",
+    "departure": "departure_fraction",
+    "departure_day": "departure_day",
+    "traitors": "traitor_fraction",
+    "betrayal_day": "betrayal_day",
+    "slander": "slander_fraction",
+    "sybil": "sybil_fraction",
+    "flood_req": "sybil_flood_requests",
+    "capacity": "mirror_request_capacity",
+    "ties": "use_tie_strength",
+    "faults": "faults",
+    "invariants": "invariant_names",
+}
+#: Tokens always emitted even at default values (scenario identity).
+_REPRO_ALWAYS = ("dataset", "scale", "seed", "days")
+
+
+def format_repro(config) -> str:
+    """Serialize a scenario to the one-line repro string.
+
+    The line replays with :func:`run_repro` (or ``python -m repro replay``)
+    and always re-enables invariant checking.
+    """
+    from repro.sim.scenario import ScenarioConfig
+
+    defaults = ScenarioConfig()
+    tokens = [_REPRO_PREFIX]
+    for token, attr in _REPRO_FIELDS.items():
+        value = getattr(config, attr)
+        if token not in _REPRO_ALWAYS and value == getattr(defaults, attr):
+            continue
+        if value is None:
+            continue
+        if attr == "online_distribution":
+            value = value.value
+        elif attr == "invariant_names":
+            value = ",".join(value)
+        elif isinstance(value, bool):
+            value = int(value)
+        tokens.append(f"{token}={value}")
+    return " ".join(tokens)
+
+
+def parse_repro(line: str):
+    """Parse a repro line back into a ScenarioConfig (checking enabled)."""
+    from repro.sim.scenario import OnlineDistribution, ScenarioConfig
+
+    parts = line.split()
+    if not parts or parts[0] != _REPRO_PREFIX:
+        raise ValueError(
+            f"not a {_REPRO_PREFIX} line: {line[:60]!r}"
+        )
+    defaults = ScenarioConfig()
+    kwargs: Dict[str, object] = {}
+    for token in parts[1:]:
+        if "=" not in token:
+            raise ValueError(f"malformed repro token {token!r}")
+        key, raw = token.split("=", 1)
+        attr = _REPRO_FIELDS.get(key)
+        if attr is None:
+            raise ValueError(f"unknown repro token {key!r}")
+        default = getattr(defaults, attr)
+        if attr == "online_distribution":
+            value: object = OnlineDistribution(raw)
+        elif attr == "invariant_names":
+            value = tuple(raw.split(","))
+        elif attr == "faults":
+            value = raw
+        elif isinstance(default, bool):
+            value = bool(int(raw))
+        elif isinstance(default, int) and not isinstance(default, bool):
+            value = int(raw)
+        elif isinstance(default, float):
+            value = float(raw)
+        elif default is None:  # e.g. mirror_request_capacity
+            value = int(raw)
+        else:
+            value = raw
+        kwargs[attr] = value
+    kwargs["check_invariants"] = True
+    return ScenarioConfig(**kwargs)
+
+
+def run_repro(line: str):
+    """Replay a repro line; returns the :class:`InvariantViolation` it
+    reproduces, or ``None`` if the run completes clean."""
+    from repro.sim.engine import run_scenario
+
+    config = parse_repro(line)
+    try:
+        run_scenario(config)
+    except InvariantViolation as violation:
+        return violation
+    return None

@@ -132,6 +132,16 @@ class ScenarioConfig:
     #: Days at which to snapshot the stored-profile CDF (Fig. 6).
     cdf_snapshot_days: tuple = (1, 14, 30)
 
+    # --- correctness harness ----------------------------------------------------
+    #: Run the per-epoch runtime invariant checker (repro.sim.invariants);
+    #: a failed check raises InvariantViolation with a one-line repro string.
+    check_invariants: bool = False
+    #: Subset of invariant names to check (None = all engine invariants).
+    invariant_names: Optional[tuple] = None
+    #: Fault-injection plan (repro.sim.faults spec string), e.g.
+    #: ``"drop_transfer:rate=1.0:from_epoch=120;crash:epoch=240:count=2"``.
+    faults: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.n_days <= 0 or self.epochs_per_day <= 0:
             raise ValueError("simulation duration must be positive")
@@ -147,6 +157,17 @@ class ScenarioConfig:
             raise ValueError("sybil fraction must be in [0, 1]")
         if not 0.0 <= self.friend_contact_probability <= 1.0:
             raise ValueError("friend contact probability must be in [0, 1]")
+        if self.faults is not None:
+            # Fail fast on malformed fault specs rather than mid-run.
+            from repro.sim.faults import FaultInjector
+
+            FaultInjector.from_spec(self.faults, base_seed=self.seed)
+        if self.invariant_names is not None:
+            from repro.sim.invariants import ENGINE_INVARIANTS
+
+            unknown = [n for n in self.invariant_names if n not in ENGINE_INVARIANTS]
+            if unknown:
+                raise ValueError(f"unknown invariant name(s): {unknown}")
 
     @property
     def n_epochs(self) -> int:

@@ -142,3 +142,75 @@ def test_eviction_frees_enough_space_for_larger_replica(config):
     decision = store.request_store(4, size_profiles=2.0)
     assert decision.accepted
     assert store.used_profiles <= 3.0
+
+
+# --- threshold boundary behaviour (θ, c, 1/β exact values) -----------------
+
+
+def test_blacklist_triggers_exactly_at_theta(config):
+    """d_w ≥ θ blacklists: a score of exactly θ is already over the line."""
+    store = make_store(5.0, config)
+    store.request_store(1)
+    store._scores[1] = config.theta - 1e-9
+    assert store._check_blacklist() == []
+    assert not store.is_blacklisted(1)
+    store._scores[1] = float(config.theta)
+    assert store._check_blacklist() == [1]
+    assert store.is_blacklisted(1)
+    assert not store.stores_for(1)
+
+
+def test_theta_boundary_reachable_by_unit_increments(config):
+    """θ unit (+1) co-storage observations — not θ−1, not θ+1 — blacklist."""
+    store = make_store(500.0, config)
+    store.request_store(1)
+    for _ in range(int(config.theta) - 1):
+        assert store.learn_friend_storage([1]) == []
+    assert store.dropping_score(1) == pytest.approx(config.theta - 1)
+    assert not store.is_blacklisted(1)
+    assert store.learn_friend_storage([1]) == [1]
+    assert store.dropping_score(1) == pytest.approx(config.theta)
+
+
+def test_friend_discount_is_exactly_one_over_beta(config):
+    store = make_store(5.0, config)
+    store.request_store(1, is_friend=True)
+    store.learn_friend_storage([])
+    assert store.dropping_score(1) == pytest.approx(-1.0 / config.beta)
+    # A co-storage observation nets +1 − 1/β for a friend.
+    store.learn_friend_storage([1])
+    assert store.dropping_score(1) == pytest.approx(2 * (-1.0 / config.beta) + 1.0)
+
+
+def test_friend_discount_offsets_slow_flooding(config):
+    """A friend co-stored every exchange gains only 1 − 1/β per round, so
+    it takes β/(β−1) ≈ 5× longer to blacklist a friend than a stranger."""
+    stranger_rounds = int(config.theta)
+    friend_net = 1.0 - 1.0 / config.beta
+    friend_rounds = int(config.theta / friend_net)
+    assert friend_rounds > stranger_rounds
+    store = make_store(500.0, config)
+    store.request_store(1, is_friend=True)
+    for _ in range(stranger_rounds):
+        store.learn_friend_storage([1])
+    assert not store.is_blacklisted(1)
+
+
+def test_mismatch_penalty_is_exactly_c(config):
+    store = make_store(5.0, config)
+    store.request_store(1)
+    store.observe_published_mirrors(1, announced=[777])
+    assert store.dropping_score(1) == pytest.approx(config.mismatch_penalty)
+
+
+def test_strikes_to_blacklist_matches_theta_over_c(config):
+    """θ=300, c=100: the third announced/real mismatch blacklists."""
+    strikes = -(-int(config.theta) // int(config.mismatch_penalty))  # ceil
+    assert strikes == 3
+    store = make_store(5.0, config)
+    store.request_store(1)
+    for strike in range(strikes - 1):
+        assert store.observe_published_mirrors(1, announced=[]) == []
+        assert not store.is_blacklisted(1), f"blacklisted after strike {strike + 1}"
+    assert store.observe_published_mirrors(1, announced=[]) == [1]
+    assert store.is_blacklisted(1)
