@@ -1,0 +1,100 @@
+"""Fault recovery: proactive repair vs. passive round-based healing.
+
+The reliability layer's claim: under the PR-1 fault schedules — a burst
+of dropped replica transfers around a selection round plus a mid-run
+crash — acknowledged transfers with per-attempt retries and
+suspicion-based repair bring availability back to within 2 percentage
+points of the no-fault baseline, while the repair-disabled run stays
+measurably degraded until the *next* periodic selection round (2 days
+away at this cadence) bails it out.
+
+Schedule design: selection rounds run every 2 days (epochs 47, 95, 143,
+191).  Transfers are dropped at 90 % across the round at epoch 143, and
+30 nodes crash at epoch 150 — both between the last two rounds, so the
+only thing that can heal the damage inside the measured tail window
+(epochs 168–190, before the final round) is the reliability layer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import ScenarioConfig
+
+DAYS = 8
+ROUND_PERIOD_DAYS = 2.0
+FAULTS = "drop_transfer:rate=0.9:from_epoch=143:to_epoch=160;crash:epoch=150:count=30"
+#: Tail window: after repair convergence, before the final (healing) round.
+TAIL = slice(168, 191)
+
+
+def run_arm(faults, repair):
+    config = ScenarioConfig(
+        dataset="facebook",
+        scale=DEFAULT_SCALE,
+        n_days=DAYS,
+        seed=5,
+        round_period_days=ROUND_PERIOD_DAYS,
+        repair=repair,
+        faults=faults,
+    )
+    return run_scenario(config)
+
+
+def test_fault_recovery(benchmark):
+    outcome = run_once(
+        benchmark,
+        lambda: {
+            "no faults": run_arm(None, repair=False),
+            "faults + repair": run_arm(FAULTS, repair=True),
+            "faults, no repair": run_arm(FAULTS, repair=False),
+        },
+    )
+
+    rows = []
+    for name, result in outcome.items():
+        print_series(f"fault recovery ({name})", "per day", result.daily_availability())
+        tail = result.availability[TAIL].mean()
+        dip = result.availability[143:168].min()
+        rows.append((name, f"{dip:.3f}", f"{tail:.3f}"))
+    print_table(
+        "Fault recovery — dropped transfers @90% around round 143 + crash of 30 @150",
+        ("arm", "dip (min)", "tail mean (ep 168-190)"),
+        rows,
+    )
+
+    rel = outcome["faults + repair"].reliability
+    print_table(
+        "Reliability counters (repair arm)",
+        ("retries", "giveups", "deaths", "revivals", "repairs",
+         "replacements", "mean repair latency (ep)", "partial-set epochs"),
+        [(
+            rel.transfer_retries, rel.transfer_giveups, rel.deaths_declared,
+            rel.revivals, rel.repairs_triggered, rel.repair_replacements,
+            f"{rel.mean_repair_latency():.1f}", rel.partial_set_epochs,
+        )],
+    )
+
+    baseline = outcome["no faults"].availability[TAIL].mean()
+    repaired = outcome["faults + repair"].availability[TAIL].mean()
+    unrepaired = outcome["faults, no repair"].availability[TAIL].mean()
+
+    # Proactive repair recovers to within 2 pp of the no-fault baseline ...
+    assert repaired >= baseline - 0.02
+    # ... the passive run measurably does not (it waits for the next round) ...
+    assert unrepaired < baseline - 0.02
+    # ... so repair strictly beats passive healing inside the window.
+    assert repaired > unrepaired
+
+    # The machinery actually ran: retries rescued dropped transfers, the
+    # detector declared deaths, repair replaced mirrors — and did so well
+    # inside the 48-epoch inter-round gap it is designed to undercut.
+    assert rel.transfer_retries > 0
+    assert rel.deaths_declared > 0
+    assert rel.repairs_triggered > 0
+    assert rel.repair_replacements > 0
+    assert rel.mean_repair_latency() < ROUND_PERIOD_DAYS * 24
+
+    # The no-repair arm collects no reliability metrics at all.
+    assert outcome["faults, no repair"].reliability is None

@@ -43,6 +43,8 @@ def _result_json(result, **extra) -> str:
         "top_half_replica_share": result.top_half_replica_share,
         "blacklisted_owner_count": result.blacklisted_owner_count,
     }
+    if result.reliability is not None:
+        payload["reliability"] = result.reliability.summary()
     payload.update(extra)
     return json.dumps(payload, indent=2)
 
@@ -56,6 +58,8 @@ def _correctness_overrides(args) -> dict:
         overrides["faults"] = args.faults
         # A fault-injected run without the checker would corrupt silently.
         overrides.setdefault("check_invariants", True)
+    if getattr(args, "repair", False):
+        overrides["repair"] = True
     return overrides
 
 
@@ -254,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection plan, e.g. "
                             "'drop_transfer:rate=1.0:from_epoch=24' "
                             "(implies --check-invariants)")
+        p.add_argument("--repair", action="store_true",
+                       help="enable the reliability layer: acknowledged "
+                            "replica transfers with retries, mirror failure "
+                            "detection, and proactive replica repair")
 
     common(sub.add_parser("fig5", help="availability & replica overhead"))
     common(sub.add_parser("fig6", help="stored-profile CDF snapshots"), days=30)

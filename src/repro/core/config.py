@@ -89,6 +89,11 @@ class SoupConfig:
     storage_median_profiles: int = 50
     storage_sigma_profiles: float = 15.0
     storage_min_profiles: int = 5
+    #: Cap on buffered updates a mirror keeps per offline target, so a
+    #: flooding origin cannot grow surrogate storage without limit; the
+    #: oldest update is dropped when full (a returning user refetches
+    #: older history from the origin's profile).  0 disables the cap.
+    update_buffer_cap: int = 512
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -121,6 +126,10 @@ class SoupConfig:
             raise ValueError("theta and mismatch_penalty must be positive")
         if self.max_mirrors < 1:
             raise ValueError(f"max_mirrors must be positive, got {self.max_mirrors}")
+        if self.update_buffer_cap < 0:
+            raise ValueError(
+                f"update_buffer_cap cannot be negative, got {self.update_buffer_cap}"
+            )
 
     @property
     def strikes_to_blacklist(self) -> int:

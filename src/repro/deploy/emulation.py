@@ -81,6 +81,11 @@ class Deployment:
         self.loop = EventLoop()
         self.network = SimNetwork(self.loop)
         self.overlay = PastryOverlay()
+        # Publish/lookup see the network's real online state, so republish
+        # backoff and lookup alternates engage under churn.  (The overlay
+        # default — everyone live — is kept for unit scenarios that park
+        # offline nodes in the ring.)
+        self.overlay.set_liveness(self.network.is_online)
         self.registry = BootstrapRegistry()
         self.nodes: Dict[int, SoupNode] = {}
         self.users: List[SoupNode] = []

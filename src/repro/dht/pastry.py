@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.dht.node_state import (
     ID_DIGITS,
@@ -39,6 +39,10 @@ class RouteResult:
 
     responsible: int
     path: List[int]
+    #: False when the operation could not reach a live responsible node
+    #: (publish against an unreachable home, lookup with all alternates
+    #: down) — the caller should back off and retry later.
+    delivered: bool = True
 
     @property
     def hops(self) -> int:
@@ -75,8 +79,28 @@ class PastryOverlay:
         #: Log of entry movements; deployment emulation drains this to
         #: charge bandwidth to the nodes involved.
         self.transfer_log: List[TransferRecord] = []
+        #: Optional liveness oracle (node_id -> currently reachable).  Left
+        #: unset, every overlay member counts as live — the historical
+        #: behaviour, kept because several scenarios park nodes offline
+        #: while leaving them in the ring.  The deployment emulation wires
+        #: this to the simulated network's online state, making publish
+        #: and lookup honest about unreachable homes.
+        self._liveness: Optional[Callable[[int], bool]] = None
+        #: How many alternate next-closest nodes a lookup probes when the
+        #: responsible node is unreachable.
+        self.lookup_max_alternates = 3
+        self.lookup_retries = 0
+        self.lookup_alternate_hits = 0
+        self.publishes_unreachable = 0
 
     # --- membership -------------------------------------------------------
+    def set_liveness(self, liveness: Optional[Callable[[int], bool]]) -> None:
+        """Install (or clear) the liveness oracle used by publish/lookup."""
+        self._liveness = liveness
+
+    def _is_live(self, node_id: int) -> bool:
+        return self._liveness is None or self._liveness(node_id)
+
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._nodes
 
@@ -238,19 +262,30 @@ class PastryOverlay:
         return transfers
 
     # --- routing ------------------------------------------------------------
-    def route(self, start_id: int, key: int) -> RouteResult:
-        """Prefix-route ``key`` from ``start_id``; returns path and owner."""
+    def route(
+        self, start_id: int, key: int, avoid: FrozenSet[int] = frozenset()
+    ) -> RouteResult:
+        """Prefix-route ``key`` from ``start_id``; returns path and owner.
+
+        ``avoid`` excludes nodes from consideration as next hops, so a
+        retry can steer around an unreachable responsible node and
+        terminate at the next-closest live candidate instead.  Routing
+        stays structural otherwise (no per-hop liveness checks) — the
+        final node is the closest *non-avoided* overlay member.
+        """
         current = self._require(start_id)
         path = [current.node_id]
         for _ in range(self._max_route_hops):
-            next_id = self._next_hop(current, key)
+            next_id = self._next_hop(current, key, avoid)
             if next_id is None or next_id == current.node_id:
                 return RouteResult(responsible=current.node_id, path=path)
             current = self._nodes[next_id]
             path.append(next_id)
         raise DhtError(f"routing loop for key {key:#x} from {start_id:#x}")
 
-    def _next_hop(self, node: _OverlayNode, key: int) -> Optional[int]:
+    def _next_hop(
+        self, node: _OverlayNode, key: int, avoid: FrozenSet[int] = frozenset()
+    ) -> Optional[int]:
         """One Pastry routing step from ``node`` toward ``key``.
 
         Every hop must strictly decrease ``(ring_distance to key, node id)``
@@ -268,24 +303,31 @@ class PastryOverlay:
             return (
                 candidate is not None
                 and candidate in self._nodes
+                and candidate not in avoid
                 and (ring_distance(candidate, key), candidate) < own_order
             )
 
         # Leaf-set range: deliver to the numerically closest member.
         if node.leaf_set.covers(key) or not node.leaf_set.members():
             closest = node.leaf_set.closest_to(key)
-            return closest if improves(closest) else None
-        # Routing table: match one more prefix digit (if that makes
-        # numeric progress too).
-        table_hop = node.routing_table.next_hop(key)
-        if improves(table_hop):
-            return table_hop
+            if improves(closest):
+                return closest
+            if not avoid:
+                return None
+            # The closest member is being avoided: fall through to the
+            # general scan so the route can settle on an alternate.
+        else:
+            # Routing table: match one more prefix digit (if that makes
+            # numeric progress too).
+            table_hop = node.routing_table.next_hop(key)
+            if improves(table_hop):
+                return table_hop
         # Rare case: any known node strictly closer to the key.
         candidates = node.routing_table.known_nodes() + node.leaf_set.members()
         best = None
         best_order = own_order
         for candidate in candidates:
-            if candidate not in self._nodes:
+            if candidate not in self._nodes or candidate in avoid:
                 continue
             order = (ring_distance(candidate, key), candidate)
             if order < best_order:
@@ -301,8 +343,18 @@ class PastryOverlay:
 
     # --- directory operations -------------------------------------------------
     def publish(self, from_id: int, key: int, entry: DirectoryEntry) -> RouteResult:
-        """Publish an entry under ``key``; stale versions never overwrite."""
+        """Publish an entry under ``key``; stale versions never overwrite.
+
+        When a liveness oracle is installed and the responsible node is
+        unreachable, the entry is *not* stored anywhere else (that would
+        misplace it) — the route comes back ``delivered=False`` and the
+        caller backs off and republishes later.
+        """
         route = self.route(from_id, key)
+        if not self._is_live(route.responsible):
+            self.publishes_unreachable += 1
+            route.delivered = False
+            return route
         home = self._nodes[route.responsible]
         existing = home.entries.get(key)
         if existing is None or entry.version >= existing.version:
@@ -310,10 +362,33 @@ class PastryOverlay:
         return route
 
     def lookup(self, from_id: int, key: int) -> Tuple[Optional[DirectoryEntry], RouteResult]:
-        """Look up the entry stored under ``key``."""
+        """Look up the entry stored under ``key``.
+
+        If the responsible node is unreachable (per the liveness oracle),
+        the lookup retries via alternate next-hops — re-routing around
+        every home found dead so far — up to ``lookup_max_alternates``
+        times.  An alternate may well hold the entry (re-homed during an
+        incomplete churn repair); if every candidate is down the result is
+        ``(None, route)`` with ``delivered=False``.
+        """
         route = self.route(from_id, key)
-        entry = self._nodes[route.responsible].entries.get(key)
-        return entry, route
+        avoid: FrozenSet[int] = frozenset()
+        for _ in range(self.lookup_max_alternates):
+            if self._is_live(route.responsible):
+                entry = self._nodes[route.responsible].entries.get(key)
+                if avoid and entry is not None:
+                    self.lookup_alternate_hits += 1
+                return entry, route
+            self.lookup_retries += 1
+            avoid = avoid | {route.responsible}
+            if len(avoid) >= len(self._nodes):
+                break
+            rerouted = self.route(from_id, key, avoid=avoid)
+            if rerouted.responsible in avoid:
+                break  # no further alternates reachable from here
+            route = rerouted
+        route.delivered = False
+        return None, route
 
     def entries_at(self, node_id: int) -> Dict[int, DirectoryEntry]:
         return dict(self._require(node_id).entries)

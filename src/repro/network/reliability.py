@@ -1,0 +1,469 @@
+"""Reliable delivery over the simulated network.
+
+:class:`~repro.network.simnet.SimNetwork` is deliberately unreliable:
+messages to offline nodes vanish, in-flight bytes are lost when the
+receiver goes dark, and a sender crashing mid-action loses the send.  The
+protocol stack, however, makes durability claims — "data of any
+participant [is] always available" — that rest on those very messages
+(replica pushes, buffered-update deliveries) actually arriving.  This
+module supplies the machinery between the two:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic,
+  seed-derived jitter, a per-attempt timeout and an attempt cap.  The
+  jitter for (seed, message, attempt) is a pure function, so a fixed
+  scenario seed replays the exact retry schedule.
+* :class:`CircuitBreaker` — per-destination closed → open → half-open
+  breaker.  A destination that keeps timing out stops consuming uplink
+  and timers until a probe succeeds (cf. the gateway-overload concern of
+  Sec. 3.3: a mobile node hammering a dead gateway helps nobody).
+* :class:`FailureDetector` — suspicion-based detector in the
+  eventually-perfect style: ack timeouts raise suspicion, observed
+  deliveries (an ack, or any inbound message) clear it.  Crossing the
+  threshold declares the peer dead and fires ``on_dead`` — which is what
+  triggers proactive replica repair in
+  :meth:`repro.node.middleware.SoupNode.repair_mirrors`.
+* :class:`ReliableEndpoint` — acknowledged sends: payloads travel in
+  sequence-numbered :class:`Envelope` frames, receivers ack every frame
+  (including duplicates) and deduplicate before delivering to the inner
+  handler, so *ack loss → retry* never applies an update twice.  Per-
+  message timers run on the existing :class:`~repro.network.events.EventLoop`.
+
+Everything here is deterministic for a fixed seed: timer ordering comes
+from the event loop's sequence numbers and jitter from hashed-seed RNG
+streams, never from global randomness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.network.events import EventLoop
+from repro.network.simnet import SimNetwork
+
+#: Wire size of an acknowledgement frame (message id + MAC).
+ACK_BYTES = 64
+
+GiveUpHandler = Callable[[int, Any, str], None]
+AckHandler = Callable[[int, Any], None]
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic seed-derived jitter.
+
+    ``backoff_s(attempt, seed, key)`` is a pure function: the same
+    (policy, seed, key, attempt) always yields the same delay, so retry
+    schedules replay exactly under a fixed scenario seed — jitter draws
+    its own :class:`random.Random` stream and never touches shared RNGs.
+    """
+
+    #: Total send attempts (first try included).
+    max_attempts: int = 4
+    #: Backoff before the first retry.
+    base_delay_s: float = 0.5
+    #: Backoff growth factor per retry.
+    multiplier: float = 2.0
+    #: Fractional jitter: each delay is scaled by ``1 ± jitter_fraction``.
+    jitter_fraction: float = 0.25
+    #: How long to wait for an ack before declaring the attempt lost.
+    attempt_timeout_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.attempt_timeout_s <= 0:
+            raise ValueError("delays must be non-negative, timeout positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff must not shrink)")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, seed: object, key: object) -> float:
+        """Delay before retry number ``attempt`` (1-based) of message ``key``."""
+        delay = self.base_delay_s * self.multiplier ** max(0, attempt - 1)
+        if self.jitter_fraction:
+            u = random.Random(f"{seed}/{key}/{attempt}").random()
+            delay *= 1.0 + self.jitter_fraction * (2.0 * u - 1.0)
+        return delay
+
+    def schedule(self, seed: object, key: object) -> List[float]:
+        """The full backoff schedule for one message (determinism tests)."""
+        return [
+            self.backoff_s(attempt, seed, key)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-destination circuit breaker (closed → open → half-open).
+
+    ``failure_threshold`` consecutive failures open the circuit; after
+    ``reset_timeout_s`` a single probe send is allowed (half-open).  A
+    success closes the circuit again, another failure re-opens it.
+    State transitions are counted for the reliability metrics.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, reset_timeout_s: float = 30.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._state: Dict[int, str] = {}
+        self._failures: Dict[int, int] = {}
+        self._opened_at: Dict[int, float] = {}
+        #: "closed->open" / "open->half-open" / "half-open->closed" /
+        #: "half-open->open" counters.
+        self.transitions: Dict[str, int] = {}
+
+    def _transition(self, dest: int, new_state: str) -> None:
+        old = self._state.get(dest, CLOSED)
+        if old == new_state:
+            return
+        self._state[dest] = new_state
+        key = f"{old}->{new_state}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+
+    def state_of(self, dest: int, now: Optional[float] = None) -> str:
+        state = self._state.get(dest, CLOSED)
+        if (
+            state == OPEN
+            and now is not None
+            and now - self._opened_at.get(dest, 0.0) >= self.reset_timeout_s
+        ):
+            self._transition(dest, HALF_OPEN)
+            return HALF_OPEN
+        return state
+
+    def allow(self, dest: int, now: float) -> bool:
+        """Whether a send to ``dest`` may be attempted right now."""
+        return self.state_of(dest, now) != OPEN
+
+    def record_success(self, dest: int, now: float) -> None:
+        self._failures[dest] = 0
+        self._transition(dest, CLOSED)
+
+    def record_failure(self, dest: int, now: float) -> None:
+        state = self.state_of(dest, now)
+        if state == HALF_OPEN:
+            # The probe failed: straight back to open.
+            self._opened_at[dest] = now
+            self._transition(dest, OPEN)
+            return
+        count = self._failures.get(dest, 0) + 1
+        self._failures[dest] = count
+        if state == CLOSED and count >= self.failure_threshold:
+            self._opened_at[dest] = now
+            self._transition(dest, OPEN)
+
+
+# ---------------------------------------------------------------------------
+# failure detector
+# ---------------------------------------------------------------------------
+class FailureDetector:
+    """Suspicion-based failure detection.
+
+    Every missed ack (or failed probe) raises a peer's suspicion level by
+    one; any observed delivery from the peer resets it.  Crossing
+    ``suspicion_threshold`` declares the peer dead and fires ``on_dead``
+    once; a later observed delivery revives it (and fires ``on_alive``).
+
+    The detector is intentionally simple — an integer suspicion level per
+    peer — because the simulation's epochs/timers already quantize time;
+    what matters for the protocol is the *decision* ("this mirror is
+    gone, replace it now"), which this emits deterministically.
+    """
+
+    def __init__(
+        self,
+        suspicion_threshold: int = 3,
+        on_dead: Optional[Callable[[int], None]] = None,
+        on_alive: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be at least 1")
+        self.suspicion_threshold = suspicion_threshold
+        self.on_dead = on_dead
+        self.on_alive = on_alive
+        self._suspicion: Dict[int, int] = {}
+        self._dead: Set[int] = set()
+        self.deaths_declared = 0
+        self.revivals = 0
+
+    def suspicion_of(self, peer: int) -> int:
+        return self._suspicion.get(peer, 0)
+
+    def is_dead(self, peer: int) -> bool:
+        return peer in self._dead
+
+    def dead_peers(self) -> Set[int]:
+        return set(self._dead)
+
+    def record_failure(self, peer: int) -> bool:
+        """Raise suspicion; returns True when ``peer`` is *newly* dead."""
+        level = self._suspicion.get(peer, 0) + 1
+        self._suspicion[peer] = level
+        if level >= self.suspicion_threshold and peer not in self._dead:
+            self._dead.add(peer)
+            self.deaths_declared += 1
+            if self.on_dead is not None:
+                self.on_dead(peer)
+            return True
+        return False
+
+    def record_success(self, peer: int) -> None:
+        """An observed delivery: clear suspicion, revive if declared dead."""
+        self._suspicion[peer] = 0
+        if peer in self._dead:
+            self._dead.discard(peer)
+            self.revivals += 1
+            if self.on_alive is not None:
+                self.on_alive(peer)
+
+    def declare_dead(self, peer: int) -> bool:
+        """Force-declare a peer dead (e.g. on direct evidence such as a
+        storage probe answering without the replica)."""
+        self._suspicion[peer] = max(
+            self._suspicion.get(peer, 0), self.suspicion_threshold
+        )
+        if peer in self._dead:
+            return False
+        self._dead.add(peer)
+        self.deaths_declared += 1
+        if self.on_dead is not None:
+            self.on_dead(peer)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# acknowledged sends
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Envelope:
+    """A reliably-sent payload: (origin, msg_id) identifies it for dedup."""
+
+    msg_id: int
+    origin: int
+    attempt: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Acknowledgement of one envelope."""
+
+    msg_id: int
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters one endpoint (or an aggregate of endpoints) accumulates."""
+
+    sent: int = 0
+    acked: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    give_ups: int = 0
+    circuit_blocked: int = 0
+    duplicates_dropped: int = 0
+    network_failures: int = 0
+
+    def merge(self, other: "ReliabilityStats") -> "ReliabilityStats":
+        for name in (
+            "sent", "acked", "retries", "timeouts", "give_ups",
+            "circuit_blocked", "duplicates_dropped", "network_failures",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+
+@dataclass
+class _PendingSend:
+    """In-flight reliable send (one per msg_id until acked or given up)."""
+
+    msg_id: int
+    dest: int
+    payload: Any
+    size_bytes: int
+    attempt: int = 0
+    on_ack: Optional[AckHandler] = None
+    on_giveup: Optional[GiveUpHandler] = None
+
+
+class ReliableEndpoint:
+    """Acknowledged, deduplicated delivery for one node.
+
+    Wraps the node's plain network handler: register
+    :meth:`handle_message` as the node's :class:`SimNetwork` handler and
+    :meth:`handle_network_failure` as its failure handler, then send
+    through :meth:`send_reliable`.  Plain (unwrapped) messages pass
+    through untouched, so reliable and fire-and-forget traffic coexist on
+    one handler.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: SimNetwork,
+        inner_handler: Callable[[int, Any], None],
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        detector: Optional[FailureDetector] = None,
+        seed: object = 0,
+        on_plain_failure: Optional[GiveUpHandler] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.loop: EventLoop = network.loop
+        self.inner_handler = inner_handler
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.detector = detector or FailureDetector()
+        self.seed = seed
+        self.on_plain_failure = on_plain_failure
+        self.stats = ReliabilityStats()
+        self._counter = itertools.count()
+        self._pending: Dict[int, _PendingSend] = {}
+        #: (origin, msg_id) pairs already delivered to the inner handler.
+        self._delivered: Set[Tuple[int, int]] = set()
+
+    # --- sending ----------------------------------------------------------
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def send_reliable(
+        self,
+        dest: int,
+        payload: Any,
+        size_bytes: int,
+        on_ack: Optional[AckHandler] = None,
+        on_giveup: Optional[GiveUpHandler] = None,
+    ) -> Optional[int]:
+        """Send with acks/retries; returns the msg id, or None if the
+        destination's circuit is open (the send is not attempted)."""
+        if not self.breaker.allow(dest, self.loop.now):
+            self.stats.circuit_blocked += 1
+            if on_giveup is not None:
+                on_giveup(dest, payload, "circuit-open")
+            return None
+        msg_id = next(self._counter)
+        state = _PendingSend(
+            msg_id=msg_id,
+            dest=dest,
+            payload=payload,
+            size_bytes=size_bytes,
+            on_ack=on_ack,
+            on_giveup=on_giveup,
+        )
+        self._pending[msg_id] = state
+        self._attempt(state)
+        return msg_id
+
+    def _attempt(self, state: _PendingSend) -> None:
+        if self._pending.get(state.msg_id) is not state:
+            return  # acked or given up while a retry was queued
+        envelope = Envelope(
+            msg_id=state.msg_id,
+            origin=self.node_id,
+            attempt=state.attempt,
+            payload=state.payload,
+        )
+        self.stats.sent += 1
+        self.network.send(self.node_id, state.dest, envelope, state.size_bytes)
+        # Measured *after* the send, the uplink backlog covers this frame's
+        # own wire time plus everything queued ahead of it; add the path
+        # estimate for the receiver leg and the returning ack.
+        timeout = (
+            self.policy.attempt_timeout_s
+            + self.network.uplink_backlog_s(self.node_id)
+            + self._transfer_estimate(state.dest, state.size_bytes)
+        )
+        attempt = state.attempt
+        self.loop.schedule(timeout, lambda: self._check_ack(state, attempt))
+
+    def _transfer_estimate(self, dest: int, size_bytes: int) -> float:
+        """Expected wire time, so large transfers get proportionally longer
+        ack timeouts (a 2 MB replica push is not 'lost' after 3 s)."""
+        try:
+            return self.network.transfer_time(self.node_id, dest, size_bytes)
+        except KeyError:
+            return 0.0
+
+    def _check_ack(self, state: _PendingSend, attempt: int) -> None:
+        if self._pending.get(state.msg_id) is not state or state.attempt != attempt:
+            return  # acked, given up, or already retried via a network failure
+        self.stats.timeouts += 1
+        self._attempt_failed(state, "ack-timeout")
+
+    def _attempt_failed(self, state: _PendingSend, reason: str) -> None:
+        now = self.loop.now
+        self.breaker.record_failure(state.dest, now)
+        self.detector.record_failure(state.dest)
+        retries_left = state.attempt + 1 < self.policy.max_attempts
+        if not retries_left or not self.breaker.allow(state.dest, now):
+            self._pending.pop(state.msg_id, None)
+            self.stats.give_ups += 1
+            if state.on_giveup is not None:
+                state.on_giveup(state.dest, state.payload, reason)
+            return
+        state.attempt += 1
+        self.stats.retries += 1
+        delay = self.policy.backoff_s(state.attempt, self.seed, state.msg_id)
+        self.loop.schedule(delay, lambda: self._attempt(state))
+
+    # --- receiving --------------------------------------------------------
+    def handle_message(self, sender: int, message: Any) -> None:
+        """Network handler: unwrap envelopes, ack, dedup, deliver."""
+        if isinstance(message, Ack):
+            state = self._pending.pop(message.msg_id, None)
+            if state is not None:
+                self.stats.acked += 1
+                self.breaker.record_success(state.dest, self.loop.now)
+                self.detector.record_success(state.dest)
+                if state.on_ack is not None:
+                    state.on_ack(state.dest, state.payload)
+            return
+        if isinstance(message, Envelope):
+            # Ack every copy — the origin may have missed the first ack.
+            self.network.send(self.node_id, sender, Ack(message.msg_id), ACK_BYTES)
+            key = (message.origin, message.msg_id)
+            if key in self._delivered:
+                self.stats.duplicates_dropped += 1
+                return
+            self._delivered.add(key)
+            self.detector.record_success(message.origin)
+            self.inner_handler(message.origin, message.payload)
+            return
+        # Plain traffic: any delivery is evidence the sender is alive.
+        self.detector.record_success(sender)
+        self.inner_handler(sender, message)
+
+    def handle_network_failure(self, dest: int, message: Any, reason: str) -> None:
+        """SimNetwork failure handler: immediate nack for envelopes, an
+        observation (plus optional passthrough) for everything else."""
+        self.stats.network_failures += 1
+        if isinstance(message, Envelope):
+            state = self._pending.get(message.msg_id)
+            if state is not None and state.attempt == message.attempt:
+                self._attempt_failed(state, reason)
+            return
+        self.detector.record_failure(dest)
+        if self.on_plain_failure is not None:
+            self.on_plain_failure(dest, message, reason)

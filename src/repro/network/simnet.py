@@ -126,6 +126,10 @@ class SimNetwork:
         self.control_meters: Dict[int, TrafficMeter] = {}
         self.messages_delivered = 0
         self.messages_failed = 0
+        #: Failure counts broken down by reason ("sender-offline",
+        #: "unreachable", "lost-in-flight"), so diagnoses don't have to
+        #: guess which leg of the path dropped the message.
+        self.failures_by_reason: Dict[str, int] = {}
         #: Time each node's uplink is busy until (sends serialize).
         self._uplink_free_at: Dict[int, float] = {}
         #: Time each node's downlink is busy until (receives serialize).
@@ -159,7 +163,16 @@ class SimNetwork:
         return meter
 
     def unregister(self, node_id: int) -> None:
-        for table in (self._links, self._handlers, self._failure_handlers, self._online):
+        for table in (
+            self._links,
+            self._handlers,
+            self._failure_handlers,
+            self._online,
+            self.meters,
+            self.control_meters,
+            self._uplink_free_at,
+            self._downlink_free_at,
+        ):
             table.pop(node_id, None)
 
     def set_online(self, node_id: int, online: bool) -> None:
@@ -174,6 +187,16 @@ class SimNetwork:
         return self._links[node_id]
 
     # --- sending ---------------------------------------------------------
+    def _count_failure(self, reason: str) -> None:
+        self.messages_failed += 1
+        self.failures_by_reason[reason] = self.failures_by_reason.get(reason, 0) + 1
+
+    def uplink_backlog_s(self, node_id: int) -> float:
+        """How far beyond *now* the node's uplink is already committed —
+        queued sends delay both delivery and the returning ack, so retry
+        timeouts must stretch by this much to avoid false losses."""
+        return max(0.0, self._uplink_free_at.get(node_id, 0.0) - self.loop.now)
+
     def transfer_time(self, sender: int, receiver: int, size_bytes: int) -> float:
         s_link = self._links[sender]
         r_link = self._links[receiver]
@@ -187,8 +210,16 @@ class SimNetwork:
         if size_bytes < 0:
             raise ValueError("message size cannot be negative")
         if not self._online.get(sender, False):
-            # A node that went offline mid-action silently loses the send.
-            self.messages_failed += 1
+            # A node that went offline mid-action loses the send, but the
+            # loss is reported: its failure handler fires (immediately —
+            # the sender's own stack notices synchronously) so retry
+            # machinery can reschedule the send for when it reconnects.
+            self._count_failure("sender-offline")
+            failure_handler = self._failure_handlers.get(sender)
+            if failure_handler is not None:
+                self.loop.schedule(
+                    0.0, lambda: failure_handler(receiver, message, "sender-offline")
+                )
             return
         # Sends serialize on the sender's uplink: a burst of pushes occupies
         # the link back to back instead of stacking into one instant.
@@ -199,7 +230,7 @@ class SimNetwork:
         queue_delay = start - self.loop.now
 
         if receiver not in self._links or not self._online.get(receiver, False):
-            self.messages_failed += 1
+            self._count_failure("unreachable")
             failure_handler = self._failure_handlers.get(sender)
             if failure_handler is not None:
                 # Failure is detected after a timeout ~ the link latency.
@@ -220,7 +251,7 @@ class SimNetwork:
             # The receiver may have gone offline while the bytes were in
             # flight; they are then lost.
             if not self._online.get(receiver, False):
-                self.messages_failed += 1
+                self._count_failure("lost-in-flight")
                 return
             # Concurrent inbound streams share (serialize on) the downlink.
             start = max(self.loop.now, self._downlink_free_at.get(receiver, 0.0))

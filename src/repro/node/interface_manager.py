@@ -19,17 +19,21 @@ measurements reflect multi-hop Pastry cost, not just endpoint cost.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.objects import ObjectType, SoupObject
 from repro.dht.pastry import DhtError, PastryOverlay, RouteResult
 from repro.dht.storage import DirectoryEntry
+from repro.network.reliability import ReliableEndpoint
 from repro.network.simnet import SimNetwork
 
 #: Approximate wire size of one DHT control message (key + headers).
 _DHT_MESSAGE_BYTES = 160
 #: Extra bytes for a relayed mobile request (tunnel header).
 _RELAY_OVERHEAD_BYTES = 48
+#: Republish backoff: base delay and cap for consecutive failed publishes.
+_REPUBLISH_BASE_S = 5.0
+_REPUBLISH_CAP_S = 300.0
 
 
 class InterfaceManager:
@@ -48,6 +52,15 @@ class InterfaceManager:
         self.is_mobile = is_mobile
         #: The gateway a mobile node relays its DHT operations through.
         self.gateway_id: Optional[int] = None
+        #: Reliability layer (acks, retries, circuit breaking); installed
+        #: by the owning node after registration.  When absent, reliable
+        #: sends degrade to plain fire-and-forget sends.
+        self.endpoint: Optional[ReliableEndpoint] = None
+        #: Republish backoff state: consecutive failures and the earliest
+        #: time another publish attempt will actually hit the overlay.
+        self._publish_failures = 0
+        self._publish_backoff_until = 0.0
+        self.publishes_deferred = 0
 
     # --- gateway management (mobile nodes, Sec. 3.3) --------------------
     def set_gateway(self, gateway_id: int) -> None:
@@ -83,13 +96,33 @@ class InterfaceManager:
         self.network.control_meter(self.owner_id).record_received(now, size)
 
     # --- directory operations ---------------------------------------------
-    def publish_entry(self, entry: DirectoryEntry) -> RouteResult:
-        """Publish our directory entry under our SOUP ID."""
+    def publish_entry(self, entry: DirectoryEntry) -> Optional[RouteResult]:
+        """Publish our directory entry under our SOUP ID.
+
+        Failed publishes (responsible node unreachable) back off
+        exponentially: while the backoff window is open further attempts
+        are deferred without touching the overlay, so a node does not
+        hammer a dead neighbourhood with republish traffic.  Returns None
+        for a deferred attempt.
+        """
+        now = self.network.loop.now
+        if self._publish_failures and now < self._publish_backoff_until:
+            self.publishes_deferred += 1
+            return None
         entry_point = self._dht_entry_point()
         route = self.overlay.publish(entry_point, entry.soup_id, entry)
         self._charge_route(route, entry.size_bytes())
         if self.is_mobile:
             self._charge_relay(entry.size_bytes())
+        if route.delivered:
+            self._publish_failures = 0
+        else:
+            self._publish_failures += 1
+            delay = min(
+                _REPUBLISH_CAP_S,
+                _REPUBLISH_BASE_S * 2.0 ** (self._publish_failures - 1),
+            )
+            self._publish_backoff_until = now + delay
         return route
 
     def lookup_entry(self, soup_id: int) -> Tuple[Optional[DirectoryEntry], RouteResult]:
@@ -111,3 +144,25 @@ class InterfaceManager:
         """Send an object whose payload size is accounted explicitly (large
         transfers such as replica pushes)."""
         self.network.send(self.owner_id, dest, obj, size_bytes)
+
+    def send_bytes_reliable(
+        self,
+        dest: int,
+        obj: SoupObject,
+        size_bytes: int,
+        on_ack: Optional[Callable[[int, object], None]] = None,
+        on_giveup: Optional[Callable[[int, object, str], None]] = None,
+    ) -> None:
+        """Send with acknowledgement, retries, and circuit breaking.
+
+        Update pushes and replica transfers go through here: a lost or
+        unacked send is retried per the endpoint's policy, and repeated
+        failures feed the failure detector (which drives proactive mirror
+        repair).  Falls back to a plain send when no endpoint is wired.
+        """
+        if self.endpoint is None:
+            self.network.send(self.owner_id, dest, obj, size_bytes)
+            return
+        self.endpoint.send_reliable(
+            dest, obj, size_bytes, on_ack=on_ack, on_giveup=on_giveup
+        )

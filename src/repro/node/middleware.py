@@ -24,6 +24,7 @@ from repro.crypto.keys import KeyPair
 from repro.dht.bootstrap import BootstrapRegistry
 from repro.dht.pastry import PastryOverlay
 from repro.dht.storage import DirectoryEntry
+from repro.network.reliability import FailureDetector, ReliableEndpoint
 from repro.network.simnet import LinkSpec, SimNetwork
 from repro.node.application_manager import ApplicationManager
 from repro.node.interface_manager import InterfaceManager
@@ -112,11 +113,31 @@ class SoupNode:
         #: Inbound objects discarded for missing/invalid signatures.
         self.dropped_objects = 0
 
+        #: Reliability layer: acknowledged sends with retry/backoff, a
+        #: per-destination circuit breaker, and a failure detector whose
+        #: dead-mirror verdicts trigger proactive replica repair.
+        self.reliability = ReliableEndpoint(
+            node_id=self.node_id,
+            network=network,
+            inner_handler=self._handle_network,
+            detector=FailureDetector(
+                on_dead=self._on_peer_dead, on_alive=self._on_peer_alive
+            ),
+            seed=seed if seed is not None else self.node_id,
+        )
+        self.interface.endpoint = self.reliability
+        self._repairing = False
+
         if link is None:
             from repro.network.simnet import DESKTOP_LINK, MOBILE_LINK
 
             link = MOBILE_LINK if is_mobile else DESKTOP_LINK
-        network.register(self.node_id, self._handle_network, link=link)
+        network.register(
+            self.node_id,
+            self.reliability.handle_message,
+            link=link,
+            on_failure=self.reliability.handle_network_failure,
+        )
         network.set_online(self.node_id, False)
 
     # ------------------------------------------------------------------
@@ -348,7 +369,7 @@ class SoupNode:
             mirror = self._peer(mirror_id)
             if mirror is None:
                 continue
-            self.interface.send_bytes(
+            self.interface.send_bytes_reliable(
                 mirror_id, update, item.size_bytes + _ENCRYPTION_OVERHEAD_BYTES
             )
             mirror.mirror_manager.record_owner_update(self.node_id, pending)
@@ -583,7 +604,7 @@ class SoupNode:
                     payload={"fragment": placement.fragment_index, "k": plan.k},
                     timestamp=self._now(),
                 )
-                self.interface.send_bytes(
+                self.interface.send_bytes_reliable(
                     placement.mirror, push, placement.size_bytes
                 )
             self.mirror_manager.coded_plan = plan
@@ -597,7 +618,38 @@ class SoupNode:
                 object_type=ObjectType.REPLICA_PUSH,
                 timestamp=self._now(),
             )
-            self.interface.send_bytes(mirror_id, push, replica_bytes)
+            self.interface.send_bytes_reliable(mirror_id, push, replica_bytes)
+
+    # ------------------------------------------------------------------
+    # proactive replica repair (reliability layer)
+    # ------------------------------------------------------------------
+    def _on_peer_dead(self, peer_id: int) -> None:
+        """Failure-detector verdict: a peer stopped acking.  If it is one
+        of our announced mirrors, repair the mirror set immediately instead
+        of waiting for the next periodic selection round."""
+        was_mirror = self.mirror_manager.mark_mirror_dead(peer_id)
+        if was_mirror and self.joined and self.online and not self._repairing:
+            self.repair_mirrors()
+
+    def _on_peer_alive(self, peer_id: int) -> None:
+        self.mirror_manager.mark_mirror_alive(peer_id)
+
+    def repair_mirrors(self) -> List[int]:
+        """Rerun selection and re-replicate after a mirror was declared
+        dead.  Dead mirrors are excluded from the new set; when the
+        candidate pool is exhausted the node degrades to a partial set
+        (``mirror_manager.has_partial_set()``) rather than stalling."""
+        if self._repairing or not (self.joined and self.online):
+            return self.mirror_manager.announced_mirrors
+        self._repairing = True
+        try:
+            old = set(self.mirror_manager.announced_mirrors)
+            self.mirror_manager.repairs_triggered += 1
+            accepted = self.run_selection_round()
+            self.mirror_manager.repair_replacements += len(set(accepted) - old)
+            return accepted
+        finally:
+            self._repairing = False
 
     def _offline_unreachable_ids(self) -> List[int]:
         """Nodes currently unreachable for a storage request — excluded from
@@ -633,7 +685,9 @@ class SoupNode:
         for mirror_id in entry.mirror_ids:
             mirror = self._peer(mirror_id)
             if mirror is not None and mirror.online:
-                self.interface.send_bytes(mirror_id, update_object, pending.size_bytes)
+                self.interface.send_bytes_reliable(
+                    mirror_id, update_object, pending.size_bytes
+                )
                 mirror.mirror_manager.update_buffer.add(pending)
                 delivered = True
             elif mirror is not None:
@@ -641,7 +695,7 @@ class SoupNode:
                 for sub_id in mirror.mirror_manager.announced_mirrors:
                     sub = self._peer(sub_id)
                     if sub is not None and sub.online:
-                        self.interface.send_bytes(
+                        self.interface.send_bytes_reliable(
                             sub_id, update_object, pending.size_bytes
                         )
                         sub.mirror_manager.update_buffer.add(pending)

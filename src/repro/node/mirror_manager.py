@@ -44,7 +44,9 @@ class MirrorManager:
         self.bootstrap = BootstrapRanker(config)
         self.ranker = RegularRanker(self.knowledge, config)
         self.store = ReplicaStore(owner_id, capacity_profiles, config)
-        self.update_buffer = UpdateBuffer()
+        self.update_buffer = UpdateBuffer(
+            max_per_target=config.update_buffer_cap or None
+        )
         #: Retained per-owner update logs for multi-device sync (Sec. 3.5).
         self.update_logs: Dict[int, UpdateLog] = {}
 
@@ -54,6 +56,15 @@ class MirrorManager:
         self.announced_mirrors: List[int] = []
         self.rejected_by: Set[int] = set()
         self.has_experience = False
+        #: Mirrors the failure detector has declared dead: excluded from
+        #: selection until an observed delivery revives them.
+        self.dead_mirrors: Set[int] = set()
+        #: Proactive-repair bookkeeping (PROTOCOL.md "Reliability & repair").
+        self.repairs_triggered = 0
+        self.repair_replacements = 0
+        #: ε estimate of the last committed set — > config.epsilon means we
+        #: are running on a *partial* mirror set (candidates exhausted).
+        self.last_estimated_error: Optional[float] = None
         #: Erasure-coded placement of a large profile (Sec. 8 extension);
         #: None while the profile is replicated in full.
         self.coded_plan = None
@@ -136,7 +147,9 @@ class MirrorManager:
 
     def run_selection(self, exclude: Iterable[int] = ()) -> SelectionResult:
         """Run Algorithm 1 over the current ranking."""
-        excluded = {self.owner_id} | set(exclude) | self.rejected_by
+        excluded = (
+            {self.owner_id} | set(exclude) | self.rejected_by | self.dead_mirrors
+        )
         result = select_mirrors(
             ranking=self.build_ranking(self.knowledge.friends()),
             friends=self.knowledge.friends(),
@@ -147,7 +160,26 @@ class MirrorManager:
         )
         self.rejected_by.clear()
         self.selected_mirrors = list(result.mirrors)
+        self.last_estimated_error = result.estimated_error
         return result
+
+    # --- reliability / proactive repair ---------------------------------------
+    def mark_mirror_dead(self, mirror_id: int) -> bool:
+        """Record a failure-detector verdict; True if the dead node is in
+        the announced set (i.e. a repair is warranted)."""
+        self.dead_mirrors.add(mirror_id)
+        return mirror_id in self.announced_mirrors
+
+    def mark_mirror_alive(self, mirror_id: int) -> None:
+        self.dead_mirrors.discard(mirror_id)
+
+    def has_partial_set(self) -> bool:
+        """Whether the last selection fell short of the ε target (candidate
+        pool exhausted — the set is committed anyway, degraded)."""
+        return (
+            self.last_estimated_error is not None
+            and self.last_estimated_error > self.config.epsilon
+        )
 
     def commit_mirrors(self, accepted: List[int]) -> None:
         """Record the mirror set that actually accepted our replicas."""

@@ -27,10 +27,22 @@ class PendingUpdate:
 
 
 class UpdateBuffer:
-    """A mirror's surrogate storage of updates for the users it mirrors."""
+    """A mirror's surrogate storage of updates for the users it mirrors.
 
-    def __init__(self) -> None:
+    Each target's queue is bounded by ``max_per_target``: otherwise one
+    flooding origin could grow a mirror's surrogate storage without limit
+    (the same resource-exhaustion angle protective dropping guards the
+    forwarding path against).  When full, the oldest update is dropped —
+    the returning user can still fetch missed history from the origin's
+    profile — and ``dropped_updates`` counts the losses.
+    """
+
+    def __init__(self, max_per_target: Optional[int] = None) -> None:
+        if max_per_target is not None and max_per_target < 1:
+            raise ValueError("max_per_target must be positive")
         self._pending: Dict[int, List[PendingUpdate]] = {}
+        self.max_per_target = max_per_target
+        self.dropped_updates = 0
 
     def add(self, update: PendingUpdate) -> None:
         queue = self._pending.setdefault(update.target_id, [])
@@ -41,6 +53,13 @@ class UpdateBuffer:
         ):
             return
         queue.append(update)
+        if self.max_per_target is not None and len(queue) > self.max_per_target:
+            oldest = min(
+                range(len(queue)),
+                key=lambda i: (queue[i].timestamp, queue[i].origin_id, queue[i].sequence),
+            )
+            queue.pop(oldest)
+            self.dropped_updates += 1
 
     def pending_for(self, target_id: int) -> List[PendingUpdate]:
         """Updates for a returning user, ordered by (timestamp, sequence)."""

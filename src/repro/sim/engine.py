@@ -43,7 +43,7 @@ from repro.sim import invariants as invariants_mod
 from repro.sim.attacks import FloodingAttack, SlanderAttack
 from repro.sim.faults import FaultInjector
 from repro.sim.invariants import InvariantChecker
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import ReliabilityMetrics, SimulationResult
 from repro.sim.scenario import OnlineDistribution, ScenarioConfig, sample_distribution
 
 
@@ -70,6 +70,14 @@ class _NodeState:
     #: Selected mirrors that were offline at selection time; the replica
     #: push is retried whenever owner and mirror are online together.
     pending_placements: Set[int] = field(default_factory=set)
+    #: Mirrors the failure detector declared dead (repair runs only);
+    #: excluded from selection until observed online again.
+    dead_mirrors: Set[int] = field(default_factory=set)
+    #: Consecutive silent epochs per announced mirror (suspicion levels).
+    mirror_suspicion: Dict[int, int] = field(default_factory=dict)
+    #: ε estimate of the last selection; above the configured target the
+    #: node is running on a *partial* mirror set.
+    last_estimated_error: Optional[float] = None
     joined: bool = False
     departed: bool = False
     join_epoch: int = 0
@@ -131,6 +139,13 @@ class SoupSimulation:
         self._stale_announced: Dict[int, Set[int]] = {}
         #: Optional fault-injection plan (deterministic; see repro.sim.faults).
         self.faults = FaultInjector.from_spec(config.faults, base_seed=config.seed)
+        #: Reliability-layer counters (repair runs only).
+        if config.repair:
+            self.result.reliability = ReliabilityMetrics()
+        #: owner -> epoch its replica set first fell into deficit (a mirror
+        #: declared dead); cleared when fully restored, yielding the repair
+        #: latency samples.
+        self._deficit_since: Dict[int, int] = {}
         #: Optional per-epoch runtime invariant checker.
         self.invariant_checker: Optional[InvariantChecker] = (
             InvariantChecker(config.invariant_names)
@@ -360,6 +375,8 @@ class SoupSimulation:
                     pairs_dirty = True
                 elif node.pending_placements:
                     pairs_dirty |= self._retry_pending_placements(node, epoch)
+            if self.config.repair:
+                pairs_dirty |= self._run_repair(epoch, online_ids)
             if pairs_dirty:
                 self._rebuild_pairs()
 
@@ -639,7 +656,7 @@ class SoupSimulation:
             for mirror_id in node.announced_mirrors
             if node.node_id in self.replica_locations[mirror_id]
         }
-        excluded = {node.node_id} | node.rejected_by
+        excluded = {node.node_id} | node.rejected_by | node.dead_mirrors
         excluded.update(self._unreachable_at(epoch) - holding)
 
         # Candidate ranking, in trust order: (1) first-hand Eq.-(1)
@@ -674,6 +691,7 @@ class SoupSimulation:
             exclude=excluded,
         )
         node.rejected_by.clear()
+        node.last_estimated_error = result.estimated_error
 
         old_mirrors = set(node.selected_mirrors)
         new_mirrors = list(result.mirrors)
@@ -705,20 +723,21 @@ class SoupSimulation:
             )
             self._placements_this_round += 1
             if decision.accepted:
-                accepted.append(mirror_id)
                 if decision.dropped_owner is not None:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
                     self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
-                if self.faults is not None and self.faults.drop_transfer(
-                    node.node_id, mirror_id, epoch
-                ):
-                    # Injected fault: the mirror acknowledged the request but
-                    # the replica payload never arrived.  The owner announces
-                    # the mirror anyway — which the invariant checker flags.
-                    mirror.store.remove(node.node_id)
-                else:
+                if self._place_replica_payload(node.node_id, mirror_id, epoch):
                     self.replica_locations[mirror_id].add(node.node_id)
+                    accepted.append(mirror_id)
+                else:
+                    # The replica payload never arrived.  Fire-and-forget
+                    # senders announce the mirror anyway (the stale
+                    # announcement the invariant checker flags); acked
+                    # transfers roll the acceptance back cleanly.
+                    mirror.store.remove(node.node_id)
+                    if not self.config.repair:
+                        accepted.append(mirror_id)
             else:
                 node.rejected_by.add(mirror_id)
 
@@ -778,18 +797,142 @@ class SoupSimulation:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
                     self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
-                if self.faults is not None and self.faults.drop_transfer(
-                    node.node_id, mirror_id, epoch
-                ):
-                    mirror.store.remove(node.node_id)
-                else:
+                arrived = self._place_replica_payload(node.node_id, mirror_id, epoch)
+                if arrived:
                     self.replica_locations[mirror_id].add(node.node_id)
-                if mirror_id not in node.announced_mirrors:
-                    node.announced_mirrors.append(mirror_id)
-                placed = True
+                else:
+                    mirror.store.remove(node.node_id)
+                if arrived or not self.config.repair:
+                    if mirror_id not in node.announced_mirrors:
+                        node.announced_mirrors.append(mirror_id)
+                    placed = True
             else:
                 node.rejected_by.add(mirror_id)
         return placed
+
+    # ------------------------------------------------------------------
+    # reliability layer: failure detection + proactive repair
+    # ------------------------------------------------------------------
+    def _run_repair(self, epoch: int, online_ids: np.ndarray) -> bool:
+        """Per-epoch failure detection and repair for online owners.
+
+        Every online owner probes its announced mirrors: a mirror that
+        answers *with* the replica clears its suspicion; one that answers
+        *without* it (lost transfer, capacity eviction) is declared dead on
+        the spot; a silent (offline/departed) mirror accumulates suspicion
+        until ``repair_suspicion_epochs``, then is declared dead.  Dead
+        mirrors trigger an immediate reselection + re-replication instead
+        of waiting for the next daily round.  Returns True when any
+        replica ground truth changed.
+        """
+        rel = self.result.reliability
+        assert rel is not None
+        online_now = self.online_matrix[:, epoch]
+        dirty = False
+        for raw_id in online_ids:
+            node = self.nodes[int(raw_id)]
+            if node.departed or not node.joined or node.is_sybil:
+                continue
+            dead_now: List[int] = []
+            for mirror_id in list(node.announced_mirrors):
+                mirror = self.nodes[mirror_id]
+                if online_now[mirror_id] and not mirror.departed:
+                    if node.node_id in self.replica_locations[mirror_id]:
+                        node.mirror_suspicion.pop(mirror_id, None)
+                    else:
+                        # The probe answered without our replica: direct
+                        # evidence, no suspicion ramp needed.
+                        dead_now.append(mirror_id)
+                else:
+                    level = node.mirror_suspicion.get(mirror_id, 0) + 1
+                    node.mirror_suspicion[mirror_id] = level
+                    if level >= self.config.repair_suspicion_epochs:
+                        dead_now.append(mirror_id)
+            if dead_now:
+                self._repair_owner(node, dead_now, epoch)
+                dirty = True
+            self._note_deficit_state(node, epoch)
+            if (
+                node.last_estimated_error is not None
+                and node.last_estimated_error > self.soup.epsilon
+            ):
+                rel.partial_set_epochs += 1
+            # A dead-declared mirror seen online again becomes selectable.
+            for mirror_id in sorted(node.dead_mirrors):
+                if online_now[mirror_id] and not self.nodes[mirror_id].departed:
+                    node.dead_mirrors.discard(mirror_id)
+                    rel.revivals += 1
+        return dirty
+
+    def _repair_owner(
+        self, node: _NodeState, dead_now: List[int], epoch: int
+    ) -> None:
+        """Replace dead mirrors immediately: withdraw, reselect, re-place."""
+        rel = self.result.reliability
+        assert rel is not None
+        for mirror_id in dead_now:
+            node.dead_mirrors.add(mirror_id)
+            node.mirror_suspicion.pop(mirror_id, None)
+            rel.deaths_declared += 1
+            # Withdraw whatever the mirror still holds (a spurious verdict
+            # costs one re-replication, never a stale announcement).
+            if self.nodes[mirror_id].store.remove(node.node_id):
+                self.replica_locations[mirror_id].discard(node.node_id)
+            if mirror_id in node.announced_mirrors:
+                node.announced_mirrors.remove(mirror_id)
+            node.pending_placements.discard(mirror_id)
+        self._deficit_since.setdefault(node.node_id, epoch)
+        rel.repairs_triggered += 1
+        before = set(node.announced_mirrors)
+        self._select_and_place(node, epoch)
+        rel.repair_replacements += len(set(node.announced_mirrors) - before)
+
+    def _note_deficit_state(self, node: _NodeState, epoch: int) -> None:
+        """Close an owner's deficit window once its set is fully restored:
+        every selected mirror accepted and actually stores the replica."""
+        since = self._deficit_since.get(node.node_id)
+        if since is None:
+            return
+        rel = self.result.reliability
+        assert rel is not None
+        selected = set(node.selected_mirrors)
+        restored = (
+            bool(selected)
+            and selected == set(node.announced_mirrors)
+            and all(
+                node.node_id in self.replica_locations[mirror_id]
+                for mirror_id in selected
+            )
+        )
+        if restored:
+            self._deficit_since.pop(node.node_id, None)
+            rel.repair_latency_epochs.append(epoch - since)
+
+    def _place_replica_payload(
+        self, owner_id: int, mirror_id: int, epoch: int
+    ) -> bool:
+        """Whether the replica payload actually arrived at the mirror.
+
+        Without repair, a transfer is fire-and-forget: one fault draw, and
+        a drop goes unnoticed (the stale announcement the invariant
+        checker flags).  With repair, transfers are acknowledged and
+        retried up to ``push_retry_attempts`` times — each retry re-draws
+        the fault deterministically from the injector's stream.
+        """
+        if self.faults is None:
+            return True
+        if not self.faults.drop_transfer(owner_id, mirror_id, epoch):
+            return True
+        if not self.config.repair:
+            return False
+        rel = self.result.reliability
+        assert rel is not None
+        for _ in range(self.config.push_retry_attempts - 1):
+            rel.transfer_retries += 1
+            if not self.faults.drop_transfer(owner_id, mirror_id, epoch):
+                return True
+        rel.transfer_giveups += 1
+        return False
 
     def _sybil_flood(self, node: _NodeState) -> None:
         """One sybil's flooding round (Fig. 11)."""

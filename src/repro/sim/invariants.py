@@ -489,6 +489,9 @@ _REPRO_FIELDS: Dict[str, str] = {
     "flood_req": "sybil_flood_requests",
     "capacity": "mirror_request_capacity",
     "ties": "use_tie_strength",
+    "repair": "repair",
+    "suspicion": "repair_suspicion_epochs",
+    "push_retries": "push_retry_attempts",
     "faults": "faults",
     "invariants": "invariant_names",
 }

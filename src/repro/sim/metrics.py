@@ -41,6 +41,50 @@ def percentile_of(values: Sequence[float], quantile: float) -> float:
 
 
 @dataclass
+class ReliabilityMetrics:
+    """Counters from the reliability layer (retries, failure detection,
+    proactive repair) — populated when a run enables repair."""
+
+    #: Replica-transfer retries after a dropped/unacked attempt.
+    transfer_retries: int = 0
+    #: Transfers abandoned after exhausting every attempt.
+    transfer_giveups: int = 0
+    #: Mirrors the failure detector declared dead.
+    deaths_declared: int = 0
+    #: Dead-declared mirrors later observed alive again.
+    revivals: int = 0
+    #: Proactive repair rounds run (owner reselected + re-replicated).
+    repairs_triggered: int = 0
+    #: Replacement mirrors recruited by repair rounds.
+    repair_replacements: int = 0
+    #: Epochs from replica-deficit onset to full restoration, per repair.
+    repair_latency_epochs: List[int] = field(default_factory=list)
+    #: Owner-epochs spent on a partial mirror set (achieved error above
+    #: the ε target because the candidate pool was exhausted).
+    partial_set_epochs: int = 0
+    #: Circuit-breaker state transitions ("closed->open", ...), aggregated
+    #: across endpoints when a middleware stack is involved.
+    circuit_transitions: Dict[str, int] = field(default_factory=dict)
+
+    def mean_repair_latency(self) -> float:
+        if not self.repair_latency_epochs:
+            return 0.0
+        return float(np.mean(self.repair_latency_epochs))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "transfer_retries": float(self.transfer_retries),
+            "transfer_giveups": float(self.transfer_giveups),
+            "deaths_declared": float(self.deaths_declared),
+            "revivals": float(self.revivals),
+            "repairs_triggered": float(self.repairs_triggered),
+            "repair_replacements": float(self.repair_replacements),
+            "mean_repair_latency_epochs": self.mean_repair_latency(),
+            "partial_set_epochs": float(self.partial_set_epochs),
+        }
+
+
+@dataclass
 class SimulationResult:
     """Everything one simulator run measured."""
 
@@ -67,6 +111,8 @@ class SimulationResult:
     top_half_replica_share: float = 0.0
     #: Count of owners blacklisted anywhere by protective dropping.
     blacklisted_owner_count: int = 0
+    #: Reliability-layer counters; None when the run had repair disabled.
+    reliability: Optional[ReliabilityMetrics] = None
 
     def day_index(self, day: float) -> int:
         """Epoch index of the end of ``day`` (clamped to the run length)."""
@@ -102,7 +148,7 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers, the shape the paper's text quotes."""
-        return {
+        numbers = {
             "availability_day1": self.availability_at_day(1),
             "availability_steady": self.steady_state_availability(),
             "replicas_steady": self.steady_state_replicas(),
@@ -112,3 +158,6 @@ class SimulationResult:
             if self.drop_rate_by_round
             else 0.0,
         }
+        if self.reliability is not None:
+            numbers.update(self.reliability.summary())
+        return numbers

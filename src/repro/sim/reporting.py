@@ -57,6 +57,25 @@ def describe_result(name: str, result: SimulationResult) -> List[str]:
         )
     if result.blacklisted_owner_count:
         lines.append(f"  blacklist entries: {result.blacklisted_owner_count}")
+    rel = result.reliability
+    if rel is not None:
+        lines.append(
+            f"  reliability   retries={rel.transfer_retries} "
+            f"giveups={rel.transfer_giveups} "
+            f"deaths={rel.deaths_declared} revivals={rel.revivals}"
+        )
+        lines.append(
+            f"  repair        triggered={rel.repairs_triggered} "
+            f"replacements={rel.repair_replacements} "
+            f"mean_latency={rel.mean_repair_latency():.1f}ep "
+            f"partial_set_epochs={rel.partial_set_epochs}"
+        )
+        if rel.circuit_transitions:
+            transitions = " ".join(
+                f"{key}={count}"
+                for key, count in sorted(rel.circuit_transitions.items())
+            )
+            lines.append(f"  circuit       {transitions}")
     return lines
 
 

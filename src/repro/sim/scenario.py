@@ -132,6 +132,26 @@ class ScenarioConfig:
     #: Days at which to snapshot the stored-profile CDF (Fig. 6).
     cdf_snapshot_days: tuple = (1, 14, 30)
 
+    # --- reliability & repair ---------------------------------------------------
+    #: Enable the reliability layer in the engine: acknowledged replica
+    #: transfers with retries, suspicion-based mirror failure detection,
+    #: and proactive repair (immediate reselection + re-replication when a
+    #: mirror is declared dead).  Off by default — the base experiments
+    #: reproduce the paper's passive-recovery behaviour.
+    repair: bool = False
+    #: Consecutive epochs an announced mirror must be silent (offline)
+    #: before the failure detector declares it dead.  A mirror observed
+    #: online *without* our replica is declared dead immediately.  The
+    #: default (half a day at 24 epochs/day) trades detection speed
+    #: against falsely declaring diurnally-offline mirrors dead; crashed
+    #: nodes never return, so they are always caught eventually.
+    repair_suspicion_epochs: int = 12
+    #: Attempts per replica transfer when repair is enabled (first try
+    #: included); an injected transfer drop is re-drawn per attempt, and a
+    #: transfer failing every attempt is rolled back cleanly instead of
+    #: leaving a stale announcement.
+    push_retry_attempts: int = 3
+
     # --- correctness harness ----------------------------------------------------
     #: Run the per-epoch runtime invariant checker (repro.sim.invariants);
     #: a failed check raises InvariantViolation with a one-line repro string.
@@ -157,6 +177,10 @@ class ScenarioConfig:
             raise ValueError("sybil fraction must be in [0, 1]")
         if not 0.0 <= self.friend_contact_probability <= 1.0:
             raise ValueError("friend contact probability must be in [0, 1]")
+        if self.repair_suspicion_epochs < 1:
+            raise ValueError("repair_suspicion_epochs must be positive")
+        if self.push_retry_attempts < 1:
+            raise ValueError("push_retry_attempts must be positive")
         if self.faults is not None:
             # Fail fast on malformed fault specs rather than mid-run.
             from repro.sim.faults import FaultInjector

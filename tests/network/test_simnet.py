@@ -140,3 +140,66 @@ def test_link_validation():
         LinkSpec(latency_s=-1)
     with pytest.raises(ValueError):
         LinkSpec(upstream_bytes_per_s=0)
+
+
+def test_sender_offline_reports_failure_to_sender(net):
+    """A sender that went offline mid-action is told about the loss — the
+    message must not vanish silently (retry machinery needs the signal)."""
+    failures = []
+    net.register(1, lambda s, m: None, on_failure=lambda d, m, r: failures.append((d, m, r)))
+    net.register(2, lambda s, m: None)
+    net.set_online(1, False)
+    net.send(1, 2, "lost", 10)
+    net.loop.run_until(5.0)
+    assert failures == [(2, "lost", "sender-offline")]
+    assert net.messages_failed == 1
+
+
+def test_failures_counted_by_reason(net):
+    net.register(1, lambda s, m: None, link=LinkSpec(latency_s=0.0, upstream_bytes_per_s=100))
+    net.register(2, lambda s, m: None)
+    net.send(1, 999, "void", 10)  # unreachable
+    net.send(1, 2, "slow", 1000)  # 10 s transfer, lost in flight below
+    net.set_online(2, False)
+    net.send(1, 2, "down", 10)  # unreachable
+    net.set_online(1, False)
+    net.send(1, 2, "dark", 10)  # sender-offline
+    net.loop.run_until(60.0)
+    assert net.failures_by_reason == {
+        "unreachable": 2,
+        "lost-in-flight": 1,
+        "sender-offline": 1,
+    }
+    assert net.messages_failed == 4
+
+
+def test_unregister_clears_all_per_node_state(net):
+    net.register(1, lambda s, m: None, link=LinkSpec(latency_s=0.0, upstream_bytes_per_s=100))
+    net.register(2, lambda s, m: None)
+    net.send(1, 2, "x", 1000)  # occupies node 1's uplink for 10 s
+    net.control_meter(1).record_sent(0.0, 64)
+    assert net.uplink_backlog_s(1) > 0
+    net.unregister(1)
+    assert 1 not in net.meters
+    assert 1 not in net.control_meters
+    assert net.uplink_backlog_s(1) == 0.0
+    assert not net.is_online(1)
+    # Re-registration starts from a clean slate (no duplicate error, no
+    # leftover uplink backlog from the previous incarnation).
+    net.register(1, lambda s, m: None)
+    assert net.uplink_backlog_s(1) == 0.0
+    assert net.meters[1].total_sent() == 0
+
+
+def test_uplink_backlog_tracks_queued_sends(net):
+    link = LinkSpec(latency_s=0.0, upstream_bytes_per_s=1000)
+    net.register(1, lambda s, m: None, link=link)
+    net.register(2, lambda s, m: None)
+    assert net.uplink_backlog_s(1) == 0.0
+    for _ in range(3):
+        net.send(1, 2, "chunk", 1000)  # 1 s of uplink each
+    assert net.uplink_backlog_s(1) == pytest.approx(3.0)
+    net.loop.run_until(2.0)
+    assert net.uplink_backlog_s(1) == pytest.approx(1.0)
+    net.loop.run_until(10.0)
+    assert net.uplink_backlog_s(1) == 0.0

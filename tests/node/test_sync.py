@@ -65,3 +65,43 @@ class TestMerge:
 
     def test_merge_empty(self):
         assert merge_update_streams([], []) == []
+
+
+class TestUpdateBufferCap:
+    def test_cap_drops_oldest_keeps_newest(self):
+        buffer = UpdateBuffer(max_per_target=2)
+        buffer.add(update(timestamp=1.0, sequence=1))
+        buffer.add(update(timestamp=2.0, sequence=2))
+        buffer.add(update(timestamp=3.0, sequence=3))
+        pending = buffer.pending_for(1)
+        assert [u.timestamp for u in pending] == [2.0, 3.0]
+        assert buffer.dropped_updates == 1
+
+    def test_unbounded_by_default(self):
+        buffer = UpdateBuffer()
+        for seq in range(1000):
+            buffer.add(update(sequence=seq))
+        assert buffer.pending_count(1) == 1000
+        assert buffer.dropped_updates == 0
+
+    def test_duplicate_does_not_evict(self):
+        buffer = UpdateBuffer(max_per_target=2)
+        buffer.add(update(timestamp=1.0, sequence=1))
+        buffer.add(update(timestamp=2.0, sequence=2))
+        buffer.add(update(timestamp=2.0, sequence=2))  # dedup, not overflow
+        assert buffer.pending_count(1) == 2
+        assert buffer.dropped_updates == 0
+
+    def test_cap_is_per_target(self):
+        buffer = UpdateBuffer(max_per_target=1)
+        buffer.add(update(target=1, sequence=1))
+        buffer.add(update(target=2, sequence=2))
+        assert buffer.pending_count(1) == 1
+        assert buffer.pending_count(2) == 1
+        assert buffer.dropped_updates == 0
+
+    def test_invalid_cap_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            UpdateBuffer(max_per_target=0)

@@ -1,0 +1,140 @@
+"""End-to-end tests for the engine's reliability & proactive-repair layer.
+
+The failure detector + repair loop (``ScenarioConfig.repair``) must (a)
+leave the default behaviour byte-for-byte untouched when disabled, (b)
+detect and replace mirrors killed by the PR-1 fault schedules, and (c)
+turn the dropped-transfer fault — which trips the invariant checker when
+repair is off — into retries/rollbacks that keep the run green.
+"""
+
+import numpy as np
+
+from repro.graphs.datasets import generate_dataset
+from repro.sim.engine import SoupSimulation, run_scenario
+from repro.sim.scenario import ScenarioConfig
+from repro.testing import expect_violation, run_checked
+
+
+def tiny_config(**overrides):
+    base = dict(dataset="epinions", scale=0.004, n_days=4, seed=3)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+# --- repair off: nothing changes ------------------------------------------
+
+
+def test_reliability_metrics_absent_when_repair_off():
+    result = run_scenario(tiny_config())
+    assert result.reliability is None
+
+
+def test_repair_flag_off_reproduces_baseline_exactly():
+    """The reliability plumbing must not perturb the RNG stream or the
+    placement logic of the paper's base experiments."""
+    base = run_scenario(tiny_config())
+    off = run_scenario(tiny_config(repair=False))
+    assert np.array_equal(base.availability, off.availability)
+    assert np.array_equal(base.replica_overhead, off.replica_overhead)
+
+
+# --- crash schedule: detect, repair, stay consistent ----------------------
+
+
+def test_crash_repair_detects_and_replaces_mirrors():
+    result = run_checked(
+        tiny_config(repair=True, faults="crash:epoch=48:count=5")
+    )
+    rel = result.reliability
+    assert rel is not None
+    assert rel.deaths_declared >= 1
+    assert rel.repairs_triggered >= 1
+    assert rel.repair_replacements >= 1
+
+
+def test_crashed_mirrors_evicted_from_announced_sets():
+    config = tiny_config(repair=True, faults="crash:epoch=48:count=5")
+    graph = generate_dataset(config.dataset, config.scale, config.seed)
+    sim = SoupSimulation(graph, config)
+    sim.run()
+    crashed = set(sim.faults.crashed_nodes)
+    assert crashed
+    for node in sim.nodes:
+        if node.is_sybil or node.departed:
+            continue
+        assert not (set(node.announced_mirrors) & crashed)
+
+
+def test_repair_latency_measured_in_epochs():
+    config = tiny_config(repair=True, faults="crash:epoch=48:count=5")
+    result = run_checked(config)
+    rel = result.reliability
+    # Silent (offline) mirrors need repair_suspicion_epochs of evidence;
+    # every recorded latency is bounded by the remaining run length.
+    horizon = config.n_epochs - 48
+    assert all(0 <= latency <= horizon for latency in rel.repair_latency_epochs)
+
+
+# --- dropped transfers: retries and clean rollback ------------------------
+
+
+def test_dropped_transfer_violates_without_repair():
+    """The PR-1 behaviour the CI fault-injection job pins down: with the
+    reliability layer off, a 100 % transfer-drop schedule leaves stale
+    announcements and trips the checker."""
+    expect_violation(
+        tiny_config(seed=3, n_days=6, faults="drop_transfer:rate=1.0:from_epoch=24"),
+        invariant="announced-mirrors-stored",
+    )
+
+
+def test_repair_absorbs_total_transfer_loss():
+    """With repair on, a push that fails every attempt is rolled back
+    instead of being announced — the same schedule stays green."""
+    result = run_checked(
+        tiny_config(
+            seed=3, n_days=6, repair=True,
+            faults="drop_transfer:rate=1.0:from_epoch=24",
+        )
+    )
+    rel = result.reliability
+    assert rel.transfer_retries >= 1
+    assert rel.transfer_giveups >= 1
+
+
+def test_repair_retries_recover_partial_transfer_loss():
+    """At 50 % drop rate, per-attempt re-draws let most pushes land."""
+    result = run_checked(
+        tiny_config(
+            seed=3, n_days=6, repair=True,
+            faults="drop_transfer:rate=0.5:from_epoch=24",
+        )
+    )
+    rel = result.reliability
+    assert rel.transfer_retries >= 1
+    # Retries succeed far more often than they exhaust.
+    assert rel.transfer_giveups < rel.transfer_retries
+
+
+# --- determinism ----------------------------------------------------------
+
+
+def test_repair_run_is_deterministic():
+    config = tiny_config(
+        repair=True,
+        faults="crash:epoch=48:count=5;drop_transfer:rate=0.5:from_epoch=24",
+    )
+    first = run_scenario(config)
+    second = run_scenario(config)
+    assert np.array_equal(first.availability, second.availability)
+    for name in (
+        "transfer_retries",
+        "transfer_giveups",
+        "deaths_declared",
+        "revivals",
+        "repairs_triggered",
+        "repair_replacements",
+        "partial_set_epochs",
+    ):
+        assert getattr(first.reliability, name) == getattr(second.reliability, name)
+    assert first.reliability.repair_latency_epochs == second.reliability.repair_latency_epochs
