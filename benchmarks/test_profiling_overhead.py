@@ -1,0 +1,114 @@
+"""Guard: disabled observability hooks cost <5 % of the hot paths they wrap.
+
+The instrumentation contract (docs/OBSERVABILITY.md) is that tracing,
+metrics and profiling are near-zero-cost when off: a disabled trace emit is
+one attribute check, a disabled profiler span is a shared no-op object, and
+a histogram observation is a dict hit plus arithmetic.  This module measures
+those per-call costs against the cheapest real operation they instrument
+(one mirror selection), so a regression that makes the hooks expensive
+fails here before it shows up as slower simulations.
+"""
+
+import random
+import time
+
+from repro.core.config import SoupConfig
+from repro.core.selection import select_mirrors
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.profiling import PROFILER, Profiler, _NULL_SPAN
+
+#: Calls-per-selection budget: the engine's selection path runs at most
+#: this many hook calls (tracer guards, counter incs, histogram observes)
+#: per ``select_mirrors`` invocation.
+_HOOKS_PER_SELECTION = 12
+
+
+def _per_call_s(fn, iterations: int = 50_000) -> float:
+    fn()  # warm any lazy allocation out of the measured loop
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+def _selection_cost_s(rounds: int = 200) -> float:
+    config = SoupConfig()
+    rng = random.Random(3)
+    ranking = [(node, rng.random()) for node in range(250)]
+    friends = list(range(0, 40))
+    start = time.perf_counter()
+    for _ in range(rounds):
+        select_mirrors(
+            ranking=ranking,
+            friends=friends,
+            config=config,
+            rng=rng,
+            exploration_pool=range(250, 280),
+        )
+    return (time.perf_counter() - start) / rounds
+
+
+def test_disabled_hooks_under_five_percent_of_selection():
+    tracer = Tracer()  # disabled
+    profiler = Profiler()  # disabled
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bench.hist")
+    counter = registry.counter("bench.counter")
+
+    def disabled_trace_guard():
+        if tracer.enabled:
+            tracer.emit("retry", kind="bench")
+
+    def disabled_span():
+        with profiler.span("bench"):
+            pass
+
+    hook_cost = max(
+        _per_call_s(disabled_trace_guard),
+        _per_call_s(disabled_span),
+        _per_call_s(lambda: counter.inc()),
+        _per_call_s(lambda: histogram.observe(3.0)),
+    )
+    selection_cost = _selection_cost_s()
+    estimated_overhead = _HOOKS_PER_SELECTION * hook_cost / selection_cost
+    print(
+        f"\nhook={hook_cost * 1e9:.0f}ns selection={selection_cost * 1e6:.0f}µs "
+        f"estimated overhead={estimated_overhead:.3%}"
+    )
+    assert estimated_overhead < 0.05, (
+        f"disabled observability hooks cost {estimated_overhead:.1%} of one "
+        f"selection ({hook_cost * 1e9:.0f}ns x {_HOOKS_PER_SELECTION} calls)"
+    )
+
+
+def test_disabled_span_is_allocation_free():
+    profiler = Profiler()
+    assert profiler.span("a") is profiler.span("b") is _NULL_SPAN
+
+
+def test_disabled_tracer_emit_is_noop():
+    tracer = Tracer()
+    cost = _per_call_s(lambda: tracer.emit("retry", kind="bench"))
+    assert cost < 2e-6, f"disabled emit costs {cost * 1e9:.0f}ns per call"
+
+
+def test_profile_run_produces_phase_breakdown():
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        run_scenario(ScenarioConfig(scale=0.004, n_days=1, seed=5))
+    finally:
+        PROFILER.disable()
+    totals = PROFILER.totals()
+    for phase in ("engine.epoch", "engine.selection_round", "engine.measure"):
+        assert phase in totals, f"phase {phase} never recorded"
+        assert totals[phase] > 0.0
+    lines = PROFILER.report_lines(top_level="engine.epoch")
+    print()
+    for line in lines:
+        print(line)
+    assert any("engine.epoch" in line and "100.0%" in line for line in lines)
+    PROFILER.reset()

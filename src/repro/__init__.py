@@ -21,6 +21,13 @@ See DESIGN.md for the complete system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+import logging
+
+# Library convention: a silent handler so instrumented modules can log to
+# "repro.*" without forcing output on consumers; the CLI's --log-level flag
+# attaches a real handler.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
 from repro.core.config import SoupConfig
 from repro.sim.engine import run_scenario
 from repro.sim.scenario import OnlineDistribution, ScenarioConfig

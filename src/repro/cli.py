@@ -49,6 +49,70 @@ def _result_json(result, **extra) -> str:
     return json.dumps(payload, indent=2)
 
 
+def _obs_flags(p) -> None:
+    """Observability flags shared by every experiment subcommand."""
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write structured trace events as JSONL to PATH")
+    p.add_argument("--trace-filter", default=None, metavar="EVENT,...",
+                   help="only emit the named trace event types "
+                        "(comma-separated; see docs/OBSERVABILITY.md)")
+    p.add_argument("--profile", action="store_true",
+                   help="time wall-clock hot paths and print a per-phase "
+                        "breakdown at exit")
+    p.add_argument("--log-level", default=None, metavar="LEVEL",
+                   choices=("debug", "info", "warning", "error"),
+                   help="attach a stderr handler to the repro.* loggers")
+
+
+def _setup_observability(args):
+    """Install tracer/profiler/logging from the CLI flags; returns the
+    tracer (or None) for teardown."""
+    level = getattr(args, "log_level", None)
+    if level:
+        import logging
+
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        repro_logger = logging.getLogger("repro")
+        repro_logger.addHandler(handler)
+        repro_logger.setLevel(getattr(logging, level.upper()))
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer, set_tracer
+
+        raw = getattr(args, "trace_filter", None)
+        event_filter = (
+            [name.strip() for name in raw.split(",") if name.strip()]
+            if raw
+            else None
+        )
+        tracer = Tracer.to_path(args.trace, event_filter)
+        set_tracer(tracer)
+    if getattr(args, "profile", False):
+        from repro.obs.profiling import PROFILER
+
+        PROFILER.reset()
+        PROFILER.enable()
+    return tracer
+
+
+def _teardown_observability(args, tracer) -> None:
+    if tracer is not None:
+        from repro.obs import set_tracer
+
+        set_tracer(None)
+        tracer.close()
+    if getattr(args, "profile", False):
+        from repro.obs.profiling import PROFILER
+
+        PROFILER.disable()
+        print("", file=sys.stderr)
+        for line in PROFILER.report_lines(top_level="engine.epoch"):
+            print(line, file=sys.stderr)
+
+
 def _correctness_overrides(args) -> dict:
     """ScenarioConfig overrides from the shared correctness-harness flags."""
     overrides = {}
@@ -223,6 +287,61 @@ def _cmd_deploy(args) -> int:
     gateway = [kb for _, kb in report.gateway_series]
     print(f"gateway DHT peak={max(gateway):.1f} KB/s")
     print("mirror variance/round:", _series(report.mirror_variance_by_round, "{:.2f}"))
+    rel = report.reliability
+    if rel is not None:
+        print(f"reliability: retries={rel.transfer_retries} "
+              f"giveups={rel.transfer_giveups} deaths={rel.deaths_declared} "
+              f"revivals={rel.revivals} "
+              f"circuit_transitions={int(sum(rel.circuit_transitions.values()))}")
+        if rel.circuit_transitions:
+            print("circuit:", " ".join(
+                f"{key}={count}"
+                for key, count in sorted(rel.circuit_transitions.items())
+            ))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run a scenario and render the metrics-registry view."""
+    from repro.sim.engine import run_scenario
+    from repro.sim.reporting import metrics_table
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        dataset=args.dataset, scale=args.scale, n_days=args.days, seed=args.seed,
+        **_correctness_overrides(args),
+    )
+    result = run_scenario(config)
+    if getattr(args, "json", False):
+        payload = {"metrics": result.metrics or {}, "summary": result.summary()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for line in metrics_table(result):
+        print(line)
+    if result.reliability is not None:
+        print()
+        print("reliability summary:")
+        for key, value in sorted(result.reliability.summary().items()):
+            print(f"  {key}: {value:g}")
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    """Validate a JSONL trace file against the event schemas."""
+    from repro.obs import TRACE_SCHEMA_VERSION, validate_trace_file
+
+    errors = validate_trace_file(args.path)
+    if errors:
+        shown = errors[:50]
+        for error in shown:
+            print(error, file=sys.stderr)
+        if len(errors) > len(shown):
+            print(f"... and {len(errors) - len(shown)} more", file=sys.stderr)
+        print(f"{args.path}: {len(errors)} invalid line(s)", file=sys.stderr)
+        return 1
+    with open(args.path, "r", encoding="utf-8") as handle:
+        count = sum(1 for line in handle if line.strip())
+    print(f"{args.path}: {count} events, all valid (schema v{TRACE_SCHEMA_VERSION})")
     return 0
 
 
@@ -262,7 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the reliability layer: acknowledged "
                             "replica transfers with retries, mirror failure "
                             "detection, and proactive replica repair")
+        _obs_flags(p)
 
+    common(sub.add_parser(
+        "sim", help="run the replication simulator (generic entry point)"
+    ))
+    common(sub.add_parser(
+        "metrics", help="run a scenario and print the metrics-registry view"
+    ))
     common(sub.add_parser("fig5", help="availability & replica overhead"))
     common(sub.add_parser("fig6", help="stored-profile CDF snapshots"), days=30)
     common(sub.add_parser("fig7", help="cohort robustness"), days=18)
@@ -293,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--duration", type=float, default=1800.0)
     pd.add_argument("--rounds", type=int, default=15)
     pd.add_argument("--seed", type=int, default=7)
+    _obs_flags(pd)
 
     pf = sub.add_parser("fig15", help="mirror under high request rates")
     pf.add_argument("--rate", type=float, default=20.0)
@@ -301,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     pr = sub.add_parser("replay", help="replay a soup-repro/v1 violation line")
     pr.add_argument("line", help="one-line repro string from an InvariantViolation")
+
+    pv = sub.add_parser(
+        "trace-validate", help="validate a JSONL trace against the event schemas"
+    )
+    pv.add_argument("path", help="trace file written by --trace")
 
     return parser
 
@@ -318,6 +450,7 @@ def _cmd_replay(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    tracer = _setup_observability(args)
     try:
         return _dispatch(args)
     except Exception as exc:  # noqa: BLE001 - surface repro line, keep traceback opt-in
@@ -328,12 +461,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"invariant violation: {str(exc).splitlines()[0]}", file=sys.stderr)
         print(f"repro: {exc.repro}", file=sys.stderr)
         return 2
+    finally:
+        _teardown_observability(args, tracer)
 
 
 def _dispatch(args) -> int:
     command = args.command
-    if command == "fig5":
+    if command in ("fig5", "sim"):
         return _cmd_fig5(args)
+    if command == "metrics":
+        return _cmd_metrics(args)
+    if command == "trace-validate":
+        return _cmd_trace_validate(args)
     if command == "fig6":
         return _cmd_fig6(args)
     if command == "fig7":

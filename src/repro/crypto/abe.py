@@ -44,6 +44,8 @@ from repro.crypto.symmetric import (
     symmetric_decrypt,
     symmetric_encrypt,
 )
+from repro.obs import get_registry
+from repro.obs.profiling import PROFILER
 
 # Prime field for Shamir sharing; 2**255 - 19 comfortably holds 256-bit keys.
 _FIELD_PRIME = 2**255 - 19
@@ -163,6 +165,16 @@ class AbeAuthority:
         rng_bytes=os.urandom,
     ) -> AbeCiphertext:
         """Encrypt ``plaintext`` so only keys satisfying ``policy`` decrypt it."""
+        with PROFILER.span("crypto.abe.encrypt"):
+            return self._encrypt(plaintext, policy, rng_bytes)
+
+    def _encrypt(
+        self,
+        plaintext: bytes,
+        policy: AccessStructure,
+        rng_bytes=os.urandom,
+    ) -> AbeCiphertext:
+        get_registry().counter("crypto.abe.encrypts").inc()
         content_key = rng_bytes(_KEY_SIZE)
         secret = int.from_bytes(content_key, "big")
         wrapped: Dict[Tuple[int, ...], bytes] = {}
@@ -193,6 +205,12 @@ def decrypt(ciphertext: AbeCiphertext, key: AbePrivateKey) -> bytes:
     Raises :class:`AbeError` if the key belongs to another authority or the
     held attributes do not satisfy the ciphertext policy.
     """
+    with PROFILER.span("crypto.abe.decrypt"):
+        return _decrypt(ciphertext, key)
+
+
+def _decrypt(ciphertext: AbeCiphertext, key: AbePrivateKey) -> bytes:
+    get_registry().counter("crypto.abe.decrypts").inc()
     if key.authority_id != ciphertext.authority_id:
         raise AbeError("key issued by a different authority")
     if not ciphertext.policy.is_satisfied_by(key.attributes()):

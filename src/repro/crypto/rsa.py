@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.primes import generate_prime
+from repro.obs import get_registry
+from repro.obs.profiling import PROFILER
 
 
 class RsaError(Exception):
@@ -121,11 +123,15 @@ def _digest_as_int(message: bytes, n: int) -> int:
 
 def sign(message: bytes, private: RsaPrivateKey) -> int:
     """Hash-then-sign: returns the RSA signature integer."""
-    return private._crt_pow(_digest_as_int(message, private.n))
+    get_registry().counter("crypto.rsa.signs").inc()
+    with PROFILER.span("crypto.rsa.sign"):
+        return private._crt_pow(_digest_as_int(message, private.n))
 
 
 def verify(message: bytes, signature: int, public: RsaPublicKey) -> bool:
     """Verify a signature produced by :func:`sign`."""
+    get_registry().counter("crypto.rsa.verifies").inc()
     if not 0 <= signature < public.n:
         return False
-    return pow(signature, public.e, public.n) == _digest_as_int(message, public.n)
+    with PROFILER.span("crypto.rsa.verify"):
+        return pow(signature, public.e, public.n) == _digest_as_int(message, public.n)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SoupConfig
 from repro.dht.bootstrap import BootstrapRegistry
+from repro.sim.metrics import ReliabilityMetrics
 from repro.dht.pastry import PastryOverlay
 from repro.network.events import EventLoop
 from repro.network.simnet import DESKTOP_LINK, MOBILE_LINK, SERVER_LINK, SimNetwork
@@ -55,6 +56,9 @@ class DeploymentReport:
     busiest_user: str = ""
     #: Mean |M_t Δ M_{t-1}| per selection round (Fig. 14c).
     mirror_variance_by_round: List[float] = field(default_factory=list)
+    #: Reliability-layer counters aggregated over every node's endpoint
+    #: (retries, give-ups, failure declarations, circuit transitions).
+    reliability: Optional[ReliabilityMetrics] = None
 
     @property
     def availability(self) -> float:
@@ -279,7 +283,26 @@ class Deployment:
         report.busiest_user_series = self.network.meters[
             busiest.node_id
         ].series_kb_per_s(0, int(duration_s))
+        report.reliability = self._aggregate_reliability()
         return report
+
+    def _aggregate_reliability(self) -> ReliabilityMetrics:
+        """Roll every node's endpoint counters (including circuit-breaker
+        transitions) into one :class:`ReliabilityMetrics`."""
+        metrics = ReliabilityMetrics()
+        for user in self.users:
+            endpoint = user.reliability
+            metrics.transfer_retries += endpoint.stats.retries
+            metrics.transfer_giveups += endpoint.stats.give_ups
+            metrics.deaths_declared += endpoint.detector.deaths_declared
+            metrics.revivals += endpoint.detector.revivals
+            metrics.repairs_triggered += user.mirror_manager.repairs_triggered
+            metrics.repair_replacements += user.mirror_manager.repair_replacements
+            for key, count in endpoint.breaker.transitions.items():
+                metrics.circuit_transitions[key] = (
+                    metrics.circuit_transitions.get(key, 0) + count
+                )
+        return metrics
 
     # ------------------------------------------------------------------
     def _apply_event(self, event: WorkloadEvent, report: DeploymentReport) -> None:

@@ -15,9 +15,13 @@ DHT (Sec. 3.3).
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.obs import get_registry, get_tracer
+from repro.obs.profiling import PROFILER
 
 from repro.dht.node_state import (
     ID_DIGITS,
@@ -27,6 +31,11 @@ from repro.dht.node_state import (
     shared_prefix_length,
 )
 from repro.dht.storage import DirectoryEntry
+
+logger = logging.getLogger("repro.dht.pastry")
+
+#: Hop-count histogram buckets (Pastry routes are O(log n) short).
+_HOP_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0)
 
 
 class DhtError(Exception):
@@ -92,6 +101,10 @@ class PastryOverlay:
         self.lookup_retries = 0
         self.lookup_alternate_hits = 0
         self.publishes_unreachable = 0
+        #: Cached metrics handles, rebound when the current registry
+        #: changes (routing is hot; a name lookup per hop would show up).
+        self._metrics_registry = None
+        self._hops_histogram = None
 
     # --- membership -------------------------------------------------------
     def set_liveness(self, liveness: Optional[Callable[[int], bool]]) -> None:
@@ -262,6 +275,16 @@ class PastryOverlay:
         return transfers
 
     # --- routing ------------------------------------------------------------
+    def _hop_metric(self):
+        """The hop-count histogram in the *current* registry (cached)."""
+        registry = get_registry()
+        if registry is not self._metrics_registry:
+            self._metrics_registry = registry
+            self._hops_histogram = registry.histogram(
+                "dht.route.hops", buckets=_HOP_BUCKETS
+            )
+        return self._hops_histogram
+
     def route(
         self, start_id: int, key: int, avoid: FrozenSet[int] = frozenset()
     ) -> RouteResult:
@@ -273,6 +296,17 @@ class PastryOverlay:
         stays structural otherwise (no per-hop liveness checks) — the
         final node is the closest *non-avoided* overlay member.
         """
+        if PROFILER.enabled:
+            with PROFILER.span("dht.route"):
+                result = self._route(start_id, key, avoid)
+        else:
+            result = self._route(start_id, key, avoid)
+        self._hop_metric().observe(result.hops)
+        return result
+
+    def _route(
+        self, start_id: int, key: int, avoid: FrozenSet[int] = frozenset()
+    ) -> RouteResult:
         current = self._require(start_id)
         path = [current.node_id]
         for _ in range(self._max_route_hops):
@@ -351,8 +385,15 @@ class PastryOverlay:
         caller backs off and republishes later.
         """
         route = self.route(from_id, key)
+        registry = get_registry()
+        registry.counter("dht.publishes").inc()
         if not self._is_live(route.responsible):
             self.publishes_unreachable += 1
+            registry.counter("dht.publishes.unreachable").inc()
+            logger.debug(
+                "publish of key %#x from %#x: responsible %#x unreachable",
+                key, from_id, route.responsible,
+            )
             route.delivered = False
             return route
         home = self._nodes[route.responsible]
@@ -371,6 +412,8 @@ class PastryOverlay:
         incomplete churn repair); if every candidate is down the result is
         ``(None, route)`` with ``delivered=False``.
         """
+        registry = get_registry()
+        registry.counter("dht.lookups").inc()
         route = self.route(from_id, key)
         avoid: FrozenSet[int] = frozenset()
         for _ in range(self.lookup_max_alternates):
@@ -378,8 +421,18 @@ class PastryOverlay:
                 entry = self._nodes[route.responsible].entries.get(key)
                 if avoid and entry is not None:
                     self.lookup_alternate_hits += 1
+                    registry.counter("dht.lookups.alternate_hits").inc()
+                self._trace_lookup(key, route, len(avoid), found=entry is not None)
                 return entry, route
             self.lookup_retries += 1
+            registry.counter("dht.lookups.retries").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    "retry", kind="dht_lookup",
+                    dest=route.responsible, attempt=len(avoid) + 1,
+                    reason="responsible-unreachable",
+                )
             avoid = avoid | {route.responsible}
             if len(avoid) >= len(self._nodes):
                 break
@@ -388,7 +441,24 @@ class PastryOverlay:
                 break  # no further alternates reachable from here
             route = rerouted
         route.delivered = False
+        registry.counter("dht.lookups.failed").inc()
+        self._trace_lookup(key, route, len(avoid), found=False)
         return None, route
+
+    def _trace_lookup(
+        self, key: int, route: RouteResult, alternates: int, found: bool
+    ) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "dht_lookup",
+                key=key,
+                responsible=route.responsible,
+                hops=list(route.path),
+                delivered=route.delivered,
+                alternates=alternates,
+                found=found,
+            )
 
     def entries_at(self, node_id: int) -> Dict[int, DirectoryEntry]:
         return dict(self._require(node_id).entries)

@@ -36,12 +36,16 @@ streams, never from global randomness.
 from __future__ import annotations
 
 import itertools
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.network.events import EventLoop
 from repro.network.simnet import SimNetwork
+from repro.obs import get_registry, get_tracer
+
+logger = logging.getLogger("repro.network.reliability")
 
 #: Wire size of an acknowledgement frame (message id + MAC).
 ACK_BYTES = 64
@@ -140,6 +144,12 @@ class CircuitBreaker:
         self._state[dest] = new_state
         key = f"{old}->{new_state}"
         self.transitions[key] = self.transitions.get(key, 0) + 1
+        get_registry().counter(f"reliability.circuit.{key}").inc()
+        if new_state == OPEN:
+            logger.debug("circuit to %s opened (%s)", dest, key)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit("circuit_open", dest=dest)
 
     def state_of(self, dest: int, now: Optional[float] = None) -> str:
         state = self._state.get(dest, CLOSED)
@@ -223,10 +233,18 @@ class FailureDetector:
         if level >= self.suspicion_threshold and peer not in self._dead:
             self._dead.add(peer)
             self.deaths_declared += 1
+            self._note_death(peer, "suspicion-threshold")
             if self.on_dead is not None:
                 self.on_dead(peer)
             return True
         return False
+
+    @staticmethod
+    def _note_death(peer: int, reason: str) -> None:
+        get_registry().counter("reliability.deaths_declared").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("failure_declared", peer=peer, reason=reason)
 
     def record_success(self, peer: int) -> None:
         """An observed delivery: clear suspicion, revive if declared dead."""
@@ -234,6 +252,7 @@ class FailureDetector:
         if peer in self._dead:
             self._dead.discard(peer)
             self.revivals += 1
+            get_registry().counter("reliability.revivals").inc()
             if self.on_alive is not None:
                 self.on_alive(peer)
 
@@ -247,6 +266,7 @@ class FailureDetector:
             return False
         self._dead.add(peer)
         self.deaths_declared += 1
+        self._note_death(peer, "direct-evidence")
         if self.on_dead is not None:
             self.on_dead(peer)
         return True
@@ -420,11 +440,24 @@ class ReliableEndpoint:
         if not retries_left or not self.breaker.allow(state.dest, now):
             self._pending.pop(state.msg_id, None)
             self.stats.give_ups += 1
+            get_registry().counter("reliability.giveups").inc()
+            logger.debug(
+                "giving up on msg %s to %s after %s attempts (%s)",
+                state.msg_id, state.dest, state.attempt + 1, reason,
+            )
             if state.on_giveup is not None:
                 state.on_giveup(state.dest, state.payload, reason)
             return
         state.attempt += 1
         self.stats.retries += 1
+        get_registry().counter("reliability.retries").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "retry", kind="send", dest=state.dest,
+                attempt=state.attempt + 1, reason=reason,
+                msg_id=state.msg_id, t=now,
+            )
         delay = self.policy.backoff_s(state.attempt, self.seed, state.msg_id)
         self.loop.schedule(delay, lambda: self._attempt(state))
 

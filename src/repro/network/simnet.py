@@ -13,10 +13,14 @@ exactly the KB/s-over-time series plotted in Figs. 14a, 14b and 15.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.network.events import EventLoop
+from repro.obs import get_registry
+
+logger = logging.getLogger("repro.network.simnet")
 
 
 @dataclass(frozen=True)
@@ -190,6 +194,7 @@ class SimNetwork:
     def _count_failure(self, reason: str) -> None:
         self.messages_failed += 1
         self.failures_by_reason[reason] = self.failures_by_reason.get(reason, 0) + 1
+        get_registry().counter(f"net.failures.{reason}").inc()
 
     def uplink_backlog_s(self, node_id: int) -> float:
         """How far beyond *now* the node's uplink is already committed —
@@ -260,6 +265,7 @@ class SimNetwork:
                 start, size_bytes, receive_duration
             )
             self.messages_delivered += 1
+            get_registry().counter("net.delivered").inc()
             self._handlers[receiver](sender, message)
 
         self.loop.schedule(queue_delay + delay, deliver)

@@ -14,8 +14,14 @@ traffic figures of Sec. 7 are reproduced faithfully.
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import get_registry, get_tracer
+from repro.obs.profiling import PROFILER
+
+logger = logging.getLogger("repro.node.middleware")
 
 from repro.core.config import SoupConfig
 from repro.core.objects import ObjectType, SoupObject
@@ -512,6 +518,10 @@ class SoupNode:
     def run_selection_round(self) -> List[int]:
         """One full selection round: ingest reports, run Algorithm 1, place
         replicas, publish the new mirror set."""
+        with PROFILER.span("node.selection_round"):
+            return self._run_selection_round()
+
+    def _run_selection_round(self) -> List[int]:
         if not self.joined or not self.online:
             return self.mirror_manager.announced_mirrors
         self.mirror_manager.ingest_pending_reports()
@@ -607,6 +617,7 @@ class SoupNode:
                 self.interface.send_bytes_reliable(
                     placement.mirror, push, placement.size_bytes
                 )
+                self._note_replica_pushed(placement.mirror, placement.size_bytes)
             self.mirror_manager.coded_plan = plan
             return
 
@@ -619,6 +630,19 @@ class SoupNode:
                 timestamp=self._now(),
             )
             self.interface.send_bytes_reliable(mirror_id, push, replica_bytes)
+            self._note_replica_pushed(mirror_id, replica_bytes)
+
+    def _note_replica_pushed(self, mirror_id: int, size_bytes: int) -> None:
+        get_registry().counter("node.replicas.pushed").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "replica_pushed",
+                owner=self.node_id,
+                mirror=mirror_id,
+                bytes=size_bytes,
+                t=self._now(),
+            )
 
     # ------------------------------------------------------------------
     # proactive replica repair (reliability layer)
@@ -628,6 +652,20 @@ class SoupNode:
         of our announced mirrors, repair the mirror set immediately instead
         of waiting for the next periodic selection round."""
         was_mirror = self.mirror_manager.mark_mirror_dead(peer_id)
+        if was_mirror:
+            get_registry().counter("node.mirrors.declared_dead").inc()
+            logger.debug(
+                "%s: mirror %#x declared dead, repairing", self.name, peer_id
+            )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    "failure_declared",
+                    peer=peer_id,
+                    by=self.node_id,
+                    reason="mirror-unacked",
+                    t=self._now(),
+                )
         if was_mirror and self.joined and self.online and not self._repairing:
             self.repair_mirrors()
 
@@ -644,9 +682,21 @@ class SoupNode:
         self._repairing = True
         try:
             old = set(self.mirror_manager.announced_mirrors)
+            dead = sorted(self.mirror_manager.dead_mirrors & old)
             self.mirror_manager.repairs_triggered += 1
+            get_registry().counter("node.repairs").inc()
             accepted = self.run_selection_round()
-            self.mirror_manager.repair_replacements += len(set(accepted) - old)
+            replacements = len(set(accepted) - old)
+            self.mirror_manager.repair_replacements += replacements
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    "repair_round",
+                    owner=self.node_id,
+                    dead=dead,
+                    replacements=replacements,
+                    t=self._now(),
+                )
             return accepted
         finally:
             self._repairing = False

@@ -9,8 +9,13 @@ Algorithm 1, protective dropping — for one protocol-level node.
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.obs import get_registry, get_tracer
+
+logger = logging.getLogger("repro.node.mirror_manager")
 
 from repro.core.config import SoupConfig
 from repro.core.dropping import ReplicaStore, StoreDecision
@@ -161,6 +166,20 @@ class MirrorManager:
         self.rejected_by.clear()
         self.selected_mirrors = list(result.mirrors)
         self.last_estimated_error = result.estimated_error
+        registry = get_registry()
+        registry.counter("node.selection.runs").inc()
+        if result.estimated_error is not None:
+            registry.histogram(
+                "node.selection.error", buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+            ).observe(result.estimated_error)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "mirror_selected",
+                owner=self.owner_id,
+                mirrors=list(result.mirrors),
+                estimated_error=result.estimated_error,
+            )
         return result
 
     # --- reliability / proactive repair ---------------------------------------
@@ -193,9 +212,20 @@ class MirrorManager:
     ) -> StoreDecision:
         if not self.mirroring_enabled:
             return StoreDecision(accepted=False, reason="mirroring disabled")
-        return self.store.request_store(
+        decision = self.store.request_store(
             owner, size_profiles=size_profiles, is_friend=is_friend
         )
+        if decision.dropped_owner is not None:
+            get_registry().counter("node.replicas.evicted").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    "replica_dropped",
+                    owner=decision.dropped_owner,
+                    mirror=self.owner_id,
+                    reason="capacity",
+                )
+        return decision
 
     def handle_withdraw(self, owner: int) -> bool:
         self.update_logs.pop(owner, None)

@@ -10,8 +10,13 @@ keeps her multiple personal devices in sync.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.obs import get_registry, get_tracer
+
+logger = logging.getLogger("repro.node.sync")
 
 
 @dataclass(frozen=True)
@@ -58,8 +63,21 @@ class UpdateBuffer:
                 range(len(queue)),
                 key=lambda i: (queue[i].timestamp, queue[i].origin_id, queue[i].sequence),
             )
-            queue.pop(oldest)
+            evicted = queue.pop(oldest)
             self.dropped_updates += 1
+            get_registry().counter("sync.updates_dropped").inc()
+            logger.debug(
+                "update buffer for target %s full: dropped oldest from %s",
+                evicted.target_id, evicted.origin_id,
+            )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    "update_dropped",
+                    target=evicted.target_id,
+                    origin=evicted.origin_id,
+                    reason="buffer-full",
+                )
 
     def pending_for(self, target_id: int) -> List[PendingUpdate]:
         """Updates for a returning user, ordered by (timestamp, sequence)."""

@@ -1,0 +1,62 @@
+"""Structured observability for the SOUP reproduction.
+
+Three pillars, all deterministic inside the simulated world and
+near-zero-cost when disabled:
+
+* :mod:`repro.obs.trace` — typed, schema-versioned event tracing to JSONL
+  (``Tracer``).  Events are stamped with sim epochs / sim seconds supplied
+  by the emitting subsystem, never with wallclock, so two runs with the
+  same seed produce byte-identical traces.
+* :mod:`repro.obs.registry` — named counters, gauges and histograms
+  (``MetricsRegistry``) that subsystems register into; the simulator
+  snapshots the registry per epoch into its result.
+* :mod:`repro.obs.profiling` — ``span()`` wall-clock timing of real hot
+  paths behind ``--profile``.  Wall-clock never leaks into the simulated
+  world: profiling only measures how long *our code* takes to run it.
+
+Naming conventions and the event schema are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.profiling import PROFILER, Profiler
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    pop_registry,
+    push_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    EVENT_SCHEMAS,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_event,
+    validate_trace_file,
+)
+
+__all__ = [
+    "PROFILER",
+    "Profiler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "push_registry",
+    "pop_registry",
+    "use_registry",
+    "EVENT_SCHEMAS",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "validate_event",
+    "validate_trace_file",
+]

@@ -1,0 +1,125 @@
+"""Profiling hooks: wall-clock spans over real hot paths.
+
+Unlike tracing and metrics — which live inside the simulated world and
+must stay deterministic — profiling measures how long *our code* takes on
+the host machine: selection rounds, DHT routing, crypto, full epoch
+steps.  It is therefore strictly an outside-the-simulation concern, off by
+default, and designed so the disabled path costs one attribute read and a
+branch per call site (the <5 % overhead guard in
+``benchmarks/test_profiling_overhead.py`` keeps it honest).
+
+Usage::
+
+    from repro.obs.profiling import PROFILER
+
+    with PROFILER.span("engine.selection_round"):
+        ...                      # cheap no-op when PROFILER.enabled is False
+
+    if PROFILER.enabled:         # hottest paths: skip even the no-op span
+        with PROFILER.span("dht.route"):
+            return self._route(...)
+    return self._route(...)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.record(self._name, time.perf_counter() - self._start)
+
+
+class Profiler:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    def span(self, name: str):
+        """A context manager timing the block (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def record(self, name: str, elapsed_s: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed_s
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def report_lines(self, top_level: Optional[str] = None) -> List[str]:
+        """Per-phase breakdown table, widest share first.
+
+        ``top_level`` names the phase whose total defines 100 % (e.g. the
+        full epoch step); without it, shares are relative to the largest
+        phase total.
+        """
+        if not self._totals:
+            return ["profile: no spans recorded"]
+        denominator = (
+            self._totals.get(top_level, 0.0)
+            if top_level is not None
+            else max(self._totals.values())
+        )
+        denominator = denominator or max(self._totals.values())
+        lines = [
+            f"{'phase':<28} {'calls':>8} {'total s':>10} {'mean ms':>10} {'share':>7}"
+        ]
+        for name in sorted(self._totals, key=self._totals.get, reverse=True):
+            total = self._totals[name]
+            count = self._counts[name]
+            mean_ms = 1000.0 * total / count if count else 0.0
+            share = 100.0 * total / denominator if denominator else 0.0
+            lines.append(
+                f"{name:<28} {count:>8} {total:>10.3f} {mean_ms:>10.3f} {share:>6.1f}%"
+            )
+        return lines
+
+
+#: The process-wide profiler; CLI ``--profile`` enables it.
+PROFILER = Profiler()

@@ -1,0 +1,224 @@
+"""The metrics registry: process-wide named counters, gauges, histograms.
+
+Subsystems register metrics by name on first use (``registry.counter(...)``
+creates on miss), so instrumented code never needs a registry threaded
+through constructors — it asks :func:`get_registry` for the current one.
+The simulator pushes a fresh registry for the duration of a run (keeping
+runs isolated and per-run snapshots meaningful) while long-lived worlds —
+the deployment emulation, library consumers — use the default process
+registry.
+
+Naming convention (see docs/OBSERVABILITY.md): dot-separated
+``<subsystem>.<object>.<aspect>`` in lowercase, e.g. ``dht.route.hops``,
+``net.failures.unreachable``, ``engine.selection.churn``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+#: Default histogram bucket upper bounds (``le``); covers hop counts,
+#: epoch latencies and score distributions without per-metric tuning.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 100.0, 300.0, 1000.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative-upper-bound (``le``) style; values above the
+    last bound land in the implicit overflow bucket.  Quantiles are
+    estimated from bucket boundaries — compact, deterministic, no sample
+    storage.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-boundary estimate of the ``q``-quantile (0..1)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            cumulative += self.bucket_counts[index]
+            if cumulative >= target:
+                return bound
+        return self.maximum if self.maximum is not None else self.buckets[-1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use; snapshot-able."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # --- registration (create on miss) --------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    def _check_free(self, name: str, own_table: Dict[str, Metric]) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not own_table and name in table:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    # --- introspection -------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def snapshot_scalars(self) -> Dict[str, float]:
+        """Counters and gauges by name, plus histogram counts/means —
+        the compact per-epoch snapshot shape."""
+        snap: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            snap[f"{name}.count"] = float(histogram.count)
+            snap[f"{name}.mean"] = histogram.mean
+        return dict(sorted(snap.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full snapshot: scalar values and complete histogram summaries."""
+        snap: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            snap[name] = histogram.summary()
+        return dict(sorted(snap.items()))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: Registry stack: the default process registry at the bottom; simulation
+#: runs push their own so concurrent/successive runs do not mix counts.
+_STACK: List[MetricsRegistry] = [MetricsRegistry()]
+
+
+def get_registry() -> MetricsRegistry:
+    return _STACK[-1]
+
+
+def push_registry(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    registry = registry if registry is not None else MetricsRegistry()
+    _STACK.append(registry)
+    return registry
+
+
+def pop_registry() -> MetricsRegistry:
+    if len(_STACK) == 1:
+        raise RuntimeError("cannot pop the default process registry")
+    return _STACK.pop()
+
+
+@contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    registry = push_registry(registry)
+    try:
+        yield registry
+    finally:
+        if _STACK and _STACK[-1] is registry:
+            pop_registry()

@@ -21,12 +21,16 @@ stores their replica is online.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
+
+from repro.obs import MetricsRegistry, get_tracer, pop_registry, push_registry
+from repro.obs.profiling import PROFILER
 
 from repro.behavior.activity import ActivityModel
 from repro.behavior.capacity import sample_capacities
@@ -45,6 +49,8 @@ from repro.sim.faults import FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import ReliabilityMetrics, SimulationResult
 from repro.sim.scenario import OnlineDistribution, ScenarioConfig, sample_distribution
+
+logger = logging.getLogger("repro.sim.engine")
 
 
 @dataclass
@@ -152,10 +158,21 @@ class SoupSimulation:
             if (config.check_invariants or invariants_mod.FORCE_CHECKS)
             else None
         )
+        #: Per-run metrics registry, installed as current for the duration
+        #: of :meth:`run` and snapshotted per epoch into the result.
+        self.metrics = MetricsRegistry()
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # invariant bookkeeping
     # ------------------------------------------------------------------
+    def _trace_drop(self, owner: int, mirror: int, reason: str, epoch: int) -> None:
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "replica_dropped", owner=owner, mirror=mirror,
+                reason=reason, epoch=epoch,
+            )
+
     def mark_stale_announcement(self, owner: int, mirror: int) -> None:
         """Record that ``mirror`` dropped ``owner``'s replica before the
         owner could rebuild its announced set."""
@@ -342,6 +359,11 @@ class SoupSimulation:
         round_period = config.round_period_epochs
         availability = np.zeros(n_epochs)
         overhead = np.zeros(n_epochs)
+        logger.info(
+            "run: nodes=%d epochs=%d repair=%s invariants=%s",
+            self.n_total, n_epochs, config.repair,
+            self.invariant_checker is not None,
+        )
 
         cohorts = self._cohort_masks()
         cohort_series = {name: np.zeros(n_epochs) for name in cohorts}
@@ -352,58 +374,18 @@ class SoupSimulation:
             for day in config.cdf_snapshot_days
         }
 
-        for epoch in range(n_epochs):
-            if self.faults is not None:
-                self.faults.on_epoch_start(self, epoch)
-            online_now = self.online_matrix[:, epoch]
-            self._activate_joins(epoch)
-            online_ids = np.nonzero(online_now)[0]
-            active_since_round.update(int(i) for i in online_ids)
-            self._run_interactions(epoch, online_ids)
-
-            # A node without mirrors selects immediately instead of waiting
-            # for the next round: "users are most active when they have just
-            # joined" and gain a foothold right away (Sec. 4.3).  Pending
-            # replica pushes to previously offline mirrors are also retried.
-            pairs_dirty = False
-            for node_id in online_ids:
-                node = self.nodes[int(node_id)]
-                if node.departed or not node.joined or node.is_sybil:
-                    continue
-                if not node.announced_mirrors:
-                    self._select_and_place(node, epoch)
-                    pairs_dirty = True
-                elif node.pending_placements:
-                    pairs_dirty |= self._retry_pending_placements(node, epoch)
-            if self.config.repair:
-                pairs_dirty |= self._run_repair(epoch, online_ids)
-            if pairs_dirty:
-                self._rebuild_pairs()
-
-            if (epoch + 1) % round_period == 0:
-                participants = [
-                    node_id
-                    for node_id in active_since_round
-                    if self.nodes[node_id].joined and not self.nodes[node_id].departed
-                ]
-                self._run_selection_round(participants, epoch)
-                active_since_round.clear()
-                self._rebuild_pairs()
-
-            availability[epoch], overhead[epoch] = self._measure(online_now)
-            for name, mask in cohorts.items():
-                cohort_series[name][epoch] = self._measure_cohort(online_now, mask)
-
-            if epoch in snapshot_epochs:
-                day = snapshot_epochs[epoch]
-                self.result.stored_profiles_snapshots[day] = [
-                    self.nodes[i].store.replica_count()
-                    for i in range(self.n_total)
-                    if not self.nodes[i].is_sybil
-                ]
-
-            if self.invariant_checker is not None:
-                self.invariant_checker.check_epoch(self, epoch)
+        self._tracer = get_tracer()
+        push_registry(self.metrics)
+        try:
+            for epoch in range(n_epochs):
+                with PROFILER.span("engine.epoch"):
+                    self._run_epoch(
+                        epoch, round_period, active_since_round,
+                        availability, overhead, cohorts, cohort_series,
+                        snapshot_epochs,
+                    )
+        finally:
+            pop_registry()
 
         self.result.availability = availability
         self.result.replica_overhead = overhead
@@ -412,7 +394,101 @@ class SoupSimulation:
         self.result.blacklisted_owner_count = sum(
             len(node.store.blacklisted_owners()) for node in self.nodes
         )
+        self.result.metrics = self.metrics.snapshot()
+        logger.info(
+            "run complete: steady availability=%.3f",
+            self.result.steady_state_availability(),
+        )
         return self.result
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        round_period: int,
+        active_since_round: Set[int],
+        availability: np.ndarray,
+        overhead: np.ndarray,
+        cohorts: Dict[str, np.ndarray],
+        cohort_series: Dict[str, np.ndarray],
+        snapshot_epochs: Dict[int, int],
+    ) -> None:
+        """One epoch of the main loop (split out for phase profiling)."""
+        if self.faults is not None:
+            self.faults.on_epoch_start(self, epoch)
+        online_now = self.online_matrix[:, epoch]
+        self._activate_joins(epoch)
+        online_ids = np.nonzero(online_now)[0]
+        active_since_round.update(int(i) for i in online_ids)
+        with PROFILER.span("engine.interactions"):
+            self._run_interactions(epoch, online_ids)
+
+        # A node without mirrors selects immediately instead of waiting
+        # for the next round: "users are most active when they have just
+        # joined" and gain a foothold right away (Sec. 4.3).  Pending
+        # replica pushes to previously offline mirrors are also retried.
+        pairs_dirty = False
+        for node_id in online_ids:
+            node = self.nodes[int(node_id)]
+            if node.departed or not node.joined or node.is_sybil:
+                continue
+            if not node.announced_mirrors:
+                self._select_and_place(node, epoch)
+                pairs_dirty = True
+            elif node.pending_placements:
+                pairs_dirty |= self._retry_pending_placements(node, epoch)
+        if self.config.repair:
+            with PROFILER.span("engine.repair"):
+                pairs_dirty |= self._run_repair(epoch, online_ids)
+        if pairs_dirty:
+            self._rebuild_pairs()
+
+        if (epoch + 1) % round_period == 0:
+            participants = [
+                node_id
+                for node_id in active_since_round
+                if self.nodes[node_id].joined and not self.nodes[node_id].departed
+            ]
+            with PROFILER.span("engine.selection_round"):
+                self._run_selection_round(participants, epoch)
+            active_since_round.clear()
+            self._rebuild_pairs()
+
+        with PROFILER.span("engine.measure"):
+            availability[epoch], overhead[epoch] = self._measure(online_now)
+            for name, mask in cohorts.items():
+                cohort_series[name][epoch] = self._measure_cohort(online_now, mask)
+        self.metrics.gauge("engine.availability").set(availability[epoch])
+        self.metrics.gauge("engine.replica_overhead").set(overhead[epoch])
+
+        if epoch in snapshot_epochs:
+            day = snapshot_epochs[epoch]
+            self.result.stored_profiles_snapshots[day] = [
+                self.nodes[i].store.replica_count()
+                for i in range(self.n_total)
+                if not self.nodes[i].is_sybil
+            ]
+
+        if self.invariant_checker is not None:
+            with PROFILER.span("engine.invariants"):
+                try:
+                    self.invariant_checker.check_epoch(self, epoch)
+                except Exception as exc:
+                    if self._tracer.enabled:
+                        self._tracer.emit(
+                            "invariant_checked",
+                            epoch=epoch,
+                            ok=False,
+                            violation=str(exc).splitlines()[0],
+                        )
+                    raise
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "invariant_checked",
+                    epoch=epoch,
+                    ok=True,
+                    checks=len(self.invariant_checker.names),
+                )
+        self.result.metrics_by_epoch.append(self.metrics.snapshot_scalars())
 
     # ------------------------------------------------------------------
     # epoch phases
@@ -437,6 +513,7 @@ class SoupSimulation:
                 for owner in node.store.stored_owners():
                     self.replica_locations[node_id].discard(owner)
                     self.mark_stale_announcement(owner, node_id)
+                    self._trace_drop(owner, node_id, "mirror-departed", epoch)
 
     def _run_interactions(self, epoch: int, online_ids: np.ndarray) -> None:
         """Online nodes contact others and request friends' profiles."""
@@ -561,6 +638,7 @@ class SoupSimulation:
             self._exchange_experience(self.nodes[node_id], epoch)
 
         # Phase 2: ingest reports, re-rank, run Algorithm 1, place replicas.
+        churn_hist = self.metrics.histogram("engine.selection.churn")
         churn_total = 0
         churn_count = 0
         for node_id in participants:
@@ -570,7 +648,9 @@ class SoupSimulation:
             self._ingest_reports(node, epoch)
             old_set = set(node.selected_mirrors)
             self._select_and_place(node, epoch)
-            churn_total += len(old_set.symmetric_difference(node.selected_mirrors))
+            churn = len(old_set.symmetric_difference(node.selected_mirrors))
+            churn_hist.observe(churn)
+            churn_total += churn
             churn_count += 1
 
         # Phase 3: sybils flood (Fig. 11).
@@ -585,18 +665,28 @@ class SoupSimulation:
         # "if v observes a copy of w's data in itself, but v is not listed
         # in w's published mirror set").  This is what catches flooders at
         # nodes they never revisit.
+        score_hist = self.metrics.histogram("engine.dropping.score")
         for node_id in participants:
             node = self.nodes[node_id]
             for owner in node.store.stored_owners():
+                score = node.store.dropping_score(owner)
+                if score > 0.0:
+                    score_hist.observe(score)
                 removed = node.store.observe_published_mirrors(
                     owner, self.nodes[owner].announced_mirrors
                 )
                 for removed_owner in removed:
                     self.replica_locations[node_id].discard(removed_owner)
                     self.mark_stale_announcement(removed_owner, node_id)
+                    self._trace_drop(removed_owner, node_id, "mismatch", epoch)
 
+        self.metrics.counter("engine.selection.rounds").inc()
         if churn_count:
             self.result.mirror_churn_by_round.append(churn_total / churn_count)
+            logger.debug(
+                "selection round at epoch %d: %d participants, mean churn %.2f",
+                epoch, churn_count, churn_total / churn_count,
+            )
         placed = max(1, self._placements_this_round)
         self.result.drop_rate_by_round.append(self._drops_this_round / placed)
 
@@ -692,6 +782,19 @@ class SoupSimulation:
         )
         node.rejected_by.clear()
         node.last_estimated_error = result.estimated_error
+        if result.estimated_error is not None:
+            self.metrics.histogram(
+                "engine.selection.error",
+                buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+            ).observe(result.estimated_error)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "mirror_selected",
+                owner=node.node_id,
+                mirrors=list(result.mirrors),
+                estimated_error=result.estimated_error,
+                epoch=epoch,
+            )
 
         old_mirrors = set(node.selected_mirrors)
         new_mirrors = list(result.mirrors)
@@ -702,6 +805,7 @@ class SoupSimulation:
             mirror = self.nodes[mirror_id]
             if mirror.store.remove(node.node_id):
                 self.replica_locations[mirror_id].discard(node.node_id)
+                self._trace_drop(node.node_id, mirror_id, "withdrawn", epoch)
 
         # Place replicas at newly selected mirrors.
         online_now = self.online_matrix[:, epoch]
@@ -727,9 +831,17 @@ class SoupSimulation:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
                     self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
+                    self.metrics.counter("engine.replicas.dropped").inc()
+                    self._trace_drop(decision.dropped_owner, mirror_id, "capacity", epoch)
                 if self._place_replica_payload(node.node_id, mirror_id, epoch):
                     self.replica_locations[mirror_id].add(node.node_id)
                     accepted.append(mirror_id)
+                    self.metrics.counter("engine.replicas.placed").inc()
+                    if self._tracer.enabled:
+                        self._tracer.emit(
+                            "replica_pushed",
+                            owner=node.node_id, mirror=mirror_id, epoch=epoch,
+                        )
                 else:
                     # The replica payload never arrived.  Fire-and-forget
                     # senders announce the mirror anyway (the stale
@@ -740,6 +852,7 @@ class SoupSimulation:
                         accepted.append(mirror_id)
             else:
                 node.rejected_by.add(mirror_id)
+                self.metrics.counter("engine.replicas.rejected").inc()
 
         node.pending_placements &= new_set
         node.selected_mirrors = new_mirrors
@@ -760,6 +873,7 @@ class SoupSimulation:
             for owner in removed:
                 self.replica_locations[mirror_id].discard(owner)
                 self.mark_stale_announcement(owner, mirror_id)
+                self._trace_drop(owner, mirror_id, "mismatch", epoch)
 
     def _unreachable_at(self, epoch: int) -> Set[int]:
         """Nodes no storage request can reach this epoch (offline, departed
@@ -797,9 +911,17 @@ class SoupSimulation:
                     self.replica_locations[mirror_id].discard(decision.dropped_owner)
                     self.mark_stale_announcement(decision.dropped_owner, mirror_id)
                     self._drops_this_round += 1
+                    self.metrics.counter("engine.replicas.dropped").inc()
+                    self._trace_drop(decision.dropped_owner, mirror_id, "capacity", epoch)
                 arrived = self._place_replica_payload(node.node_id, mirror_id, epoch)
                 if arrived:
                     self.replica_locations[mirror_id].add(node.node_id)
+                    self.metrics.counter("engine.replicas.placed").inc()
+                    if self._tracer.enabled:
+                        self._tracer.emit(
+                            "replica_pushed",
+                            owner=node.node_id, mirror=mirror_id, epoch=epoch,
+                        )
                 else:
                     mirror.store.remove(node.node_id)
                 if arrived or not self.config.repair:
@@ -808,6 +930,7 @@ class SoupSimulation:
                     placed = True
             else:
                 node.rejected_by.add(mirror_id)
+                self.metrics.counter("engine.replicas.rejected").inc()
         return placed
 
     # ------------------------------------------------------------------
@@ -862,6 +985,7 @@ class SoupSimulation:
                 if online_now[mirror_id] and not self.nodes[mirror_id].departed:
                     node.dead_mirrors.discard(mirror_id)
                     rel.revivals += 1
+                    self.metrics.counter("engine.repair.revivals").inc()
         return dirty
 
     def _repair_owner(
@@ -874,6 +998,11 @@ class SoupSimulation:
             node.dead_mirrors.add(mirror_id)
             node.mirror_suspicion.pop(mirror_id, None)
             rel.deaths_declared += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "failure_declared",
+                    peer=mirror_id, by=node.node_id, epoch=epoch,
+                )
             # Withdraw whatever the mirror still holds (a spurious verdict
             # costs one re-replication, never a stale announcement).
             if self.nodes[mirror_id].store.remove(node.node_id):
@@ -883,9 +1012,19 @@ class SoupSimulation:
             node.pending_placements.discard(mirror_id)
         self._deficit_since.setdefault(node.node_id, epoch)
         rel.repairs_triggered += 1
+        self.metrics.counter("engine.repair.rounds").inc()
         before = set(node.announced_mirrors)
         self._select_and_place(node, epoch)
-        rel.repair_replacements += len(set(node.announced_mirrors) - before)
+        replacements = len(set(node.announced_mirrors) - before)
+        rel.repair_replacements += replacements
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "repair_round",
+                owner=node.node_id,
+                dead=list(dead_now),
+                replacements=replacements,
+                epoch=epoch,
+            )
 
     def _note_deficit_state(self, node: _NodeState, epoch: int) -> None:
         """Close an owner's deficit window once its set is fully restored:
@@ -907,6 +1046,9 @@ class SoupSimulation:
         if restored:
             self._deficit_since.pop(node.node_id, None)
             rel.repair_latency_epochs.append(epoch - since)
+            self.metrics.histogram("engine.repair.latency_epochs").observe(
+                epoch - since
+            )
 
     def _place_replica_payload(
         self, owner_id: int, mirror_id: int, epoch: int
@@ -927,11 +1069,25 @@ class SoupSimulation:
             return False
         rel = self.result.reliability
         assert rel is not None
-        for _ in range(self.config.push_retry_attempts - 1):
+        retry_counter = self.metrics.counter("engine.transfer.retries")
+        for attempt in range(self.config.push_retry_attempts - 1):
             rel.transfer_retries += 1
+            retry_counter.inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "retry",
+                    kind="replica_transfer",
+                    owner=owner_id, mirror=mirror_id,
+                    attempt=attempt + 2, epoch=epoch,
+                )
             if not self.faults.drop_transfer(owner_id, mirror_id, epoch):
                 return True
         rel.transfer_giveups += 1
+        self.metrics.counter("engine.transfer.giveups").inc()
+        logger.debug(
+            "replica transfer %d->%d gave up after %d attempts (epoch %d)",
+            owner_id, mirror_id, self.config.push_retry_attempts, epoch,
+        )
         return False
 
     def _sybil_flood(self, node: _NodeState) -> None:

@@ -72,7 +72,7 @@ class ReliabilityMetrics:
         return float(np.mean(self.repair_latency_epochs))
 
     def summary(self) -> Dict[str, float]:
-        return {
+        numbers = {
             "transfer_retries": float(self.transfer_retries),
             "transfer_giveups": float(self.transfer_giveups),
             "deaths_declared": float(self.deaths_declared),
@@ -81,7 +81,15 @@ class ReliabilityMetrics:
             "repair_replacements": float(self.repair_replacements),
             "mean_repair_latency_epochs": self.mean_repair_latency(),
             "partial_set_epochs": float(self.partial_set_epochs),
+            "circuit_transitions_total": float(
+                sum(self.circuit_transitions.values())
+            ),
         }
+        # Per-transition counts ("closed->open", ...), flattened so every
+        # report/JSON consumer sees the breaker behaviour, not just totals.
+        for key, count in sorted(self.circuit_transitions.items()):
+            numbers[f"circuit_{key}"] = float(count)
+        return numbers
 
 
 @dataclass
@@ -113,10 +121,20 @@ class SimulationResult:
     blacklisted_owner_count: int = 0
     #: Reliability-layer counters; None when the run had repair disabled.
     reliability: Optional[ReliabilityMetrics] = None
+    #: Scalar metrics-registry snapshot at the end of each epoch
+    #: (counters, gauges, histogram count/mean — see repro.obs.registry).
+    metrics_by_epoch: List[Dict[str, float]] = field(default_factory=list)
+    #: Full registry snapshot at the end of the run (histograms included).
+    metrics: Optional[Dict[str, object]] = None
 
     def day_index(self, day: float) -> int:
-        """Epoch index of the end of ``day`` (clamped to the run length)."""
-        return min(self.n_epochs - 1, int(day * self.epochs_per_day) - 1)
+        """Epoch index of the end of ``day`` (clamped to the run length).
+
+        Clamped below too: ``day=0`` (or any day shorter than one epoch)
+        maps to the *first* epoch, never wrapping to index -1 — which
+        would silently return the last epoch's value.
+        """
+        return min(self.n_epochs - 1, max(0, int(day * self.epochs_per_day) - 1))
 
     def availability_at_day(self, day: float) -> float:
         return float(self.availability[self.day_index(day)])

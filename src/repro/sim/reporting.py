@@ -79,6 +79,32 @@ def describe_result(name: str, result: SimulationResult) -> List[str]:
     return lines
 
 
+def metrics_table(result: SimulationResult) -> List[str]:
+    """Render the run's final metrics-registry snapshot as aligned rows.
+
+    Scalars (counters, gauges) print one value; histograms print their
+    count/mean/p50/p90/max summary (see ``repro.obs.registry.Histogram``).
+    """
+    snapshot = result.metrics or {}
+    if not snapshot:
+        return ["metrics: none recorded (run the simulator to populate)"]
+    name_width = max(len(name) for name in snapshot)
+    lines = [
+        f"{'metric':<{name_width}} {'value':>12}   histogram (count mean p50 p90 max)"
+    ]
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):
+            lines.append(
+                f"{name:<{name_width}} {'':>12}   "
+                f"{value['count']:.0f} {value['mean']:.3f} "
+                f"{value['p50']:.3f} {value['p90']:.3f} {value['max']:.3f}"
+            )
+        else:
+            lines.append(f"{name:<{name_width}} {float(value):>12.3f}")
+    return lines
+
+
 def markdown_report(results: Dict[str, SimulationResult]) -> str:
     """A markdown table summarizing several runs (sweep output)."""
     header = (

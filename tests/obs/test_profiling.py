@@ -1,0 +1,57 @@
+"""Tests for the profiling hooks."""
+
+import time
+
+from repro.obs.profiling import PROFILER, Profiler, _NULL_SPAN
+
+
+class TestProfiler:
+    def test_disabled_span_is_shared_null_span(self):
+        profiler = Profiler()
+        assert profiler.span("anything") is _NULL_SPAN
+        with profiler.span("anything"):
+            pass
+        assert profiler.totals() == {}
+
+    def test_enabled_span_records_time(self):
+        profiler = Profiler()
+        profiler.enable()
+        with profiler.span("work"):
+            time.sleep(0.002)
+        totals = profiler.totals()
+        assert totals["work"] >= 0.002
+        assert profiler.counts()["work"] == 1
+
+    def test_record_accumulates(self):
+        profiler = Profiler()
+        profiler.record("phase", 0.5)
+        profiler.record("phase", 0.25)
+        assert profiler.totals()["phase"] == 0.75
+        assert profiler.counts()["phase"] == 2
+
+    def test_reset(self):
+        profiler = Profiler()
+        profiler.record("phase", 1.0)
+        profiler.reset()
+        assert profiler.totals() == {}
+
+    def test_report_lines_empty(self):
+        assert Profiler().report_lines() == ["profile: no spans recorded"]
+
+    def test_report_lines_shares(self):
+        profiler = Profiler()
+        profiler.record("outer", 2.0)
+        profiler.record("inner", 1.0)
+        lines = profiler.report_lines(top_level="outer")
+        assert "outer" in lines[1]  # sorted widest first
+        assert "100.0%" in lines[1]
+        assert "50.0%" in lines[2]
+
+    def test_report_lines_unknown_top_level_falls_back(self):
+        profiler = Profiler()
+        profiler.record("only", 1.0)
+        lines = profiler.report_lines(top_level="missing")
+        assert "100.0%" in lines[1]
+
+    def test_global_profiler_disabled_by_default(self):
+        assert not PROFILER.enabled

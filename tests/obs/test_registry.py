@@ -1,0 +1,137 @@
+"""Tests for the metrics registry (counters, gauges, histograms, stack)."""
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    pop_registry,
+    push_registry,
+    use_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.counter("a.b").value == 3.5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4)
+        registry.gauge("g").set(2)
+        assert registry.gauge("g").value == 2.0
+
+    def test_create_on_miss_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="another type"):
+            registry.gauge("name")
+        with pytest.raises(ValueError, match="another type"):
+            registry.histogram("name")
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max(self):
+        hist = Histogram("h")
+        for value in (1, 5, 10):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 16.0
+        assert hist.minimum == 1
+        assert hist.maximum == 10
+        assert hist.mean == pytest.approx(16 / 3)
+
+    def test_quantile_from_buckets(self):
+        hist = Histogram("h", buckets=(1, 2, 4, 8))
+        for value in (1, 1, 2, 3, 7):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 2
+        assert hist.quantile(1.0) == 8
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(100.0)
+        assert hist.bucket_counts[-1] == 1
+        assert hist.quantile(0.5) == 100.0  # falls back to the observed max
+
+    def test_empty_summary(self):
+        summary = Histogram("h").summary()
+        assert summary["count"] == 0.0
+        assert summary["mean"] == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", buckets=(3, 1))
+
+
+class TestSnapshots:
+    def test_snapshot_scalars_includes_histogram_count_mean(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(4)
+        snap = registry.snapshot_scalars()
+        assert snap["c"] == 2.0
+        assert snap["g"] == 0.5
+        assert snap["h.count"] == 1.0
+        assert snap["h.mean"] == 4.0
+
+    def test_full_snapshot_has_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(4)
+        snap = registry.snapshot()
+        assert snap["h"]["count"] == 1.0
+        assert snap["h"]["p50"] == 5.0  # first default bucket bound >= 4
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            registry.counter(name).inc()
+        assert list(registry.snapshot_scalars()) == ["a", "m", "z"]
+
+    def test_names_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g")
+        assert registry.names() == ["c", "g"]
+        registry.reset()
+        assert registry.names() == []
+
+
+class TestRegistryStack:
+    def test_push_pop_isolates_runs(self):
+        base = get_registry()
+        pushed = push_registry()
+        try:
+            assert get_registry() is pushed
+            get_registry().counter("only.here").inc()
+        finally:
+            assert pop_registry() is pushed
+        assert get_registry() is base
+        assert "only.here" not in base.names()
+
+    def test_cannot_pop_process_registry(self):
+        with pytest.raises(RuntimeError):
+            while True:  # drain anything leaked, then hit the bottom
+                pop_registry()
+
+    def test_use_registry_context(self):
+        with use_registry() as registry:
+            assert get_registry() is registry
+        assert get_registry() is not registry
+
+    def test_use_registry_accepts_existing(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as registry:
+            assert registry is mine
+            get_registry().counter("k").inc()
+        assert mine.counter("k").value == 1.0

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sim.metrics import SimulationResult, cdf_points, percentile_of
+from repro.sim.metrics import (
+    ReliabilityMetrics,
+    SimulationResult,
+    cdf_points,
+    percentile_of,
+)
 
 
 class TestCdf:
@@ -39,6 +44,17 @@ def test_day_index_clamped(result):
     assert result.day_index(100) == 47
 
 
+def test_day_index_clamped_below(result):
+    # Regression: day=0 used to compute -1 and wrap to the *last* epoch.
+    assert result.day_index(0) == 0
+    assert result.day_index(0.01) == 0  # shorter than one epoch
+
+
+def test_availability_at_day_zero_reads_first_epoch(result):
+    assert result.availability_at_day(0) == pytest.approx(result.availability[0])
+    assert result.replicas_at_day(0) == pytest.approx(result.replica_overhead[0])
+
+
 def test_availability_at_day(result):
     assert result.availability_at_day(2) == pytest.approx(1.0)
 
@@ -71,3 +87,29 @@ def test_summary_keys(result):
 def test_summary_with_drop_rates(result):
     result.drop_rate_by_round = [0.1, 0.05]
     assert result.summary()["final_drop_rate"] == 0.05
+
+
+def test_reliability_summary_exports_circuit_transitions():
+    metrics = ReliabilityMetrics(
+        circuit_transitions={"closed->open": 3, "open->half-open": 2}
+    )
+    summary = metrics.summary()
+    assert summary["circuit_transitions_total"] == 5.0
+    assert summary["circuit_closed->open"] == 3.0
+    assert summary["circuit_open->half-open"] == 2.0
+
+
+def test_reliability_summary_without_transitions():
+    summary = ReliabilityMetrics().summary()
+    assert summary["circuit_transitions_total"] == 0.0
+    assert not any(key.startswith("circuit_closed") for key in summary)
+
+
+def test_result_summary_includes_reliability(result):
+    result.reliability = ReliabilityMetrics(circuit_transitions={"closed->open": 1})
+    assert result.summary()["circuit_transitions_total"] == 1.0
+
+
+def test_metrics_fields_default_empty(result):
+    assert result.metrics_by_epoch == []
+    assert result.metrics is None

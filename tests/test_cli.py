@@ -138,6 +138,94 @@ def test_fig11_json_export(capsys):
     assert "blacklisted_owner_count" in payload
 
 
+def test_sim_generic_entry_point(capsys):
+    code, out = run_cli(capsys, "sim", "--scale", "0.004", "--days", "2")
+    assert code == 0
+    assert "availability/day:" in out
+
+
+def test_sim_writes_valid_trace(capsys, tmp_path):
+    from repro.obs import get_tracer, validate_trace_file
+
+    trace = tmp_path / "trace.jsonl"
+    code, out = run_cli(
+        capsys, "sim", "--scale", "0.004", "--days", "2",
+        "--trace", str(trace), "--check-invariants",
+    )
+    assert code == 0
+    assert trace.exists()
+    assert validate_trace_file(str(trace)) == []
+    assert not get_tracer().enabled  # teardown restored the disabled tracer
+
+
+def test_sim_trace_filter(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    code, _ = run_cli(
+        capsys, "sim", "--scale", "0.004", "--days", "2",
+        "--trace", str(trace), "--trace-filter", "mirror_selected",
+    )
+    assert code == 0
+    events = {
+        json.loads(line)["event"]
+        for line in trace.read_text().splitlines()
+    }
+    assert events == {"mirror_selected"}
+
+
+def test_trace_validate_ok(capsys, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    code, _ = run_cli(
+        capsys, "sim", "--scale", "0.004", "--days", "2", "--trace", str(trace)
+    )
+    assert code == 0
+    code, out = run_cli(capsys, "trace-validate", str(trace))
+    assert code == 0
+    assert "all valid" in out
+
+
+def test_trace_validate_rejects_unknown_event(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"v": 1, "seq": 0, "event": "bogus_event"}\n')
+    code, _ = run_cli(capsys, "trace-validate", str(bad))
+    assert code == 1
+
+
+def test_metrics_view(capsys):
+    code, out = run_cli(
+        capsys, "metrics", "--scale", "0.004", "--days", "2", "--repair"
+    )
+    assert code == 0
+    assert "engine.replicas.placed" in out
+    assert "engine.selection.churn" in out
+    assert "reliability summary:" in out
+    assert "circuit_transitions_total" in out
+
+
+def test_metrics_json(capsys):
+    import json
+
+    code, out = run_cli(
+        capsys, "metrics", "--scale", "0.004", "--days", "2", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert "engine.selection.rounds" in payload["metrics"]
+    assert "availability_steady" in payload["summary"]
+
+
+def test_profile_flag_prints_breakdown(capsys):
+    code = main(["sim", "--scale", "0.004", "--days", "2", "--profile"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "engine.epoch" in captured.err
+    assert "share" in captured.err
+    from repro.obs.profiling import PROFILER
+
+    assert not PROFILER.enabled  # teardown disabled it
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["does-not-exist"])
