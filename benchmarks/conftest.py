@@ -43,3 +43,25 @@ def print_series(title: str, label: str, values: Sequence[float], fmt: str = "{:
 def run_once(benchmark, fn):
     """Time ``fn`` with a single round (simulations are not microbenchmarks)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def sweep_results(spec, jobs=1):
+    """Run a SweepSpec through the orchestrator and return its TaskRecords.
+
+    The figure benchmarks drive their seed/fraction/dataset grids through
+    ``repro.runtime`` (rather than bare ``run_scenario`` loops), so the
+    timed path is the one ``soup sweep`` users run.  The run directory is
+    temporary; artifacts are loaded back before it is deleted.
+    """
+    import tempfile
+
+    from repro.runtime import load_records, run_sweep
+
+    with tempfile.TemporaryDirectory(prefix="soup-sweep-") as tmp:
+        outcome = run_sweep(spec, tmp, jobs=jobs)
+        if outcome.failed:
+            raise RuntimeError(f"sweep tasks failed: {outcome.failed}")
+        records = load_records(tmp)
+        for record in records:
+            record.result  # materialize before the directory vanishes
+        return records

@@ -8,23 +8,35 @@ ends up storing well under ten replicas on average.
 
 import pytest
 
-from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
-from repro.sim.engine import run_scenario
-from repro.sim.scenario import ScenarioConfig
+from benchmarks.conftest import (
+    DEFAULT_SCALE,
+    print_series,
+    print_table,
+    run_once,
+    sweep_results,
+)
+from repro.runtime import SweepSpec
 
 DAYS = 20
+DATASETS = ("facebook", "slashdot", "epinions")
 
 
-def run_dataset(dataset: str):
-    config = ScenarioConfig(dataset=dataset, scale=DEFAULT_SCALE, n_days=DAYS, seed=5)
-    return run_scenario(config)
+def run_datasets():
+    """The Fig. 5 dataset grid, orchestrated as one sweep."""
+    spec = SweepSpec(
+        name="fig5",
+        base={"scale": DEFAULT_SCALE, "n_days": DAYS},
+        grid={"dataset": list(DATASETS)},
+        seeds=[5],
+    )
+    return {
+        record.overrides["dataset"]: record.result
+        for record in sweep_results(spec)
+    }
 
 
 def test_fig5(benchmark):
-    results = run_once(
-        benchmark,
-        lambda: {name: run_dataset(name) for name in ("facebook", "slashdot", "epinions")},
-    )
+    results = run_once(benchmark, run_datasets)
 
     rows = []
     for name, result in results.items():

@@ -8,14 +8,25 @@ cohort is left behind.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
-from repro.sim.engine import run_scenario
-from repro.sim.scenario import ScenarioConfig
+from benchmarks.conftest import (
+    DEFAULT_SCALE,
+    print_series,
+    print_table,
+    run_once,
+    sweep_results,
+)
+from repro.runtime import SweepSpec
 
 
 def run_experiment():
-    config = ScenarioConfig(dataset="facebook", scale=DEFAULT_SCALE, n_days=18, seed=5)
-    return run_scenario(config)
+    """Fig. 7's single cell, executed through the sweep orchestrator."""
+    spec = SweepSpec(
+        name="fig7",
+        base={"dataset": "facebook", "scale": DEFAULT_SCALE, "n_days": 18},
+        seeds=[5],
+    )
+    (record,) = sweep_results(spec)
+    return record.result
 
 
 def daily(series, epochs_per_day=24):

@@ -9,31 +9,41 @@ fewer mirrors once the reliable altruists are discovered.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import DEFAULT_SCALE, print_series, print_table, run_once
-from repro.sim.engine import run_scenario
-from repro.sim.scenario import ScenarioConfig
+from benchmarks.conftest import (
+    DEFAULT_SCALE,
+    print_series,
+    print_table,
+    run_once,
+    sweep_results,
+)
+from repro.runtime import SweepSpec
 
 JOIN_DAY = 10
 DAYS = 26
 FRACTIONS = (0.0, 0.01, 0.02, 0.05)
 
 
-def run_fraction(fraction: float):
-    config = ScenarioConfig(
-        dataset="facebook",
-        scale=DEFAULT_SCALE,
-        n_days=DAYS,
-        seed=5,
-        altruist_fraction=fraction,
-        altruist_join_day=JOIN_DAY,
+def run_fractions():
+    """The Fig. 8 altruist-fraction grid, orchestrated as one sweep."""
+    spec = SweepSpec(
+        name="fig8",
+        base={
+            "dataset": "facebook",
+            "scale": DEFAULT_SCALE,
+            "n_days": DAYS,
+            "altruist_join_day": JOIN_DAY,
+        },
+        grid={"altruist_fraction": list(FRACTIONS)},
+        seeds=[5],
     )
-    return run_scenario(config)
+    return {
+        record.overrides["altruist_fraction"]: record.result
+        for record in sweep_results(spec)
+    }
 
 
 def test_fig8(benchmark):
-    results = run_once(
-        benchmark, lambda: {a: run_fraction(a) for a in FRACTIONS}
-    )
+    results = run_once(benchmark, run_fractions)
 
     rows = []
     for fraction, result in results.items():

@@ -1,0 +1,62 @@
+"""Guard: the sweep orchestrator is a thin wrapper, not a tax.
+
+The contract of ``repro.runtime`` is that ``--jobs 1`` is the same work a
+bare ``run_scenario`` loop does, plus spec expansion, task hashing, and
+atomic artifact/manifest writes.  Those extras are milliseconds against
+simulations that take seconds, so a serial sweep over the same tasks must
+stay within 10 % of the bare loop's wall time.  A regression here means
+per-task bookkeeping grew a hidden cost (e.g. re-parsing, double
+serialization, sync fsync storms) that would multiply across the large
+grids the orchestrator exists for.
+"""
+
+import tempfile
+import time
+
+from benchmarks.conftest import DEFAULT_SCALE
+from repro.runtime import SweepSpec, run_sweep
+from repro.sim.engine import run_scenario
+
+DAYS = 2
+SEEDS = (3, 4, 5)
+
+#: Allowed overhead: 10 % relative plus a small absolute grace for
+#: filesystem jitter on these deliberately short reference runs.
+RELATIVE_BUDGET = 1.10
+ABSOLUTE_GRACE_S = 0.2
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="overhead",
+        base={"scale": DEFAULT_SCALE, "n_days": DAYS},
+        seeds=list(SEEDS),
+    )
+
+
+def test_sweep_overhead_under_ten_percent():
+    spec = _spec()
+    tasks = spec.expand()
+
+    # Bare reference: the exact same configs through run_scenario directly.
+    start = time.perf_counter()
+    for task in tasks:
+        run_scenario(task.build_config())
+    bare_s = time.perf_counter() - start
+
+    # Orchestrated: same tasks, serial path, fresh run directory.
+    with tempfile.TemporaryDirectory(prefix="soup-overhead-") as tmp:
+        start = time.perf_counter()
+        outcome = run_sweep(spec, tmp, jobs=1)
+        sweep_s = time.perf_counter() - start
+    assert outcome.complete, outcome.failed
+    assert len(outcome.executed) == len(tasks)
+
+    print(
+        f"\nbare loop: {bare_s:.2f}s   sweep --jobs 1: {sweep_s:.2f}s   "
+        f"overhead: {sweep_s / bare_s - 1:+.1%}"
+    )
+    assert sweep_s <= bare_s * RELATIVE_BUDGET + ABSOLUTE_GRACE_S, (
+        f"orchestrator overhead too high: bare {bare_s:.2f}s vs "
+        f"sweep {sweep_s:.2f}s"
+    )

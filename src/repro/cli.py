@@ -29,22 +29,12 @@ def _series(values, fmt="{:.3f}") -> str:
 
 
 def _result_json(result, **extra) -> str:
-    """Serialize a simulation result's series for external plotting."""
-    payload = {
-        "daily_availability": [float(v) for v in result.daily_availability()],
-        "daily_replica_overhead": [
-            float(v) for v in result.daily_replica_overhead()
-        ],
-        "availability_day1": result.availability_at_day(1),
-        "steady_availability": result.steady_state_availability(),
-        "steady_replicas": result.steady_state_replicas(),
-        "drop_rate_by_round": result.drop_rate_by_round,
-        "mirror_churn_by_round": result.mirror_churn_by_round,
-        "top_half_replica_share": result.top_half_replica_share,
-        "blacklisted_owner_count": result.blacklisted_owner_count,
-    }
+    """Serialize a simulation result for external plotting: the full
+    round-trippable ``SimulationResult.to_json_dict()`` payload plus the
+    derived daily/steady series, plus any experiment tags in ``extra``."""
+    payload = result.to_json_dict(include_derived=True)
     if result.reliability is not None:
-        payload["reliability"] = result.reliability.summary()
+        payload["reliability_summary"] = result.reliability.summary()
     payload.update(extra)
     return json.dumps(payload, indent=2)
 
@@ -345,6 +335,101 @@ def _cmd_trace_validate(args) -> int:
     return 0
 
 
+def _build_sweep_spec(args):
+    """Assemble the SweepSpec from a spec file and/or grid flags."""
+    from repro.runtime import (
+        SweepSpec,
+        parse_base_flag,
+        parse_seeds,
+        parse_set_flag,
+    )
+
+    spec = SweepSpec.from_file(args.spec) if args.spec else SweepSpec()
+    for flag in args.base or ():
+        key, value = parse_base_flag(flag)
+        spec.base[key] = value
+    for flag in args.set or ():
+        key, values = parse_set_flag(flag)
+        spec.grid[key] = values
+    if args.seeds:
+        spec.seeds = parse_seeds(args.seeds)
+    if args.name:
+        spec.name = args.name
+    return spec
+
+
+def _cmd_sweep_status(args) -> int:
+    """Report a run directory's completion state (exit 3 if incomplete)."""
+    from repro.runtime import RunStore
+
+    store = RunStore(args.out)
+    manifest = store.load_manifest()
+    if manifest is None:
+        print(f"{args.out}: no sweep manifest", file=sys.stderr)
+        return 3
+    completed = store.completed_keys()
+    tasks = manifest["tasks"]
+    done = sum(1 for entry in tasks if entry["key"] in completed)
+    failed = [entry for entry in tasks if entry.get("status") == "failed"]
+    print(f"sweep {manifest['name']}: {done}/{len(tasks)} tasks complete")
+    for entry in failed:
+        print(f"  failed {entry['id']}: {entry.get('error', '?')}")
+    return 0 if done == len(tasks) else 3
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runtime import aggregate_json, aggregate_run, run_sweep
+    from repro.sim.reporting import sweep_table
+
+    if args.status:
+        return _cmd_sweep_status(args)
+
+    if not args.aggregate_only:
+        try:
+            spec = _build_sweep_spec(args)
+            tasks = spec.expand()
+        except ValueError as exc:
+            print(f"sweep: invalid spec: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"sweep {spec.name}: {len(tasks)} tasks -> {args.out} "
+            f"(jobs={args.jobs or 'auto'})",
+            file=sys.stderr,
+        )
+
+        def progress(event, task, detail):
+            if event == "ok":
+                print(
+                    f"  [{task.task_id}] ok ({detail:.1f}s)  {task.label()}",
+                    file=sys.stderr,
+                )
+            elif event == "fail":
+                print(
+                    f"  [{task.task_id}] FAILED: {detail}  {task.label()}",
+                    file=sys.stderr,
+                )
+            elif event == "skip" and args.verbose:
+                print(f"  [{task.task_id}] cached  {task.label()}", file=sys.stderr)
+
+        outcome = run_sweep(
+            spec, args.out, jobs=args.jobs, limit=args.limit, progress=progress,
+        )
+        print(
+            f"sweep {spec.name}: {len(outcome.executed)} run, "
+            f"{len(outcome.skipped)} cached, {len(outcome.failed)} failed",
+            file=sys.stderr,
+        )
+    cells = aggregate_run(args.out)
+    if args.json:
+        print(aggregate_json(cells))
+    else:
+        for line in sweep_table(cells):
+            print(line)
+    if not args.aggregate_only and outcome.failed:
+        return 1
+    return 0
+
+
 def _cmd_fig15(args) -> int:
     from repro.deploy.traffic import MirrorLoadModel
 
@@ -421,6 +506,43 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--seed", type=int, default=7)
     _obs_flags(pd)
 
+    ps = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario sweep over a process pool "
+             "with checkpoint/resume (see docs/SWEEPS.md)",
+    )
+    ps.add_argument("spec", nargs="?", default=None,
+                    help="sweep spec file (TOML or JSON); optional when the "
+                         "grid is given via --set/--base flags")
+    ps.add_argument("--out", "-o", required=True, metavar="DIR",
+                    help="run directory (created if missing; re-running "
+                         "resumes: completed tasks are skipped by content key)")
+    ps.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                    help="worker processes (default: all cores; 1 = serial "
+                         "in-process, byte-identical artifacts)")
+    ps.add_argument("--set", action="append", metavar="KEY=V1,V2,...",
+                    help="add a grid axis (repeatable), e.g. "
+                         "--set altruist_fraction=0.0,0.02,0.05")
+    ps.add_argument("--base", action="append", metavar="KEY=VALUE",
+                    help="override applied to every task (repeatable), e.g. "
+                         "--base scale=0.01; dotted keys reach nested "
+                         "config (--base soup.epsilon=0.02)")
+    ps.add_argument("--seeds", default=None, metavar="LIST|LO:HI",
+                    help="seeds per cell: '0,1,5' or half-open range '0:4'")
+    ps.add_argument("--name", default=None, help="sweep name for the manifest")
+    ps.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="execute at most N pending tasks, then stop "
+                         "(the rest stays pending for a later resume)")
+    ps.add_argument("--status", action="store_true",
+                    help="only report the run directory's completion state "
+                         "(exit 3 if tasks are missing)")
+    ps.add_argument("--aggregate-only", action="store_true",
+                    help="skip execution; re-aggregate existing artifacts")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the aggregated cells as JSON")
+    ps.add_argument("--verbose", action="store_true",
+                    help="also log cached (skipped) tasks")
+
     pf = sub.add_parser("fig15", help="mirror under high request rates")
     pf.add_argument("--rate", type=float, default=20.0)
     pf.add_argument("--duration", type=int, default=300)
@@ -495,6 +617,8 @@ def _dispatch(args) -> int:
         return _cmd_deploy(args)
     if command == "fig15":
         return _cmd_fig15(args)
+    if command == "sweep":
+        return _cmd_sweep(args)
     if command == "replay":
         return _cmd_replay(args)
     raise AssertionError(f"unhandled command {command}")

@@ -114,6 +114,43 @@ class Histogram:
             "p90": self.quantile(0.9),
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        """Full internal state — unlike :meth:`summary`, this keeps the raw
+        bucket counts, so histograms can be merged across processes without
+        losing quantile resolution."""
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one."""
+        if list(state["buckets"]) != list(self.buckets):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"({state['buckets']} vs {list(self.buckets)})"
+            )
+        for index, count in enumerate(state["bucket_counts"]):
+            self.bucket_counts[index] += int(count)
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        if state["min"] is not None:
+            self.minimum = (
+                float(state["min"])
+                if self.minimum is None
+                else min(self.minimum, float(state["min"]))
+            )
+        if state["max"] is not None:
+            self.maximum = (
+                float(state["max"])
+                if self.maximum is None
+                else max(self.maximum, float(state["max"]))
+            )
+
 
 Metric = Union[Counter, Gauge, Histogram]
 
@@ -189,6 +226,37 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+    # --- cross-process transport ---------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe full registry state for shipping across a process
+        boundary (sweep workers return this; the orchestrator merges it).
+        Deterministically ordered so serialized states compare bytewise."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].state_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a :meth:`state_dict` from another process (or run) into this
+        registry: counters add, histograms merge bucket-wise, gauges take
+        the incoming value (last write wins, as within one process)."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name, buckets=hist_state["buckets"]).merge_state(
+                hist_state
+            )
 
 
 #: Registry stack: the default process registry at the bottom; simulation

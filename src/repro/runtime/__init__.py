@@ -1,0 +1,62 @@
+"""repro.runtime — the parallel sweep orchestrator.
+
+The paper's evaluation is a grid of scenarios (datasets × scales × seeds ×
+attack/altruism/departure fractions).  This package runs such grids as one
+declarative **sweep**: expand a :class:`SweepSpec` into content-hashed
+tasks, fan them out over a process pool (``--jobs N``; ``--jobs 1`` is the
+byte-identical serial reference), checkpoint every completed task into an
+atomic on-disk run directory, resume losslessly after a kill, and reduce
+the artifacts back into the mean/percentile-across-seeds tables
+:mod:`repro.sim.reporting` prints.
+
+See ``docs/SWEEPS.md`` for the spec format, run-directory layout and
+resume semantics; the ``soup sweep`` CLI subcommand drives all of it.
+"""
+
+from repro.runtime.aggregate import (
+    SweepCell,
+    TaskRecord,
+    aggregate,
+    aggregate_json,
+    aggregate_run,
+    load_records,
+    results_by_label,
+)
+from repro.runtime.executor import SweepOutcome, execute_task, run_sweep
+from repro.runtime.spec import (
+    SweepSpec,
+    SweepTask,
+    TASK_KEY_VERSION,
+    build_config,
+    config_fingerprint,
+    parse_base_flag,
+    parse_seeds,
+    parse_set_flag,
+    task_key,
+)
+from repro.runtime.store import ARTIFACT_SCHEMA, MANIFEST_SCHEMA, RunStore
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "RunStore",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepTask",
+    "TASK_KEY_VERSION",
+    "TaskRecord",
+    "aggregate",
+    "aggregate_json",
+    "aggregate_run",
+    "build_config",
+    "config_fingerprint",
+    "execute_task",
+    "load_records",
+    "parse_base_flag",
+    "parse_seeds",
+    "parse_set_flag",
+    "results_by_label",
+    "run_sweep",
+    "task_key",
+]

@@ -1,0 +1,190 @@
+"""The sweep executor: fan tasks out over processes, checkpoint each one.
+
+``run_sweep`` expands a :class:`~repro.runtime.spec.SweepSpec`, skips every
+task whose artifact already exists in the run directory (checkpoint/resume
+by content-hashed task key), and executes the rest — either in-process
+(``jobs=1``, the byte-identical serial reference path) or on a spawned
+``ProcessPoolExecutor``.
+
+Determinism contract: a task's artifact depends only on its resolved
+config.  Workers run nothing but :func:`repro.sim.engine.run_task` under a
+disabled tracer and a fresh metrics registry, the spawn start method keeps
+them free of inherited interpreter state, and artifacts are serialized with
+sorted keys — so ``--jobs 1`` and ``--jobs N`` produce byte-identical
+artifacts, and re-running a finished sweep re-runs nothing.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import MetricsRegistry, set_tracer
+from repro.runtime.spec import SweepSpec, SweepTask, build_config
+from repro.runtime.store import ARTIFACT_SCHEMA, RunStore
+
+logger = logging.getLogger("repro.runtime.executor")
+
+#: ``progress(event, task, detail)`` callback; events are "skip", "ok",
+#: "fail" with detail = seconds (ok), error string (fail), or None.
+ProgressFn = Callable[[str, SweepTask, Any], None]
+
+
+def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task and build its artifact document (worker entry point).
+
+    Takes/returns plain JSON-safe dicts so it crosses process boundaries
+    under the spawn start method.  The tracer is forced off for the run:
+    per-task trace files are not part of the sweep contract, and a tracer
+    inherited by the in-process serial path would otherwise make ``--jobs
+    1`` behave differently from workers.
+    """
+    from repro.sim.engine import run_task  # deferred: keep spawn imports lean
+
+    config = build_config(payload["overrides"])
+    previous_tracer = set_tracer(None)
+    try:
+        result, metrics_state = run_task(config)
+    finally:
+        set_tracer(previous_tracer)
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "task": {
+            "id": payload["id"],
+            "key": payload["key"],
+            "overrides": payload["overrides"],
+        },
+        "summary": result.summary(),
+        "result": result.to_json_dict(),
+        "metrics_state": metrics_state,
+    }
+
+
+def _task_payload(task: SweepTask) -> Dict[str, Any]:
+    return {"id": task.task_id, "key": task.key, "overrides": task.overrides}
+
+
+@dataclass
+class SweepOutcome:
+    """What one ``run_sweep`` invocation did."""
+
+    run_dir: Path
+    tasks: List[SweepTask]
+    executed: List[str] = field(default_factory=list)  # task keys run now
+    skipped: List[str] = field(default_factory=list)  # already checkpointed
+    failed: Dict[str, str] = field(default_factory=dict)  # key -> error
+    #: Merged engine metrics across every task executed in this invocation.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed and (
+            len(self.executed) + len(self.skipped) == len(self.tasks)
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    run_dir: "str | Path",
+    jobs: Optional[int] = None,
+    limit: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepOutcome:
+    """Execute (or resume) a sweep into ``run_dir``.
+
+    ``jobs=1`` runs tasks serially in-process; ``jobs=N`` fans out over a
+    spawned process pool; ``jobs=None`` uses ``os.cpu_count()``.  ``limit``
+    caps how many pending tasks this invocation executes — the remainder
+    stays pending for a later resume (and doubles as a deterministic
+    stand-in for a killed sweep in tests/CI).
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+
+    tasks = spec.expand()
+    store = RunStore(run_dir)
+    store.initialize(spec, tasks)
+    completed = store.completed_keys()
+
+    outcome = SweepOutcome(run_dir=Path(run_dir), tasks=tasks)
+    statuses: Dict[str, Dict[str, Any]] = {}
+    pending: List[SweepTask] = []
+    for task in tasks:
+        if task.key in completed:
+            outcome.skipped.append(task.key)
+            statuses[task.key] = {"status": "cached"}
+            if progress is not None:
+                progress("skip", task, None)
+        else:
+            pending.append(task)
+    if limit is not None:
+        for task in pending[limit:]:
+            statuses[task.key] = {"status": "pending"}
+        pending = pending[:limit]
+
+    logger.info(
+        "sweep %s: %d tasks (%d cached, %d to run), jobs=%d",
+        spec.name, len(tasks), len(outcome.skipped), len(pending), jobs,
+    )
+
+    def record_success(task: SweepTask, artifact: Dict[str, Any], seconds: float) -> None:
+        store.write_artifact(task, artifact)
+        outcome.executed.append(task.key)
+        statuses[task.key] = {"status": "ok"}
+        outcome.metrics.merge_state(artifact.get("metrics_state", {}))
+        if progress is not None:
+            progress("ok", task, seconds)
+
+    def record_failure(task: SweepTask, error: BaseException) -> None:
+        message = f"{type(error).__name__}: {error}"
+        outcome.failed[task.key] = message
+        statuses[task.key] = {"status": "failed", "error": message}
+        logger.error("task %s failed: %s", task.task_id, message)
+        if progress is not None:
+            progress("fail", task, message)
+
+    if jobs == 1 or len(pending) <= 1:
+        for task in pending:
+            start = time.perf_counter()
+            try:
+                artifact = execute_task(_task_payload(task))
+            except Exception as exc:  # noqa: BLE001 - record, keep sweeping
+                record_failure(task, exc)
+                continue
+            record_success(task, artifact, time.perf_counter() - start)
+    else:
+        # Spawn (not fork): workers must not inherit tracers, registries,
+        # or any other interpreter state that could diverge from --jobs 1.
+        context = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            started = {
+                pool.submit(execute_task, _task_payload(task)): (
+                    task, time.perf_counter(),
+                )
+                for task in pending
+            }
+            remaining = set(started)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, start = started[future]
+                    try:
+                        artifact = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        record_failure(task, exc)
+                        continue
+                    record_success(task, artifact, time.perf_counter() - start)
+
+    store.finalize(statuses)
+    return outcome

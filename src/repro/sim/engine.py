@@ -1212,9 +1212,27 @@ class SoupSimulation:
         return float(top_half[self._pair_mirrors].mean())
 
 
-def run_scenario(config: ScenarioConfig, graph: Optional[nx.Graph] = None) -> SimulationResult:
-    """Build the dataset graph (unless given) and run one simulation."""
+def run_task(
+    config: ScenarioConfig, graph: Optional[nx.Graph] = None
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """Run one scenario and return ``(result, metrics_state)``.
+
+    ``metrics_state`` is the run's full :class:`MetricsRegistry` state
+    (``state_dict()``), which — unlike the summary snapshot already stored
+    in ``result.metrics`` — can be merged loss-lessly across process
+    boundaries.  This is the entry point sweep workers (:mod:`repro.runtime`)
+    execute; everything it does is deterministic in ``config`` alone, so
+    the same config produces byte-identical serialized results in any
+    process.
+    """
     if graph is None:
         graph = generate_dataset(config.dataset, scale=config.scale, seed=config.seed)
     simulation = SoupSimulation(graph, config)
-    return simulation.run()
+    result = simulation.run()
+    return result, simulation.metrics.state_dict()
+
+
+def run_scenario(config: ScenarioConfig, graph: Optional[nx.Graph] = None) -> SimulationResult:
+    """Build the dataset graph (unless given) and run one simulation."""
+    result, _ = run_task(config, graph)
+    return result

@@ -13,10 +13,15 @@ shares (Sec. 5.2.2), and mirror-set churn (Fig. 14c).
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Schema tag stamped into serialized results (bump on breaking change).
+RESULT_SCHEMA = "soup-result/v1"
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
@@ -91,6 +96,15 @@ class ReliabilityMetrics:
             numbers[f"circuit_{key}"] = float(count)
         return numbers
 
+    def to_dict(self) -> Dict[str, object]:
+        """Raw field values (not the derived :meth:`summary` shape)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReliabilityMetrics":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in names})
+
 
 @dataclass
 class SimulationResult:
@@ -163,6 +177,105 @@ class SimulationResult:
     def steady_state_replicas(self, skip_days: int = 2) -> float:
         start = min(self.n_epochs - 1, skip_days * self.epochs_per_day)
         return float(self.replica_overhead[start:].mean())
+
+    # ------------------------------------------------------------------
+    # serialization (repro.runtime artifacts, `--json` CLI output)
+    # ------------------------------------------------------------------
+    def to_json_dict(self, include_derived: bool = False) -> Dict[str, object]:
+        """A JSON-safe dict that :meth:`from_json_dict` restores exactly.
+
+        Floats go through Python's shortest-repr serialization, so the
+        round trip is lossless and two identical results serialize to
+        identical bytes (the property the sweep store's determinism checks
+        hash against).  With ``include_derived``, convenience series the
+        CLI's ``--json`` consumers plot (daily averages, steady-state
+        numbers) are appended; ``from_json_dict`` ignores them.
+        """
+        payload: Dict[str, object] = {
+            "schema": RESULT_SCHEMA,
+            "n_nodes": self.n_nodes,
+            "n_epochs": self.n_epochs,
+            "epochs_per_day": self.epochs_per_day,
+            "availability": [float(v) for v in self.availability],
+            "replica_overhead": [float(v) for v in self.replica_overhead],
+            "stored_profiles_snapshots": {
+                str(day): [int(c) for c in counts]
+                for day, counts in sorted(self.stored_profiles_snapshots.items())
+            },
+            "cohort_availability": {
+                name: [float(v) for v in series]
+                for name, series in sorted(self.cohort_availability.items())
+            },
+            "drop_rate_by_round": [float(v) for v in self.drop_rate_by_round],
+            "mirror_churn_by_round": [float(v) for v in self.mirror_churn_by_round],
+            "top_half_replica_share": self.top_half_replica_share,
+            "blacklisted_owner_count": self.blacklisted_owner_count,
+            "reliability": (
+                self.reliability.to_dict() if self.reliability is not None else None
+            ),
+            "metrics_by_epoch": self.metrics_by_epoch,
+            "metrics": self.metrics,
+        }
+        if include_derived:
+            payload["daily_availability"] = [
+                float(v) for v in self.daily_availability()
+            ]
+            payload["daily_replica_overhead"] = [
+                float(v) for v in self.daily_replica_overhead()
+            ]
+            payload["availability_day1"] = self.availability_at_day(1)
+            payload["steady_availability"] = self.steady_state_availability()
+            payload["steady_replicas"] = self.steady_state_replicas()
+        return payload
+
+    def to_json(self, include_derived: bool = False, indent: Optional[int] = 2) -> str:
+        return json.dumps(
+            self.to_json_dict(include_derived), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        schema = payload.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported result schema {schema!r} (expected {RESULT_SCHEMA!r})"
+            )
+        reliability = payload.get("reliability")
+        result = cls(
+            n_nodes=int(payload["n_nodes"]),
+            n_epochs=int(payload["n_epochs"]),
+            epochs_per_day=int(payload["epochs_per_day"]),
+            availability=np.asarray(payload.get("availability", []), dtype=float),
+            replica_overhead=np.asarray(
+                payload.get("replica_overhead", []), dtype=float
+            ),
+            stored_profiles_snapshots={
+                int(day): [int(c) for c in counts]
+                for day, counts in payload.get(
+                    "stored_profiles_snapshots", {}
+                ).items()
+            },
+            cohort_availability={
+                name: np.asarray(series, dtype=float)
+                for name, series in payload.get("cohort_availability", {}).items()
+            },
+            drop_rate_by_round=list(payload.get("drop_rate_by_round", [])),
+            mirror_churn_by_round=list(payload.get("mirror_churn_by_round", [])),
+            top_half_replica_share=float(payload.get("top_half_replica_share", 0.0)),
+            blacklisted_owner_count=int(payload.get("blacklisted_owner_count", 0)),
+            reliability=(
+                ReliabilityMetrics.from_dict(reliability)
+                if reliability is not None
+                else None
+            ),
+            metrics_by_epoch=list(payload.get("metrics_by_epoch", [])),
+            metrics=payload.get("metrics"),
+        )
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        return cls.from_json_dict(json.loads(text))
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers, the shape the paper's text quotes."""

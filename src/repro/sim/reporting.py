@@ -105,6 +105,56 @@ def metrics_table(result: SimulationResult) -> List[str]:
     return lines
 
 
+#: Default summary metrics a sweep table shows per cell.
+SWEEP_TABLE_METRICS = (
+    "availability_day1",
+    "availability_steady",
+    "replicas_steady",
+    "replicas_peak",
+)
+
+
+def sweep_table(cells, metrics=SWEEP_TABLE_METRICS) -> List[str]:
+    """Render aggregated sweep cells (``repro.runtime.aggregate``) as the
+    aligned mean-across-seeds table the CLI prints.
+
+    Each metric column shows ``mean`` and, when a cell has more than one
+    seed, the ``[p10, p90]`` spread across seeds.
+    """
+    if not cells:
+        return ["sweep: no completed tasks (run or resume the sweep first)"]
+    headers = ["cell", "seeds"] + list(metrics)
+    rows: List[List[str]] = []
+    for cell in cells:
+        stats = cell.stats()
+        row = [cell.label, str(len(cell.seeds))]
+        for metric in metrics:
+            reduced = stats.get(metric)
+            if reduced is None:
+                row.append("-")
+            elif reduced["n"] > 1:
+                row.append(
+                    f"{reduced['mean']:.3f} [{reduced['p10']:.3f}, "
+                    f"{reduced['p90']:.3f}]"
+                )
+            else:
+                row.append(f"{reduced['mean']:.3f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return lines
+
+
 def markdown_report(results: Dict[str, SimulationResult]) -> str:
     """A markdown table summarizing several runs (sweep output)."""
     header = (

@@ -163,20 +163,48 @@ class ScenarioConfig:
     faults: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.n_days <= 0 or self.epochs_per_day <= 0:
-            raise ValueError("simulation duration must be positive")
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject impossible parameterizations with field-specific errors.
+
+        Called from ``__post_init__`` so a bad value fails at construction —
+        which for a sweep means at spec-expansion time, not mid-run with a
+        process pool already fanned out.
+        """
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {self.n_days}")
+        if self.epochs_per_day <= 0:
+            raise ValueError(
+                f"epochs_per_day must be positive, got {self.epochs_per_day}"
+            )
         if not 0.0 <= self.altruist_fraction < 1.0:
-            raise ValueError("altruist fraction must be in [0, 1)")
+            raise ValueError(
+                f"altruist fraction must be in [0, 1), got {self.altruist_fraction}"
+            )
         if not 0.0 <= self.departure_fraction < 1.0:
-            raise ValueError("departure fraction must be in [0, 1)")
+            raise ValueError(
+                f"departure fraction must be in [0, 1), got {self.departure_fraction}"
+            )
         if not 0.0 <= self.slander_fraction <= 0.9:
-            raise ValueError("slander fraction must be in [0, 0.9]")
+            raise ValueError(
+                f"slander fraction must be in [0, 0.9], got {self.slander_fraction}"
+            )
         if not 0.0 <= self.traitor_fraction < 1.0:
-            raise ValueError("traitor fraction must be in [0, 1)")
+            raise ValueError(
+                f"traitor fraction must be in [0, 1), got {self.traitor_fraction}"
+            )
         if not 0.0 <= self.sybil_fraction <= 1.0:
-            raise ValueError("sybil fraction must be in [0, 1]")
+            raise ValueError(
+                f"sybil fraction must be in [0, 1], got {self.sybil_fraction}"
+            )
         if not 0.0 <= self.friend_contact_probability <= 1.0:
-            raise ValueError("friend contact probability must be in [0, 1]")
+            raise ValueError(
+                "friend contact probability must be in [0, 1], "
+                f"got {self.friend_contact_probability}"
+            )
         if self.repair_suspicion_epochs < 1:
             raise ValueError("repair_suspicion_epochs must be positive")
         if self.push_retry_attempts < 1:

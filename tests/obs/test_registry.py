@@ -107,6 +107,85 @@ class TestSnapshots:
         assert registry.names() == []
 
 
+class TestStateDictMerge:
+    def test_histogram_state_round_trip(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        for value in (0.5, 3, 100):
+            hist.observe(value)
+        state = hist.state_dict()
+        assert state["count"] == 3
+        assert state["total"] == 103.5
+        assert state["buckets"] == [1.0, 2.0, 4.0]
+        assert sum(state["bucket_counts"]) == 3
+
+        other = Histogram("h", buckets=(1, 2, 4))
+        other.merge_state(state)
+        assert other.count == hist.count
+        assert other.total == hist.total
+        assert other.minimum == 0.5 and other.maximum == 100
+        assert other.bucket_counts == hist.bucket_counts
+
+    def test_histogram_merge_preserves_quantiles(self):
+        # Bucket-level merge keeps quantile fidelity a scalar summary
+        # (count/mean) would lose.
+        left = Histogram("h", buckets=(1, 2, 4, 8))
+        right = Histogram("h", buckets=(1, 2, 4, 8))
+        for value in (1, 1, 2):
+            left.observe(value)
+        for value in (3, 7):
+            right.observe(value)
+        left.merge_state(right.state_dict())
+        assert left.count == 5
+        assert left.quantile(0.5) == 2
+
+    def test_histogram_merge_rejects_bucket_mismatch(self):
+        left = Histogram("h", buckets=(1, 2))
+        right = Histogram("h", buckets=(1, 2, 4))
+        with pytest.raises(ValueError, match="bucket"):
+            left.merge_state(right.state_dict())
+
+    def test_registry_state_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.25)
+        registry.histogram("h", buckets=(1, 2)).observe(1.5)
+        state = registry.state_dict()
+        assert state["counters"] == {"c": 2.0}
+        assert state["gauges"] == {"g": 0.25}
+        assert state["histograms"]["h"]["count"] == 1
+
+    def test_registry_merge_accumulates_across_workers(self):
+        # Simulates the sweep executor folding per-process metric state
+        # back into one registry: counters add, gauges last-write-wins,
+        # histograms merge bucket counts.
+        merged = MetricsRegistry()
+        for seed, gauge_value in ((1, 0.5), (2, 0.75)):
+            worker = MetricsRegistry()
+            worker.counter("epochs").inc(10)
+            worker.gauge("last_seed").set(gauge_value)
+            worker.histogram("latency", buckets=(1, 2, 4)).observe(seed)
+            merged.merge_state(worker.state_dict())
+        assert merged.counter("epochs").value == 20.0
+        assert merged.gauge("last_seed").value == 0.75
+        assert merged.histogram("latency", buckets=(1, 2, 4)).count == 2
+
+    def test_merge_empty_state_is_noop(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.merge_state({})
+        assert registry.counter("c").value == 1.0
+
+    def test_state_dict_round_trips_through_json(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(2)
+        rehydrated = MetricsRegistry()
+        rehydrated.merge_state(json.loads(json.dumps(registry.state_dict())))
+        assert rehydrated.state_dict() == registry.state_dict()
+
+
 class TestRegistryStack:
     def test_push_pop_isolates_runs(self):
         base = get_registry()

@@ -1,0 +1,130 @@
+"""Tests for sweep aggregation: cell grouping, stats, label rendering."""
+
+import json
+
+import pytest
+
+from repro.runtime.aggregate import (
+    SweepCell,
+    TaskRecord,
+    aggregate,
+    aggregate_json,
+    load_records,
+    results_by_label,
+)
+from repro.sim.reporting import sweep_table
+
+
+def record(task_id, overrides, summary):
+    return TaskRecord(
+        task_id=task_id, key=task_id, overrides=overrides, summary=summary
+    )
+
+
+def fig8_like_records():
+    """Two altruist fractions x two seeds, hand-built summaries."""
+    return [
+        record("t0", {"altruist_fraction": 0.0, "seed": 1},
+               {"availability_steady": 0.90, "replicas_steady": 6.0}),
+        record("t1", {"altruist_fraction": 0.0, "seed": 2},
+               {"availability_steady": 0.92, "replicas_steady": 6.2}),
+        record("t2", {"altruist_fraction": 0.05, "seed": 1},
+               {"availability_steady": 0.95, "replicas_steady": 4.0}),
+        record("t3", {"altruist_fraction": 0.05, "seed": 2},
+               {"availability_steady": 0.97, "replicas_steady": 4.2}),
+    ]
+
+
+class TestGrouping:
+    def test_cells_split_on_everything_but_seed(self):
+        cells = aggregate(fig8_like_records())
+        assert [cell.label for cell in cells] == [
+            "altruist_fraction=0.0",
+            "altruist_fraction=0.05",
+        ]
+        assert all(cell.seeds == [1, 2] for cell in cells)
+        assert cells[0].overrides == {"altruist_fraction": 0.0}
+
+    def test_defaults_label(self):
+        (cell,) = aggregate([record("t0", {"seed": 7}, {"m": 1.0})])
+        assert cell.label == "(defaults)"
+        assert cell.overrides == {}
+
+    def test_first_appearance_order_preserved(self):
+        records = list(reversed(fig8_like_records()))
+        cells = aggregate(records)
+        assert [cell.label for cell in cells] == [
+            "altruist_fraction=0.05",
+            "altruist_fraction=0.0",
+        ]
+
+
+class TestStats:
+    def test_mean_and_percentiles(self):
+        cells = aggregate(fig8_like_records())
+        stats = cells[0].stats()["availability_steady"]
+        assert stats["n"] == 2.0
+        assert stats["mean"] == pytest.approx(0.91)
+        assert stats["min"] == 0.90 and stats["max"] == 0.92
+        assert stats["p50"] == pytest.approx(0.91, abs=0.011)
+
+    def test_ragged_summaries(self):
+        # A metric present in only some seeds is reduced over those seeds.
+        cells = aggregate([
+            record("t0", {"seed": 1}, {"m": 1.0, "extra": 5.0}),
+            record("t1", {"seed": 2}, {"m": 3.0}),
+        ])
+        stats = cells[0].stats()
+        assert stats["m"]["mean"] == 2.0
+        assert stats["extra"]["n"] == 1.0
+
+
+class TestRendering:
+    def test_sweep_table_shows_spread_for_multi_seed(self):
+        cells = aggregate(fig8_like_records())
+        lines = sweep_table(cells, metrics=("availability_steady",))
+        text = "\n".join(lines)
+        assert "altruist_fraction=0.05" in text
+        assert "[" in text  # p10/p90 spread rendered when n > 1
+        single = aggregate([record("t0", {"seed": 1}, {"availability_steady": 0.9})])
+        assert "[" not in "\n".join(sweep_table(single, metrics=("availability_steady",)))
+
+    def test_sweep_table_missing_metric_dash(self):
+        cells = aggregate([record("t0", {"seed": 1}, {"other": 1.0})])
+        assert any("-" in line for line in sweep_table(cells, metrics=("absent",)))
+
+    def test_aggregate_json_shape(self):
+        payload = json.loads(aggregate_json(aggregate(fig8_like_records())))
+        assert [entry["label"] for entry in payload] == [
+            "altruist_fraction=0.0",
+            "altruist_fraction=0.05",
+        ]
+        assert payload[0]["seeds"] == [1, 2]
+        assert payload[0]["stats"]["replicas_steady"]["mean"] == pytest.approx(6.1)
+
+    def test_results_by_label_disambiguates_seeds(self):
+        records = fig8_like_records()
+        for rec in records:
+            rec._result = object()  # pre-seed the lazy cache; no deserialization
+        named = results_by_label(records)
+        assert set(named) == {
+            "altruist_fraction=0.0 seed=1",
+            "altruist_fraction=0.0 seed=2",
+            "altruist_fraction=0.05 seed=1",
+            "altruist_fraction=0.05 seed=2",
+        }
+
+    def test_results_by_label_single_seed_keeps_plain_labels(self):
+        records = fig8_like_records()[::2]  # seed=1 only
+        for rec in records:
+            rec._result = object()
+        assert set(results_by_label(records)) == {
+            "altruist_fraction=0.0",
+            "altruist_fraction=0.05",
+        }
+
+
+class TestLoadRecords:
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_records(tmp_path)

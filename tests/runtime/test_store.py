@@ -1,0 +1,147 @@
+"""Tests for the crash-safe run-directory store."""
+
+import json
+
+import pytest
+
+from repro.runtime.spec import SweepSpec
+from repro.runtime.store import (
+    ARTIFACT_SCHEMA,
+    MANIFEST_SCHEMA,
+    RunStore,
+    atomic_write_json,
+)
+
+
+def tiny_tasks():
+    spec = SweepSpec(
+        name="tiny",
+        base={"scale": 0.004, "n_days": 1},
+        grid={"altruist_fraction": [0.0, 0.02]},
+        seeds=[3],
+    )
+    return spec, spec.expand()
+
+
+def artifact_for(task, payload=None):
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "task": {"id": task.task_id, "key": task.key, "overrides": task.overrides},
+        "summary": {"availability_steady": 0.9},
+        "result": payload or {},
+        "metrics_state": {},
+    }
+
+
+class TestAtomicWrite:
+    def test_writes_sorted_json_with_trailing_newline(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        text = path.read_text()
+        assert text == '{\n  "a": 1,\n  "b": 2\n}\n'
+
+    def test_no_temp_file_debris(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"x": 1})
+        atomic_write_json(path, {"x": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+        assert json.loads(path.read_text()) == {"x": 2}
+
+    def test_unserializable_leaves_no_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"x": object()})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestManifest:
+    def test_initialize_and_load(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path / "run")
+        store.initialize(spec, tasks)
+        manifest = store.load_manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["name"] == "tiny"
+        assert manifest["spec_hash"] == spec.spec_hash()
+        assert [entry["key"] for entry in manifest["tasks"]] == [t.key for t in tasks]
+        assert all(entry["status"] == "pending" for entry in manifest["tasks"])
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert RunStore(tmp_path / "nowhere").load_manifest() is None
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        store = RunStore(tmp_path)
+        atomic_write_json(store.manifest_path, {"schema": "something/v9"})
+        with pytest.raises(ValueError, match="unsupported manifest schema"):
+            store.load_manifest()
+
+    def test_finalize_records_statuses(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        store.finalize(
+            {
+                tasks[0].key: {"status": "ok"},
+                tasks[1].key: {"status": "failed", "error": "boom"},
+            }
+        )
+        by_key = {e["key"]: e for e in store.load_manifest()["tasks"]}
+        assert by_key[tasks[0].key]["status"] == "ok"
+        assert by_key[tasks[1].key] == {
+            "id": tasks[1].task_id,
+            "key": tasks[1].key,
+            "overrides": tasks[1].overrides,
+            "status": "failed",
+            "error": "boom",
+        }
+
+    def test_reinitialize_preserves_artifacts(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        store.write_artifact(tasks[0], artifact_for(tasks[0]))
+        store.initialize(spec, tasks)  # e.g. a resumed invocation
+        assert store.completed_keys() == {tasks[0].key}
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        store.write_artifact(tasks[0], artifact_for(tasks[0], {"seed": 3}))
+        payload = store.read_artifact(tasks[0].key)
+        assert payload["result"] == {"seed": 3}
+        assert store.completed_keys() == {tasks[0].key}
+
+    def test_write_rejects_mislabeled_artifact(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        wrong = artifact_for(tasks[1])  # self-identifies with the other key
+        with pytest.raises(ValueError, match="self-identify"):
+            store.write_artifact(tasks[0], wrong)
+        no_schema = artifact_for(tasks[0])
+        del no_schema["schema"]
+        with pytest.raises(ValueError, match="schema"):
+            store.write_artifact(tasks[0], no_schema)
+
+    def test_corrupt_artifact_treated_as_missing(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        store.write_artifact(tasks[0], artifact_for(tasks[0]))
+        store.artifact_path(tasks[0].key).write_text('{"schema": "soup-swee')
+        assert store.read_artifact(tasks[0].key) is None
+        assert store.completed_keys() == set()
+
+    def test_foreign_or_misfiled_artifact_not_counted(self, tmp_path):
+        spec, tasks = tiny_tasks()
+        store = RunStore(tmp_path)
+        store.initialize(spec, tasks)
+        # A valid artifact copied under the wrong file name must not mark
+        # that other task complete.
+        misfiled = artifact_for(tasks[0])
+        atomic_write_json(store.artifact_path(tasks[1].key), misfiled)
+        assert store.read_artifact(tasks[1].key) is None
+        assert store.completed_keys() == set()

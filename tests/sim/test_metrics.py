@@ -113,3 +113,83 @@ def test_result_summary_includes_reliability(result):
 def test_metrics_fields_default_empty(result):
     assert result.metrics_by_epoch == []
     assert result.metrics is None
+
+
+@pytest.fixture()
+def rich_result(result):
+    """A result exercising every serialized field."""
+    result.stored_profiles_snapshots = {1: [3, 4, 4], 2: [5, 5, 6]}
+    result.cohort_availability = {
+        "top_online": np.linspace(0.8, 1.0, 48),
+        "bottom_online": np.linspace(0.4, 0.9, 48),
+    }
+    result.drop_rate_by_round = [0.2, 0.1, 0.05]
+    result.mirror_churn_by_round = [1.5, 0.75]
+    result.top_half_replica_share = 0.61
+    result.blacklisted_owner_count = 3
+    result.reliability = ReliabilityMetrics(
+        transfer_retries=4,
+        deaths_declared=2,
+        repair_latency_epochs=[1, 3],
+        circuit_transitions={"closed->open": 1},
+    )
+    result.metrics_by_epoch = [{"epochs": 1.0}, {"epochs": 2.0}]
+    result.metrics = {"epochs": {"count": 2.0}}
+    return result
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_lossless(self, rich_result):
+        restored = SimulationResult.from_json(rich_result.to_json())
+        assert restored.n_nodes == rich_result.n_nodes
+        assert restored.n_epochs == rich_result.n_epochs
+        assert restored.epochs_per_day == rich_result.epochs_per_day
+        np.testing.assert_array_equal(restored.availability, rich_result.availability)
+        np.testing.assert_array_equal(
+            restored.replica_overhead, rich_result.replica_overhead
+        )
+        # JSON object keys are strings; day keys must come back as ints.
+        assert restored.stored_profiles_snapshots == {1: [3, 4, 4], 2: [5, 5, 6]}
+        assert set(restored.cohort_availability) == set(rich_result.cohort_availability)
+        for cohort, series in rich_result.cohort_availability.items():
+            np.testing.assert_array_equal(restored.cohort_availability[cohort], series)
+        assert restored.drop_rate_by_round == rich_result.drop_rate_by_round
+        assert restored.mirror_churn_by_round == rich_result.mirror_churn_by_round
+        assert restored.top_half_replica_share == rich_result.top_half_replica_share
+        assert restored.blacklisted_owner_count == rich_result.blacklisted_owner_count
+        assert restored.reliability == rich_result.reliability
+        assert restored.metrics_by_epoch == rich_result.metrics_by_epoch
+        assert restored.metrics == rich_result.metrics
+
+    def test_round_trip_stable_bytes(self, rich_result):
+        # Serialize -> restore -> serialize again: identical bytes.  This
+        # is what makes sweep artifacts re-runnable and diffable.
+        once = rich_result.to_json()
+        twice = SimulationResult.from_json(once).to_json()
+        assert once == twice
+
+    def test_summary_survives_round_trip(self, rich_result):
+        restored = SimulationResult.from_json(rich_result.to_json())
+        assert restored.summary() == rich_result.summary()
+
+    def test_reliability_none_round_trips(self, result):
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.reliability is None
+
+    def test_derived_keys_optional(self, result):
+        payload = result.to_json_dict()
+        assert "steady_availability" not in payload
+        derived = result.to_json_dict(include_derived=True)
+        assert derived["steady_availability"] == pytest.approx(
+            result.steady_state_availability()
+        )
+        assert len(derived["daily_availability"]) == 2
+        # Derived keys are presentation-only; from_json_dict ignores them.
+        restored = SimulationResult.from_json_dict(derived)
+        np.testing.assert_array_equal(restored.availability, result.availability)
+
+    def test_foreign_schema_rejected(self, result):
+        payload = result.to_json_dict()
+        payload["schema"] = "soup-result/v99"
+        with pytest.raises(ValueError, match="unsupported result schema"):
+            SimulationResult.from_json_dict(payload)

@@ -34,7 +34,11 @@ def test_with_overrides_copies():
 @pytest.mark.parametrize(
     "field,value",
     [
+        ("scale", 0.0),
+        ("scale", -0.5),
         ("n_days", 0),
+        ("n_days", -3),
+        ("epochs_per_day", 0),
         ("altruist_fraction", 1.0),
         ("departure_fraction", -0.1),
         ("slander_fraction", 0.95),
@@ -45,6 +49,25 @@ def test_with_overrides_copies():
 def test_validation(field, value):
     with pytest.raises(ValueError):
         ScenarioConfig(**{field: value})
+
+
+def test_validation_messages_name_field_and_value():
+    with pytest.raises(ValueError, match="scale must be positive, got 0"):
+        ScenarioConfig(scale=0)
+    with pytest.raises(ValueError, match="n_days must be positive, got -1"):
+        ScenarioConfig(n_days=-1)
+    with pytest.raises(ValueError, match="epochs_per_day must be positive"):
+        ScenarioConfig(epochs_per_day=-24)
+    with pytest.raises(ValueError, match="got 1.5"):
+        ScenarioConfig(sybil_fraction=1.5)
+
+
+def test_validate_callable_after_mutation():
+    config = ScenarioConfig()
+    config.validate()  # explicit re-check of a valid config is a no-op
+    config.scale = -1.0
+    with pytest.raises(ValueError, match="scale"):
+        config.validate()
 
 
 class TestDistributions:

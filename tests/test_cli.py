@@ -226,6 +226,83 @@ def test_profile_flag_prints_breakdown(capsys):
     assert not PROFILER.enabled  # teardown disabled it
 
 
+class TestSweepCommand:
+    SWEEP_ARGS = (
+        "sweep",
+        "--base", "scale=0.004", "--base", "n_days=2",
+        "--set", "altruist_fraction=0.0,0.02",
+        "--seeds", "3",
+        "--jobs", "1",
+    )
+
+    def test_sweep_runs_and_aggregates(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        code, out = run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir))
+        assert code == 0
+        assert (run_dir / "manifest.json").exists()
+        assert len(list((run_dir / "tasks").glob("*.json"))) == 2
+        assert "altruist_fraction=0.0" in out
+        assert "altruist_fraction=0.02" in out
+        assert "availability_steady" in out
+
+    def test_sweep_resume_skips_cached(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir))
+        code = main([*self.SWEEP_ARGS, "--out", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 cached" in captured.err
+
+    def test_sweep_status_exit_codes(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir), "--limit", "1")
+        code, out = run_cli(capsys, "sweep", "--out", str(run_dir), "--status")
+        assert code == 3
+        assert "1/2 tasks complete" in out
+        run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir))
+        code, out = run_cli(capsys, "sweep", "--out", str(run_dir), "--status")
+        assert code == 0
+        assert "2/2 tasks complete" in out
+
+    def test_sweep_json_output(self, capsys, tmp_path):
+        import json
+
+        code, out = run_cli(
+            capsys, *self.SWEEP_ARGS, "--out", str(tmp_path / "run"), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert [cell["overrides"]["altruist_fraction"] for cell in payload] == [
+            0.0,
+            0.02,
+        ]
+        assert all("availability_steady" in cell["stats"] for cell in payload)
+
+    def test_sweep_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "sweep.toml"
+        spec.write_text(
+            "seeds = [3]\n"
+            "[base]\n"
+            "scale = 0.004\n"
+            "n_days = 2\n"
+            "[grid]\n"
+            'dataset = ["epinions"]\n'
+        )
+        code, out = run_cli(
+            capsys, "sweep", str(spec), "--out", str(tmp_path / "run"), "--jobs", "1"
+        )
+        assert code == 0
+        assert "dataset=epinions" in out
+
+    def test_sweep_rejects_bad_override(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--base", "scale=-1", "--out", str(tmp_path / "run")]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "scale" in captured.err
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["does-not-exist"])
