@@ -317,22 +317,117 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_trace_validate(args) -> int:
-    """Validate a JSONL trace file against the event schemas."""
-    from repro.obs import TRACE_SCHEMA_VERSION, validate_trace_file
+    """Validate a JSONL trace file against the event schemas.
 
-    errors = validate_trace_file(args.path)
-    if errors:
-        shown = errors[:50]
+    Streams the file (gzip-aware, bounded memory); a truncated final line
+    — the signature of a killed writer — is reported as an error here,
+    unlike the tolerant analysis commands.
+    """
+    from repro.obs import TRACE_SCHEMA_VERSION
+    from repro.obs.analysis import TraceReadReport, iter_trace
+
+    report = TraceReadReport()
+    for _ in iter_trace(args.path, validate=True, report=report,
+                        tolerate_truncation=False):
+        pass
+    if report.errors:
+        shown = report.errors[:50]
         for error in shown:
             print(error, file=sys.stderr)
-        if len(errors) > len(shown):
-            print(f"... and {len(errors) - len(shown)} more", file=sys.stderr)
-        print(f"{args.path}: {len(errors)} invalid line(s)", file=sys.stderr)
+        if len(report.errors) > len(shown):
+            print(f"... and {len(report.errors) - len(shown)} more",
+                  file=sys.stderr)
+        print(f"{args.path}: {len(report.errors)} invalid line(s)",
+              file=sys.stderr)
         return 1
-    with open(args.path, "r", encoding="utf-8") as handle:
-        count = sum(1 for line in handle if line.strip())
-    print(f"{args.path}: {count} events, all valid (schema v{TRACE_SCHEMA_VERSION})")
+    print(f"{args.path}: {report.events} events, all valid "
+          f"(schema v{TRACE_SCHEMA_VERSION})")
     return 0
+
+
+def _warn_truncated(path: str, report) -> None:
+    if report.truncated:
+        print(f"{path}: trace ends mid-record (killed writer?); "
+              f"analysis covers the complete prefix", file=sys.stderr)
+
+
+def _cmd_trace_analyze(args) -> int:
+    """Full streaming analysis: lifecycles, attribution, hot spots, anomalies."""
+    from repro.obs.analysis import AnomalyConfig, analyze_trace, render_analysis
+
+    analysis = analyze_trace(
+        args.path, config=AnomalyConfig(), lookback=args.lookback
+    )
+    if args.json:
+        print(json.dumps(analysis.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        for line in render_analysis(analysis, top=args.top):
+            print(line)
+    _warn_truncated(args.path, analysis.report)
+    return 0
+
+
+def _cmd_trace_anomalies(args) -> int:
+    """Run only the anomaly detectors over a trace."""
+    from repro.obs.analysis import AnomalyConfig, analyze_trace, render_findings
+
+    config = AnomalyConfig(
+        repair_loop_count=args.repair_loop_count,
+        repair_loop_window=args.repair_loop_window,
+        churn_storm_drops=args.churn_storm_drops,
+        churn_storm_window=args.churn_storm_window,
+        flap_toggles=args.flap_toggles,
+    )
+    analysis = analyze_trace(args.path, config=config)
+    if args.json:
+        print(json.dumps(
+            [finding.to_json_dict() for finding in analysis.findings],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for line in render_findings(analysis.findings):
+            print(line)
+    _warn_truncated(args.path, analysis.report)
+    return 0
+
+
+def _cmd_trace_timeline(args) -> int:
+    """Causal timeline of every event concerning one owner."""
+    from repro.obs.analysis import (
+        TraceReadReport,
+        owner_timeline,
+        render_timeline,
+    )
+
+    report = TraceReadReport()
+    entries = owner_timeline(args.path, args.owner, report=report)
+    if args.json:
+        print(json.dumps(
+            [
+                {"seq": e.seq, "epoch": e.epoch, "event": e.event,
+                 "summary": e.summary}
+                for e in entries
+            ],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for line in render_timeline(args.owner, entries):
+            print(line)
+    _warn_truncated(args.path, report)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    subcommand = args.trace_command
+    if subcommand == "validate":
+        return _cmd_trace_validate(args)
+    if subcommand == "analyze":
+        return _cmd_trace_analyze(args)
+    if subcommand == "anomalies":
+        return _cmd_trace_anomalies(args)
+    if subcommand == "timeline":
+        return _cmd_trace_timeline(args)
+    raise AssertionError(f"unhandled trace subcommand {subcommand}")
 
 
 def _build_sweep_spec(args):
@@ -358,23 +453,70 @@ def _build_sweep_spec(args):
     return spec
 
 
-def _cmd_sweep_status(args) -> int:
-    """Report a run directory's completion state (exit 3 if incomplete)."""
-    from repro.runtime import RunStore
+def _format_eta(seconds) -> str:
+    if seconds is None:
+        return "eta ?"
+    seconds = max(0.0, float(seconds))
+    if seconds >= 3600:
+        return f"eta {seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"eta {seconds / 60:.1f}m"
+    return f"eta {seconds:.0f}s"
 
-    store = RunStore(args.out)
-    manifest = store.load_manifest()
-    if manifest is None:
-        print(f"{args.out}: no sweep manifest", file=sys.stderr)
-        return 3
+
+def _sweep_status_line(store, manifest) -> "tuple[str, int, int, list]":
+    """One status line plus (done, total, failed-entries) for a run dir."""
     completed = store.completed_keys()
     tasks = manifest["tasks"]
     done = sum(1 for entry in tasks if entry["key"] in completed)
     failed = [entry for entry in tasks if entry.get("status") == "failed"]
-    print(f"sweep {manifest['name']}: {done}/{len(tasks)} tasks complete")
-    for entry in failed:
-        print(f"  failed {entry['id']}: {entry.get('error', '?')}")
-    return 0 if done == len(tasks) else 3
+    line = f"sweep {manifest['name']}: {done}/{len(tasks)} tasks complete"
+    heartbeat = store.read_heartbeat()
+    if heartbeat is not None and done < len(tasks):
+        running = heartbeat.get("running") or 0
+        parts = [f"{running} running", _format_eta(heartbeat.get("eta_seconds"))]
+        if heartbeat.get("failed"):
+            parts.append(f"{heartbeat['failed']} failed")
+        line += f" ({', '.join(parts)})"
+    return line, done, len(tasks), failed
+
+
+def _cmd_sweep_status(args) -> int:
+    """Report a run directory's completion state (exit 3 if incomplete).
+
+    With ``--watch``, poll the manifest/artifacts/heartbeat every
+    ``--interval`` seconds, printing a live progress line with ETA until
+    the sweep completes (exit 0) or finishes with failures (exit 1).
+    """
+    import time as _time
+
+    from repro.runtime import RunStore
+
+    store = RunStore(args.out)
+    watch = getattr(args, "watch", False)
+    interval = getattr(args, "interval", 2.0)
+    while True:
+        manifest = store.load_manifest()
+        if manifest is None:
+            if watch:
+                print(f"{args.out}: waiting for sweep manifest...",
+                      file=sys.stderr)
+                _time.sleep(interval)
+                continue
+            print(f"{args.out}: no sweep manifest", file=sys.stderr)
+            return 3
+        line, done, total, failed = _sweep_status_line(store, manifest)
+        print(line)
+        if done == total:
+            return 0
+        if failed:
+            # finalize() ran: the sweep ended and these tasks failed.
+            for entry in failed:
+                print(f"  failed {entry['id']}: {entry.get('error', '?')}")
+            return 1 if watch else 3
+        if not watch:
+            return 3
+        _time.sleep(interval)
 
 
 def _cmd_sweep(args) -> int:
@@ -536,6 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--status", action="store_true",
                     help="only report the run directory's completion state "
                          "(exit 3 if tasks are missing)")
+    ps.add_argument("--watch", action="store_true",
+                    help="with --status: poll the run directory and its "
+                         "telemetry heartbeat, printing live progress with "
+                         "ETA until the sweep completes (exit 0) or ends "
+                         "with failures (exit 1)")
+    ps.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                    help="poll interval for --watch (default: 2)")
     ps.add_argument("--aggregate-only", action="store_true",
                     help="skip execution; re-aggregate existing artifacts")
     ps.add_argument("--json", action="store_true",
@@ -555,6 +704,64 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-validate", help="validate a JSONL trace against the event schemas"
     )
     pv.add_argument("path", help="trace file written by --trace")
+
+    pt = sub.add_parser(
+        "trace",
+        help="analyze JSONL trace files: replica lifecycles, unavailability "
+             "attribution, anomalies (see docs/OBSERVABILITY.md)",
+    )
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+
+    pta = tsub.add_parser(
+        "analyze",
+        help="stream a trace into lifecycle, attribution, hot-spot and "
+             "anomaly views",
+    )
+    pta.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
+    pta.add_argument("--json", action="store_true",
+                     help="emit the full analysis as JSON")
+    pta.add_argument("--top", type=int, default=20, metavar="N",
+                     help="rows per ranking table (default: 20)")
+    pta.add_argument("--lookback", type=int, default=24, metavar="EPOCHS",
+                     help="how far before an unavailability window a causal "
+                          "event may lie and still be blamed (default: 24)")
+
+    ptn = tsub.add_parser(
+        "anomalies", help="run only the rule-based anomaly detectors"
+    )
+    ptn.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
+    ptn.add_argument("--json", action="store_true",
+                     help="emit findings as JSON")
+    ptn.add_argument("--repair-loop-count", type=int, default=3, metavar="K",
+                     help="repair rounds per owner within the window that "
+                          "count as a loop (default: 3)")
+    ptn.add_argument("--repair-loop-window", type=int, default=12,
+                     metavar="EPOCHS",
+                     help="sliding window for repair loops (default: 12)")
+    ptn.add_argument("--churn-storm-drops", type=int, default=20, metavar="N",
+                     help="replica drops within the window that count as a "
+                          "storm (default: 20)")
+    ptn.add_argument("--churn-storm-window", type=int, default=2,
+                     metavar="EPOCHS",
+                     help="sliding window for churn storms (default: 2)")
+    ptn.add_argument("--flap-toggles", type=int, default=4, metavar="N",
+                     help="times a (owner, mirror) pair may enter/leave the "
+                          "mirror set before it is flapping (default: 4)")
+
+    ptt = tsub.add_parser(
+        "timeline", help="causal timeline of every event concerning one owner"
+    )
+    ptt.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
+    ptt.add_argument("owner", type=int, help="owner node id")
+    ptt.add_argument("--json", action="store_true",
+                     help="emit timeline entries as JSON")
+
+    ptv = tsub.add_parser(
+        "validate",
+        help="validate a trace against the event schemas (alias of "
+             "trace-validate, gzip-aware)",
+    )
+    ptv.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
 
     return parser
 
@@ -595,6 +802,8 @@ def _dispatch(args) -> int:
         return _cmd_metrics(args)
     if command == "trace-validate":
         return _cmd_trace_validate(args)
+    if command == "trace":
+        return _cmd_trace(args)
     if command == "fig6":
         return _cmd_fig6(args)
     if command == "fig7":

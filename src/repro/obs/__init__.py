@@ -18,6 +18,19 @@ Naming conventions and the event schema are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.analysis import (
+    AnomalyConfig,
+    Finding,
+    TraceAnalysis,
+    TraceReadReport,
+    analyze_trace,
+    detect_churn_storms,
+    detect_mirror_flapping,
+    detect_repair_loops,
+    iter_trace,
+    open_trace,
+    owner_timeline,
+)
 from repro.obs.profiling import PROFILER, Profiler
 from repro.obs.registry import (
     Counter,
@@ -34,6 +47,7 @@ from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     Tracer,
     get_tracer,
+    open_trace_sink,
     set_tracer,
     tracing,
     validate_event,
@@ -41,8 +55,19 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AnomalyConfig",
+    "Finding",
     "PROFILER",
     "Profiler",
+    "TraceAnalysis",
+    "TraceReadReport",
+    "analyze_trace",
+    "detect_churn_storms",
+    "detect_mirror_flapping",
+    "detect_repair_loops",
+    "iter_trace",
+    "open_trace",
+    "owner_timeline",
     "Counter",
     "Gauge",
     "Histogram",
@@ -55,6 +80,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "get_tracer",
+    "open_trace_sink",
     "set_tracer",
     "tracing",
     "validate_event",

@@ -1,0 +1,915 @@
+"""Trace analytics: stream a JSONL trace back into protocol insight.
+
+PR 3 made every subsystem *emit* schema-versioned trace events; this module
+*consumes* them.  One bounded-memory streaming pass over a trace file
+(plain or gzip, tolerant of the truncated final line a killed run leaves)
+reconstructs:
+
+* **Replica lifecycle state machines** per (owner, mirror) pair —
+  pushed → dropped/failure_declared → repaired — with the transition
+  history that explains how each replica ended where it did.
+* **Unavailability windows** per owner from ``availability_sample``
+  events, each with a **causal chain**: the drop / failure / repair
+  events that preceded the window, or a typed fallback cause
+  (``no_mirrors_yet``, ``mirrors_offline``) when the protocol emitted
+  nothing — an owner can be dark simply because every mirror is offline.
+* **Derived analytics**: per-owner availability attribution, DHT lookup
+  hop/failure distributions, retry and circuit-breaker hot-spot
+  rankings.
+* **Rule-based anomaly findings**: repair loops (same owner repairing
+  ≥ k times within w epochs), churn storms (drop bursts), and
+  mirror-set flapping (the same (owner, mirror) edge toggling in and
+  out of the selected set).
+
+The detectors are pure functions over plain collections so the simulator
+engine can run the same rules over its in-memory event stream and export
+matching anomaly counts into ``SimulationResult`` (see
+``repro.sim.engine``).  ``soup trace analyze | timeline | anomalies``
+drive everything from the CLI.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.obs.trace import validate_event
+
+#: Event types that can explain an owner's unavailability window, keyed by
+#: the field naming the affected owner.
+_CAUSAL_OWNER_FIELDS = {
+    "replica_dropped": "owner",
+    "failure_declared": "by",
+    "repair_round": "owner",
+    "update_dropped": "target",
+}
+
+#: How many recent causal events are retained per owner for attribution.
+_CAUSE_BUFFER = 16
+
+#: Transition history kept per (owner, mirror) pair; counts are exact even
+#: when the stored history is capped (bounded memory on adversarial traces).
+_MAX_TRANSITIONS = 256
+
+
+# ----------------------------------------------------------------------
+# streaming reader
+# ----------------------------------------------------------------------
+@dataclass
+class TraceReadReport:
+    """What one streaming pass saw: volumes, per-line errors, truncation."""
+
+    lines: int = 0
+    events: int = 0
+    errors: List[str] = field(default_factory=list)
+    #: True when the file ends in a partial line (killed writer) or a
+    #: truncated gzip stream.
+    truncated: bool = False
+
+
+def open_trace(path: str) -> IO[str]:
+    """Open a trace file for streaming reads; ``.gz`` paths decompress."""
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_trace(
+    source: Union[str, IO[str], Iterable[str]],
+    validate: bool = False,
+    report: Optional[TraceReadReport] = None,
+    tolerate_truncation: bool = True,
+) -> Iterator[Dict[str, Any]]:
+    """Yield decoded trace events from ``source``, one line at a time.
+
+    ``source`` is a path (gzip-aware by extension), an open text handle,
+    or any iterable of lines.  Memory is bounded: nothing beyond the
+    current line is held.  A final line that fails to decode *and* lacks
+    its trailing newline is the signature of a killed writer — with
+    ``tolerate_truncation`` it only sets ``report.truncated``; without,
+    it is reported as an error.  Mid-file garbage is always an error.
+    With ``validate``, every event is checked against ``EVENT_SCHEMAS``
+    and invalid ones are reported and skipped.
+    """
+    if report is None:
+        report = TraceReadReport()
+    handle: Union[IO[str], Iterable[str]]
+    owns = False
+    if isinstance(source, str):
+        handle = open_trace(source)
+        owns = True
+    else:
+        handle = source
+    try:
+        number = 0
+        try:
+            for line in handle:
+                number += 1
+                report.lines = number
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    obj = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    if not line.endswith("\n"):
+                        # Partial final line: the writer died mid-record.
+                        report.truncated = True
+                        if not tolerate_truncation:
+                            report.errors.append(
+                                f"line {number}: truncated final line "
+                                f"(killed run?): {exc}"
+                            )
+                    else:
+                        report.errors.append(
+                            f"line {number}: invalid JSON ({exc})"
+                        )
+                    continue
+                if validate:
+                    problem = validate_event(obj)
+                    if problem is not None:
+                        report.errors.append(f"line {number}: {problem}")
+                        continue
+                report.events += 1
+                yield obj
+        except (EOFError, gzip.BadGzipFile, OSError) as exc:
+            # A killed gzip writer leaves a stream that raises mid-read.
+            report.truncated = True
+            if not tolerate_truncation:
+                report.errors.append(
+                    f"line {number + 1}: truncated compressed stream ({exc})"
+                )
+    finally:
+        if owns:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# replica lifecycle state machines
+# ----------------------------------------------------------------------
+@dataclass
+class LifecycleTransition:
+    """One edge of a replica's state machine."""
+
+    state: str  # pushed | dropped | failure_declared | repaired
+    epoch: Optional[int]
+    detail: Optional[str] = None  # e.g. the drop reason
+
+
+@dataclass
+class ReplicaLifecycle:
+    """The reconstructed life of one (owner, mirror) replica pairing."""
+
+    owner: int
+    mirror: int
+    transitions: List[LifecycleTransition] = field(default_factory=list)
+    #: Exact totals (the stored transition history is capped).
+    pushes: int = 0
+    drops: int = 0
+    failures: int = 0
+    repairs: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+    truncated_history: bool = False
+
+    @property
+    def state(self) -> str:
+        """The pair's final observed state (``none`` before any event)."""
+        return self.transitions[-1].state if self.transitions else "none"
+
+    def record(self, state: str, epoch: Optional[int], detail: Optional[str] = None) -> None:
+        if state == "pushed":
+            self.pushes += 1
+        elif state == "dropped":
+            self.drops += 1
+            if detail:
+                self.drop_reasons[detail] = self.drop_reasons.get(detail, 0) + 1
+        elif state == "failure_declared":
+            self.failures += 1
+        elif state == "repaired":
+            self.repairs += 1
+        if len(self.transitions) < _MAX_TRANSITIONS:
+            self.transitions.append(LifecycleTransition(state, epoch, detail))
+        else:
+            self.truncated_history = True
+
+
+# ----------------------------------------------------------------------
+# unavailability windows + causal attribution
+# ----------------------------------------------------------------------
+@dataclass
+class CausalEvent:
+    """One event implicated in an unavailability window's causal chain."""
+
+    event: str
+    epoch: Optional[int]
+    detail: Optional[str] = None
+
+
+@dataclass
+class UnavailabilityWindow:
+    """A maximal run of epochs in which one owner's data was unreachable."""
+
+    owner: int
+    start_epoch: int
+    end_epoch: int  # inclusive
+    #: ``replica_loss`` (protocol events precede the window),
+    #: ``mirrors_offline`` (owner had mirrors, nothing was dropped), or
+    #: ``no_mirrors_yet`` (the owner never completed a selection).
+    cause: str = "mirrors_offline"
+    causes: List[CausalEvent] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return self.end_epoch - self.start_epoch + 1
+
+
+@dataclass
+class OwnerAttribution:
+    """Per-owner row of the availability attribution table."""
+
+    owner: int
+    unavailable_epochs: int
+    windows: int
+    longest_window: int
+    causes: Dict[str, int]  # cause -> epochs attributed to it
+    drop_reasons: Dict[str, int]  # drop reason -> count across chains
+
+
+# ----------------------------------------------------------------------
+# anomaly detection (pure rule functions, shared with the engine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AnomalyConfig:
+    """Thresholds for the rule-based detectors."""
+
+    #: Repair loop: same owner repairing >= k times within w epochs.
+    repair_loop_count: int = 3
+    repair_loop_window: int = 12
+    #: Churn storm: >= k replica drops within w consecutive epochs.
+    churn_storm_drops: int = 20
+    churn_storm_window: int = 2
+    #: Flapping: one (owner, mirror) edge toggling selection >= k times.
+    flap_toggles: int = 4
+
+
+@dataclass
+class Finding:
+    """One typed anomaly-detector hit."""
+
+    rule: str  # repair_loop | churn_storm | mirror_flapping
+    subject: str  # human-stable identifier, e.g. "owner=12"
+    epoch: Optional[int]
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "subject": self.subject,
+            "epoch": self.epoch,
+            "message": self.message,
+            "data": self.data,
+        }
+
+
+def detect_repair_loops(
+    repair_epochs_by_owner: Mapping[int, Sequence[int]],
+    config: AnomalyConfig = AnomalyConfig(),
+) -> List[Finding]:
+    """Owners whose repair rounds cluster: >= k repairs inside w epochs.
+
+    Repeated repair of the same owner means replacements keep dying (or
+    keep being rejected) — the mirror-selection equivalent of a crash
+    loop.  Emits at most one finding per owner, carrying the densest
+    burst observed.
+    """
+    findings: List[Finding] = []
+    for owner in sorted(repair_epochs_by_owner):
+        epochs = sorted(repair_epochs_by_owner[owner])
+        best_count, best_start = 0, 0
+        left = 0
+        for right in range(len(epochs)):
+            while epochs[right] - epochs[left] >= config.repair_loop_window:
+                left += 1
+            count = right - left + 1
+            if count > best_count:
+                best_count, best_start = count, epochs[left]
+        if best_count >= config.repair_loop_count:
+            findings.append(Finding(
+                rule="repair_loop",
+                subject=f"owner={owner}",
+                epoch=best_start,
+                message=(
+                    f"owner {owner} repaired {best_count}x within "
+                    f"{config.repair_loop_window} epochs (from epoch "
+                    f"{best_start}); replacements are not sticking"
+                ),
+                data={"owner": owner, "repairs": best_count,
+                      "window": config.repair_loop_window,
+                      "total_repairs": len(epochs)},
+            ))
+    return findings
+
+
+def detect_churn_storms(
+    drops_by_epoch: Mapping[int, int],
+    config: AnomalyConfig = AnomalyConfig(),
+) -> List[Finding]:
+    """Epoch ranges where replica drops burst past the storm threshold.
+
+    Overlapping storm windows are merged into one finding per burst.
+    """
+    findings: List[Finding] = []
+    epochs = sorted(e for e, n in drops_by_epoch.items() if n > 0)
+    if not epochs:
+        return findings
+    burst_start: Optional[int] = None
+    burst_end = 0
+    burst_peak = 0
+    for start in epochs:
+        total = sum(
+            drops_by_epoch.get(e, 0)
+            for e in range(start, start + config.churn_storm_window)
+        )
+        if total < config.churn_storm_drops:
+            continue
+        end = start + config.churn_storm_window - 1
+        if burst_start is not None and start <= burst_end + 1:
+            burst_end = max(burst_end, end)
+            burst_peak = max(burst_peak, total)
+            continue
+        if burst_start is not None:
+            findings.append(_storm_finding(burst_start, burst_end, burst_peak, config))
+        burst_start, burst_end, burst_peak = start, end, total
+    if burst_start is not None:
+        findings.append(_storm_finding(burst_start, burst_end, burst_peak, config))
+    return findings
+
+
+def _storm_finding(start: int, end: int, peak: int, config: AnomalyConfig) -> Finding:
+    return Finding(
+        rule="churn_storm",
+        subject=f"epochs={start}-{end}",
+        epoch=start,
+        message=(
+            f"churn storm: {peak} replica drops within "
+            f"{config.churn_storm_window} epochs (epochs {start}-{end})"
+        ),
+        data={"start_epoch": start, "end_epoch": end, "peak_drops": peak},
+    )
+
+
+def detect_mirror_flapping(
+    toggles_by_pair: Mapping[Tuple[int, int], int],
+    config: AnomalyConfig = AnomalyConfig(),
+) -> List[Finding]:
+    """(owner, mirror) edges that keep entering and leaving the selected
+    set — wasted transfers and a symptom of an unstable ranking."""
+    findings: List[Finding] = []
+    for (owner, mirror) in sorted(toggles_by_pair):
+        toggles = toggles_by_pair[(owner, mirror)]
+        if toggles >= config.flap_toggles:
+            findings.append(Finding(
+                rule="mirror_flapping",
+                subject=f"owner={owner} mirror={mirror}",
+                epoch=None,
+                message=(
+                    f"mirror set flapping: mirror {mirror} toggled in/out of "
+                    f"owner {owner}'s selection {toggles}x"
+                ),
+                data={"owner": owner, "mirror": mirror, "toggles": toggles},
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# derived distributions
+# ----------------------------------------------------------------------
+@dataclass
+class DhtLookupStats:
+    """Hop and failure distributions over ``dht_lookup`` events."""
+
+    lookups: int = 0
+    delivered: int = 0
+    failed: int = 0
+    hops_histogram: Dict[int, int] = field(default_factory=dict)
+    hops_total: int = 0
+
+    def observe(self, hops: int, ok: bool) -> None:
+        self.lookups += 1
+        self.hops_total += hops
+        self.hops_histogram[hops] = self.hops_histogram.get(hops, 0) + 1
+        if ok:
+            self.delivered += 1
+        else:
+            self.failed += 1
+
+    @property
+    def mean_hops(self) -> float:
+        return self.hops_total / self.lookups if self.lookups else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failed / self.lookups if self.lookups else 0.0
+
+
+# ----------------------------------------------------------------------
+# the single-pass analyzer
+# ----------------------------------------------------------------------
+@dataclass
+class TraceAnalysis:
+    """Everything one streaming pass over a trace reconstructs."""
+
+    path: Optional[str] = None
+    report: TraceReadReport = field(default_factory=TraceReadReport)
+    events_by_type: Dict[str, int] = field(default_factory=dict)
+    lifecycles: Dict[Tuple[int, int], ReplicaLifecycle] = field(default_factory=dict)
+    windows_by_owner: Dict[int, List[UnavailabilityWindow]] = field(default_factory=dict)
+    unavailable_epochs_by_owner: Dict[int, int] = field(default_factory=dict)
+    #: availability_sample coverage (for cross-checks against the engine).
+    samples: int = 0
+    population_epochs: int = 0
+    available_epochs: int = 0
+    dht: DhtLookupStats = field(default_factory=DhtLookupStats)
+    retries_by_kind: Dict[str, int] = field(default_factory=dict)
+    retries_by_target: Dict[int, int] = field(default_factory=dict)
+    circuit_opens_by_dest: Dict[int, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+    first_epoch: Optional[int] = None
+    last_epoch: Optional[int] = None
+
+    @property
+    def total_unavailable_epochs(self) -> int:
+        """Owner-epochs of unavailability — matches the engine's
+        ``sum(population - available)`` over the same epochs."""
+        return sum(self.unavailable_epochs_by_owner.values())
+
+    def attribution_rows(self) -> List[OwnerAttribution]:
+        """The per-owner attribution table, worst owner first."""
+        rows: List[OwnerAttribution] = []
+        for owner, total in self.unavailable_epochs_by_owner.items():
+            windows = self.windows_by_owner.get(owner, [])
+            causes: Dict[str, int] = {}
+            drop_reasons: Dict[str, int] = {}
+            for window in windows:
+                causes[window.cause] = causes.get(window.cause, 0) + window.length
+                for cause in window.causes:
+                    if cause.event == "replica_dropped" and cause.detail:
+                        drop_reasons[cause.detail] = (
+                            drop_reasons.get(cause.detail, 0) + 1
+                        )
+            rows.append(OwnerAttribution(
+                owner=owner,
+                unavailable_epochs=total,
+                windows=len(windows),
+                longest_window=max((w.length for w in windows), default=0),
+                causes=causes,
+                drop_reasons=drop_reasons,
+            ))
+        rows.sort(key=lambda row: (-row.unavailable_epochs, row.owner))
+        return rows
+
+    def retry_hotspots(self, top: int = 10) -> List[Tuple[int, int]]:
+        """Targets attracting the most retries, ``(target, count)``."""
+        ranked = sorted(
+            self.retries_by_target.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:top]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "events": self.report.events,
+            "errors": list(self.report.errors),
+            "truncated": self.report.truncated,
+            "events_by_type": dict(sorted(self.events_by_type.items())),
+            "epoch_range": [self.first_epoch, self.last_epoch],
+            "samples": self.samples,
+            "population_epochs": self.population_epochs,
+            "available_epochs": self.available_epochs,
+            "total_unavailable_epochs": self.total_unavailable_epochs,
+            "attribution": [
+                {
+                    "owner": row.owner,
+                    "unavailable_epochs": row.unavailable_epochs,
+                    "windows": row.windows,
+                    "longest_window": row.longest_window,
+                    "causes": row.causes,
+                    "drop_reasons": row.drop_reasons,
+                }
+                for row in self.attribution_rows()
+            ],
+            "lifecycles": {
+                f"{owner}->{mirror}": {
+                    "state": cycle.state,
+                    "pushes": cycle.pushes,
+                    "drops": cycle.drops,
+                    "failures": cycle.failures,
+                    "repairs": cycle.repairs,
+                    "drop_reasons": cycle.drop_reasons,
+                }
+                for (owner, mirror), cycle in sorted(self.lifecycles.items())
+            },
+            "dht": {
+                "lookups": self.dht.lookups,
+                "delivered": self.dht.delivered,
+                "failed": self.dht.failed,
+                "failure_rate": self.dht.failure_rate,
+                "mean_hops": self.dht.mean_hops,
+                "hops_histogram": {
+                    str(h): n for h, n in sorted(self.dht.hops_histogram.items())
+                },
+            },
+            "retries_by_kind": dict(sorted(self.retries_by_kind.items())),
+            "retry_hotspots": [
+                {"target": target, "retries": count}
+                for target, count in self.retry_hotspots()
+            ],
+            "circuit_opens_by_dest": {
+                str(dest): n
+                for dest, n in sorted(self.circuit_opens_by_dest.items())
+            },
+            "findings": [finding.to_json_dict() for finding in self.findings],
+        }
+
+
+def analyze_trace(
+    source: Union[str, IO[str], Iterable[str]],
+    config: AnomalyConfig = AnomalyConfig(),
+    lookback: int = 24,
+) -> TraceAnalysis:
+    """One bounded-memory streaming pass: lifecycles, windows, anomalies.
+
+    ``lookback`` caps how many epochs before a window's start a causal
+    event may lie and still be blamed for it.
+    """
+    analysis = TraceAnalysis(path=source if isinstance(source, str) else None)
+
+    # Streaming state, all bounded by population size (not trace length).
+    recent_causes: Dict[int, Deque[CausalEvent]] = {}
+    owners_selected: set = set()
+    selected_sets: Dict[int, frozenset] = {}
+    open_windows: Dict[int, UnavailabilityWindow] = {}
+    repair_epochs: Dict[int, List[int]] = {}
+    drops_by_epoch: Dict[int, int] = {}
+    toggles: Dict[Tuple[int, int], int] = {}
+
+    def lifecycle(owner: int, mirror: int) -> ReplicaLifecycle:
+        pair = (owner, mirror)
+        cycle = analysis.lifecycles.get(pair)
+        if cycle is None:
+            cycle = analysis.lifecycles[pair] = ReplicaLifecycle(owner, mirror)
+        return cycle
+
+    def note_cause(owner: int, event: str, epoch: Optional[int],
+                   detail: Optional[str] = None) -> None:
+        buffer = recent_causes.get(owner)
+        if buffer is None:
+            buffer = recent_causes[owner] = deque(maxlen=_CAUSE_BUFFER)
+        buffer.append(CausalEvent(event, epoch, detail))
+
+    for obj in iter_trace(source, report=analysis.report):
+        event = obj.get("event")
+        if not isinstance(event, str):
+            continue
+        analysis.events_by_type[event] = analysis.events_by_type.get(event, 0) + 1
+        epoch = obj.get("epoch")
+        if isinstance(epoch, int):
+            if analysis.first_epoch is None or epoch < analysis.first_epoch:
+                analysis.first_epoch = epoch
+            if analysis.last_epoch is None or epoch > analysis.last_epoch:
+                analysis.last_epoch = epoch
+
+        if event == "replica_pushed":
+            lifecycle(obj["owner"], obj["mirror"]).record("pushed", epoch)
+        elif event == "replica_dropped":
+            reason = obj.get("reason")
+            lifecycle(obj["owner"], obj["mirror"]).record("dropped", epoch, reason)
+            note_cause(obj["owner"], event, epoch, reason)
+            if isinstance(epoch, int):
+                drops_by_epoch[epoch] = drops_by_epoch.get(epoch, 0) + 1
+        elif event == "failure_declared":
+            by = obj.get("by")
+            if isinstance(by, int):
+                lifecycle(by, obj["peer"]).record("failure_declared", epoch)
+                note_cause(by, event, epoch, obj.get("reason"))
+        elif event == "repair_round":
+            owner = obj["owner"]
+            for dead in obj.get("dead") or ():
+                if isinstance(dead, int):
+                    lifecycle(owner, dead).record("repaired", epoch)
+            note_cause(owner, event, epoch)
+            if isinstance(epoch, int):
+                repair_epochs.setdefault(owner, []).append(epoch)
+        elif event == "update_dropped":
+            target = obj.get("target")
+            if isinstance(target, int):
+                note_cause(target, event, epoch, obj.get("reason"))
+        elif event == "mirror_selected":
+            owner = obj["owner"]
+            owners_selected.add(owner)
+            new_set = frozenset(
+                m for m in obj.get("mirrors") or () if isinstance(m, int)
+            )
+            old_set = selected_sets.get(owner, frozenset())
+            for mirror in old_set.symmetric_difference(new_set):
+                pair = (owner, mirror)
+                toggles[pair] = toggles.get(pair, 0) + 1
+            selected_sets[owner] = new_set
+        elif event == "dht_lookup":
+            hops = obj.get("hops")
+            analysis.dht.observe(
+                len(hops) if isinstance(hops, list) else 0,
+                bool(obj.get("delivered")),
+            )
+        elif event == "retry":
+            kind = obj.get("kind", "?")
+            analysis.retries_by_kind[kind] = (
+                analysis.retries_by_kind.get(kind, 0) + 1
+            )
+            target = obj.get("mirror", obj.get("dest"))
+            if isinstance(target, int):
+                analysis.retries_by_target[target] = (
+                    analysis.retries_by_target.get(target, 0) + 1
+                )
+        elif event == "circuit_open":
+            dest = obj.get("dest")
+            if isinstance(dest, int):
+                analysis.circuit_opens_by_dest[dest] = (
+                    analysis.circuit_opens_by_dest.get(dest, 0) + 1
+                )
+        elif event == "availability_sample":
+            sample_epoch = obj.get("epoch")
+            if not isinstance(sample_epoch, int):
+                continue
+            analysis.samples += 1
+            analysis.population_epochs += int(obj.get("population", 0))
+            analysis.available_epochs += int(obj.get("available", 0))
+            unavailable = {
+                o for o in obj.get("unavailable") or () if isinstance(o, int)
+            }
+            for owner in unavailable:
+                analysis.unavailable_epochs_by_owner[owner] = (
+                    analysis.unavailable_epochs_by_owner.get(owner, 0) + 1
+                )
+                window = open_windows.get(owner)
+                if window is not None:
+                    window.end_epoch = sample_epoch
+                    continue
+                causes = [
+                    cause
+                    for cause in recent_causes.get(owner, ())
+                    if cause.epoch is None
+                    or cause.epoch >= sample_epoch - lookback
+                ]
+                if causes:
+                    cause = "replica_loss"
+                elif owner in owners_selected:
+                    cause = "mirrors_offline"
+                else:
+                    cause = "no_mirrors_yet"
+                window = UnavailabilityWindow(
+                    owner=owner,
+                    start_epoch=sample_epoch,
+                    end_epoch=sample_epoch,
+                    cause=cause,
+                    causes=causes,
+                )
+                open_windows[owner] = window
+                analysis.windows_by_owner.setdefault(owner, []).append(window)
+            # Owners that recovered close their window at its last epoch.
+            for owner in [o for o in open_windows if o not in unavailable]:
+                del open_windows[owner]
+
+    analysis.findings = (
+        detect_repair_loops(repair_epochs, config)
+        + detect_churn_storms(drops_by_epoch, config)
+        + detect_mirror_flapping(toggles, config)
+    )
+    return analysis
+
+
+# ----------------------------------------------------------------------
+# owner timelines
+# ----------------------------------------------------------------------
+@dataclass
+class TimelineEntry:
+    """One owner-relevant event, in trace order."""
+
+    seq: int
+    epoch: Optional[int]
+    event: str
+    summary: str
+
+
+def owner_timeline(
+    source: Union[str, IO[str], Iterable[str]],
+    owner: int,
+    report: Optional[TraceReadReport] = None,
+) -> List[TimelineEntry]:
+    """Every event concerning ``owner``, streamed into a causal timeline:
+    selections, pushes, drops, failures, repairs, retries, and the epochs
+    where the owner's data was unavailable."""
+    entries: List[TimelineEntry] = []
+    unavailable_run: Optional[List[int]] = None
+
+    def close_run() -> None:
+        nonlocal unavailable_run
+        if unavailable_run is None:
+            return
+        start, end, seq = unavailable_run[0], unavailable_run[1], unavailable_run[2]
+        entries.append(TimelineEntry(
+            seq, start, "unavailable",
+            f"data unavailable epochs {start}-{end} ({end - start + 1} epochs)",
+        ))
+        unavailable_run = None
+
+    for obj in iter_trace(source, report=report):
+        event = obj.get("event")
+        seq = int(obj.get("seq", -1))
+        epoch = obj.get("epoch") if isinstance(obj.get("epoch"), int) else None
+        summary: Optional[str] = None
+        if event == "mirror_selected" and obj.get("owner") == owner:
+            error = obj.get("estimated_error")
+            error_text = f" err={error:.3f}" if isinstance(error, float) else ""
+            summary = f"selected mirrors {obj.get('mirrors')}{error_text}"
+        elif event == "replica_pushed" and obj.get("owner") == owner:
+            summary = f"replica pushed to mirror {obj.get('mirror')}"
+        elif event == "replica_dropped" and obj.get("owner") == owner:
+            summary = (
+                f"replica dropped by mirror {obj.get('mirror')} "
+                f"({obj.get('reason')})"
+            )
+        elif event == "failure_declared" and obj.get("by") == owner:
+            summary = f"declared mirror {obj.get('peer')} dead"
+        elif event == "repair_round" and obj.get("owner") == owner:
+            summary = (
+                f"repair round: dead={obj.get('dead')} "
+                f"replacements={obj.get('replacements')}"
+            )
+        elif event == "retry" and obj.get("owner") == owner:
+            summary = (
+                f"retry ({obj.get('kind')}) -> {obj.get('mirror', obj.get('dest'))} "
+                f"attempt {obj.get('attempt')}"
+            )
+        elif event == "update_dropped" and obj.get("target") == owner:
+            summary = f"update from {obj.get('origin')} dropped ({obj.get('reason')})"
+        elif event == "availability_sample" and isinstance(epoch, int):
+            if owner in (obj.get("unavailable") or ()):
+                if unavailable_run is None:
+                    unavailable_run = [epoch, epoch, seq]
+                else:
+                    unavailable_run[1] = epoch
+            else:
+                close_run()
+            continue
+        if summary is not None:
+            close_run()
+            entries.append(TimelineEntry(seq, epoch, event, summary))
+    close_run()
+    return entries
+
+
+# ----------------------------------------------------------------------
+# text rendering (the `soup trace ...` views)
+# ----------------------------------------------------------------------
+def render_findings(findings: Sequence[Finding]) -> List[str]:
+    if not findings:
+        return ["anomalies: none detected"]
+    lines = [f"anomalies: {len(findings)} finding(s)"]
+    for finding in findings:
+        where = f" @epoch {finding.epoch}" if finding.epoch is not None else ""
+        lines.append(f"  [{finding.rule}]{where} {finding.message}")
+    return lines
+
+
+def render_attribution(analysis: TraceAnalysis, top: int = 20) -> List[str]:
+    rows = analysis.attribution_rows()
+    if not rows:
+        return ["unavailability: no owner was ever unavailable "
+                "(or the trace carries no availability_sample events)"]
+    lines = [
+        f"unavailability attribution "
+        f"(total {analysis.total_unavailable_epochs} owner-epochs, "
+        f"{len(rows)} owners affected):",
+        f"{'owner':>7} {'epochs':>7} {'windows':>8} {'longest':>8}  causes",
+    ]
+    for row in rows[:top]:
+        causes = " ".join(
+            f"{name}={epochs}" for name, epochs in sorted(row.causes.items())
+        )
+        if row.drop_reasons:
+            reasons = ",".join(
+                f"{reason}x{count}"
+                for reason, count in sorted(row.drop_reasons.items())
+            )
+            causes += f"  drops[{reasons}]"
+        lines.append(
+            f"{row.owner:>7} {row.unavailable_epochs:>7} {row.windows:>8} "
+            f"{row.longest_window:>8}  {causes}"
+        )
+    if len(rows) > top:
+        lines.append(f"  ... and {len(rows) - top} more owners")
+    return lines
+
+
+def render_analysis(analysis: TraceAnalysis, top: int = 20) -> List[str]:
+    """The full `soup trace analyze` text view."""
+    lines = [
+        f"trace: {analysis.report.events} events"
+        + (f" ({analysis.path})" if analysis.path else ""),
+    ]
+    if analysis.report.truncated:
+        lines.append("  note: final line truncated (killed run) — tail event lost")
+    if analysis.report.errors:
+        lines.append(f"  note: {len(analysis.report.errors)} undecodable line(s) skipped")
+    counts = " ".join(
+        f"{name}={count}"
+        for name, count in sorted(analysis.events_by_type.items())
+    )
+    lines.append(f"  events: {counts}")
+    if analysis.first_epoch is not None:
+        lines.append(f"  epochs: {analysis.first_epoch}..{analysis.last_epoch}")
+
+    lines.append("")
+    lines.extend(render_attribution(analysis, top=top))
+
+    # Lifecycle summary: aggregate the per-pair machines.
+    if analysis.lifecycles:
+        states: Dict[str, int] = {}
+        pushes = drops = 0
+        for cycle in analysis.lifecycles.values():
+            states[cycle.state] = states.get(cycle.state, 0) + 1
+            pushes += cycle.pushes
+            drops += cycle.drops
+        state_text = " ".join(
+            f"{name}={count}" for name, count in sorted(states.items())
+        )
+        lines.append("")
+        lines.append(
+            f"replica lifecycles: {len(analysis.lifecycles)} (owner, mirror) "
+            f"pairs, {pushes} pushes, {drops} drops; final states: {state_text}"
+        )
+
+    if analysis.dht.lookups:
+        hops = " ".join(
+            f"{h}:{n}" for h, n in sorted(analysis.dht.hops_histogram.items())
+        )
+        lines.append("")
+        lines.append(
+            f"dht lookups: {analysis.dht.lookups} "
+            f"(failed {analysis.dht.failed}, "
+            f"rate {analysis.dht.failure_rate:.3f}), "
+            f"mean hops {analysis.dht.mean_hops:.2f}, histogram {hops}"
+        )
+
+    if analysis.retries_by_kind:
+        kinds = " ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(analysis.retries_by_kind.items())
+        )
+        lines.append("")
+        lines.append(f"retries: {kinds}")
+        hotspots = analysis.retry_hotspots()
+        if hotspots:
+            ranked = " ".join(f"{t}x{c}" for t, c in hotspots)
+            lines.append(f"  hot targets: {ranked}")
+    if analysis.circuit_opens_by_dest:
+        ranked = sorted(
+            analysis.circuit_opens_by_dest.items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:10]
+        lines.append(
+            "circuit opens: "
+            + " ".join(f"dest {d}x{c}" for d, c in ranked)
+        )
+
+    lines.append("")
+    lines.extend(render_findings(analysis.findings))
+    return lines
+
+
+def render_timeline(owner: int, entries: Sequence[TimelineEntry]) -> List[str]:
+    if not entries:
+        return [f"owner {owner}: no events in trace"]
+    lines = [f"owner {owner}: {len(entries)} timeline entries"]
+    for entry in entries:
+        epoch_text = f"epoch {entry.epoch:>5}" if entry.epoch is not None else " " * 11
+        lines.append(f"  {epoch_text}  {entry.summary}")
+    return lines

@@ -14,6 +14,8 @@ check, so instrumentation sites cost one branch when tracing is off.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, IO, Iterable, Iterator, List, Optional, Set, Union
@@ -70,6 +72,28 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"target": (int,), "origin": (int,), "reason": (str,)},
         "optional": {"t": _NUM},
     },
+    # One per measured epoch: how many joined benign owners were (un)available
+    # and exactly which owners were unavailable — the ground truth the trace
+    # analyzer reconstructs per-owner unavailability windows from.
+    "availability_sample": {
+        "required": {
+            "epoch": (int,), "population": (int,), "available": (int,),
+            "unavailable": (list,),
+        },
+        "optional": {},
+    },
+    # Sweep telemetry (repro.runtime): live per-task progress written to the
+    # run directory.  These carry wallclock durations — they describe the
+    # orchestrator, not the simulated world, so the determinism contract
+    # does not extend to them.
+    "sweep_task_started": {
+        "required": {"task": (str,), "key": (str,)},
+        "optional": {"pending": (int,), "total": (int,)},
+    },
+    "sweep_task_finished": {
+        "required": {"task": (str,), "key": (str,), "status": (str,)},
+        "optional": {"seconds": _NUM, "error": (str,), "done": (int,), "total": (int,)},
+    },
 }
 
 #: Fields present on every trace line, added by the tracer itself.
@@ -102,23 +126,46 @@ def validate_event(obj: Any) -> Optional[str]:
     return None
 
 
+class _GzipTextSink(io.TextIOWrapper):
+    """A text sink writing deterministic gzip: no filename, zero mtime, so
+    the compressed bytes (not just the decompressed ones) are identical
+    across same-seed runs.  Closes the underlying raw file too, which
+    :class:`gzip.GzipFile` does not when handed a ``fileobj``."""
+
+    def __init__(self, path: str) -> None:
+        self._raw = open(path, "wb")
+        member = gzip.GzipFile(filename="", mode="wb", fileobj=self._raw, mtime=0)
+        super().__init__(member, encoding="utf-8", newline="\n")
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            if not self._raw.closed:
+                self._raw.close()
+
+
+def open_trace_sink(path: str) -> IO[str]:
+    """Open ``path`` for trace writing; ``.gz`` paths get gzip compression."""
+    if path.endswith(".gz"):
+        return _GzipTextSink(path)
+    return open(path, "w", encoding="utf-8")
+
+
 def validate_trace_file(path: str) -> List[str]:
-    """Validate a JSONL trace file; returns per-line error messages."""
-    errors: List[str] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                errors.append(f"line {number}: invalid JSON ({exc})")
-                continue
-            problem = validate_event(obj)
-            if problem is not None:
-                errors.append(f"line {number}: {problem}")
-    return errors
+    """Validate a JSONL(.gz) trace file; returns per-line error messages.
+
+    Streams through :func:`repro.obs.analysis.iter_trace` — constant
+    memory regardless of trace size, gzip-aware, and a truncated final
+    line (killed writer) is reported as an error rather than crashing.
+    """
+    from repro.obs.analysis import TraceReadReport, iter_trace
+
+    report = TraceReadReport()
+    for _ in iter_trace(path, validate=True, report=report,
+                        tolerate_truncation=False):
+        pass
+    return report.errors
 
 
 class Tracer:
@@ -158,7 +205,9 @@ class Tracer:
         event_filter: Optional[Iterable[str]] = None,
         strict: bool = False,
     ) -> "Tracer":
-        tracer = cls(open(path, "w", encoding="utf-8"), event_filter, strict)
+        """Trace to ``path``; a ``.gz`` suffix (``trace.jsonl.gz``) writes
+        deterministic gzip so large sweep traces don't blow the disk."""
+        tracer = cls(open_trace_sink(path), event_filter, strict)
         tracer._owns_sink = True
         return tracer
 

@@ -22,7 +22,12 @@ from repro.runtime.aggregate import (
     load_records,
     results_by_label,
 )
-from repro.runtime.executor import SweepOutcome, execute_task, run_sweep
+from repro.runtime.executor import (
+    SweepOutcome,
+    SweepTelemetry,
+    execute_task,
+    run_sweep,
+)
 from repro.runtime.spec import (
     SweepSpec,
     SweepTask,
@@ -34,15 +39,22 @@ from repro.runtime.spec import (
     parse_set_flag,
     task_key,
 )
-from repro.runtime.store import ARTIFACT_SCHEMA, MANIFEST_SCHEMA, RunStore
+from repro.runtime.store import (
+    ARTIFACT_SCHEMA,
+    HEARTBEAT_SCHEMA,
+    MANIFEST_SCHEMA,
+    RunStore,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "HEARTBEAT_SCHEMA",
     "MANIFEST_SCHEMA",
     "RunStore",
     "SweepCell",
     "SweepOutcome",
     "SweepSpec",
+    "SweepTelemetry",
     "SweepTask",
     "TASK_KEY_VERSION",
     "TaskRecord",

@@ -35,6 +35,83 @@ logger = logging.getLogger("repro.runtime.executor")
 #: "fail" with detail = seconds (ok), error string (fail), or None.
 ProgressFn = Callable[[str, SweepTask, Any], None]
 
+#: Seconds between heartbeat refreshes while waiting on long tasks.
+HEARTBEAT_INTERVAL_S = 5.0
+
+
+class SweepTelemetry:
+    """Live progress for one ``run_sweep`` invocation.
+
+    Appends ``sweep_task_started`` / ``sweep_task_finished`` trace events
+    to ``<run_dir>/telemetry/events.jsonl`` and keeps
+    ``telemetry/heartbeat.json`` fresh with done/total counts, the mean
+    task duration and an ETA — what ``soup sweep --status --watch``
+    renders.  All wallclock: telemetry describes the orchestrator, not
+    the simulated world, so the artifact determinism contract is
+    untouched.
+    """
+
+    def __init__(self, store: RunStore, name: str, total: int,
+                 cached: int, workers: int) -> None:
+        self.store = store
+        self.name = name
+        self.total = total
+        self.done = cached  # cached tasks count as done from the start
+        self.failed = 0
+        self.running = 0
+        self.workers = max(1, workers)
+        self.durations: List[float] = []
+
+    def _eta_seconds(self) -> Optional[float]:
+        if not self.durations:
+            return None
+        pending = self.total - self.done
+        mean = sum(self.durations) / len(self.durations)
+        return pending * mean / self.workers
+
+    def heartbeat(self) -> None:
+        self.store.write_heartbeat({
+            "name": self.name,
+            "updated_at": time.time(),
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "running": self.running,
+            "mean_task_seconds": (
+                sum(self.durations) / len(self.durations)
+                if self.durations else None
+            ),
+            "eta_seconds": self._eta_seconds(),
+        })
+
+    def task_started(self, task: SweepTask) -> None:
+        self.running += 1
+        self.store.append_telemetry_event(
+            "sweep_task_started", task=task.task_id, key=task.key,
+            pending=self.total - self.done, total=self.total,
+        )
+        self.heartbeat()
+
+    def task_finished(self, task: SweepTask, status: str,
+                      seconds: Optional[float] = None,
+                      error: Optional[str] = None) -> None:
+        self.running = max(0, self.running - 1)
+        self.done += 1
+        if status == "failed":
+            self.failed += 1
+        if seconds is not None:
+            self.durations.append(seconds)
+        fields: Dict[str, Any] = dict(
+            task=task.task_id, key=task.key, status=status,
+            done=self.done, total=self.total,
+        )
+        if seconds is not None:
+            fields["seconds"] = round(seconds, 6)
+        if error is not None:
+            fields["error"] = error
+        self.store.append_telemetry_event("sweep_task_finished", **fields)
+        self.heartbeat()
+
 
 def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one task and build its artifact document (worker entry point).
@@ -95,6 +172,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     limit: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    telemetry: bool = True,
 ) -> SweepOutcome:
     """Execute (or resume) a sweep into ``run_dir``.
 
@@ -103,6 +181,13 @@ def run_sweep(
     caps how many pending tasks this invocation executes — the remainder
     stays pending for a later resume (and doubles as a deterministic
     stand-in for a killed sweep in tests/CI).
+
+    ``telemetry=True`` (the default) streams live progress into
+    ``<run_dir>/telemetry/``: ``sweep_task_started``/``sweep_task_finished``
+    trace events and an atomically-refreshed ``heartbeat.json`` with an
+    ETA — what ``soup sweep --status --watch`` renders.  Telemetry is
+    wallclock-stamped observability output only; it never feeds resume
+    and is excluded from the artifact determinism contract.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -137,54 +222,89 @@ def run_sweep(
         spec.name, len(tasks), len(outcome.skipped), len(pending), jobs,
     )
 
+    workers = min(jobs, max(1, len(pending)))
+    live: Optional[SweepTelemetry] = None
+    if telemetry:
+        live = SweepTelemetry(
+            store, spec.name, total=len(tasks),
+            cached=len(outcome.skipped), workers=workers,
+        )
+        live.heartbeat()
+
     def record_success(task: SweepTask, artifact: Dict[str, Any], seconds: float) -> None:
         store.write_artifact(task, artifact)
         outcome.executed.append(task.key)
         statuses[task.key] = {"status": "ok"}
         outcome.metrics.merge_state(artifact.get("metrics_state", {}))
+        if live is not None:
+            live.task_finished(task, "ok", seconds=seconds)
         if progress is not None:
             progress("ok", task, seconds)
 
-    def record_failure(task: SweepTask, error: BaseException) -> None:
+    def record_failure(task: SweepTask, error: BaseException, seconds: float) -> None:
         message = f"{type(error).__name__}: {error}"
         outcome.failed[task.key] = message
         statuses[task.key] = {"status": "failed", "error": message}
         logger.error("task %s failed: %s", task.task_id, message)
+        if live is not None:
+            live.task_finished(task, "failed", seconds=seconds, error=message)
         if progress is not None:
             progress("fail", task, message)
 
     if jobs == 1 or len(pending) <= 1:
         for task in pending:
+            if live is not None:
+                live.task_started(task)
             start = time.perf_counter()
             try:
                 artifact = execute_task(_task_payload(task))
             except Exception as exc:  # noqa: BLE001 - record, keep sweeping
-                record_failure(task, exc)
+                record_failure(task, exc, time.perf_counter() - start)
                 continue
             record_success(task, artifact, time.perf_counter() - start)
     else:
         # Spawn (not fork): workers must not inherit tracers, registries,
         # or any other interpreter state that could diverge from --jobs 1.
         context = multiprocessing.get_context("spawn")
-        workers = min(jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            started = {
-                pool.submit(execute_task, _task_payload(task)): (
-                    task, time.perf_counter(),
+            # Lazy submission: keep exactly ``workers`` futures in flight so
+            # a sweep_task_started event means the task really has a worker
+            # slot, not just a queue position.
+            queue = list(pending)
+            in_flight: Dict[Any, "tuple[SweepTask, float]"] = {}
+
+            def submit_next() -> None:
+                task = queue.pop(0)
+                if live is not None:
+                    live.task_started(task)
+                future = pool.submit(execute_task, _task_payload(task))
+                in_flight[future] = (task, time.perf_counter())
+
+            while queue and len(in_flight) < workers:
+                submit_next()
+            while in_flight:
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=HEARTBEAT_INTERVAL_S,
+                    return_when=FIRST_COMPLETED,
                 )
-                for task in pending
-            }
-            remaining = set(started)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                if not done:
+                    # Long tasks: keep the heartbeat fresh so --watch can
+                    # tell "still running" from "died".
+                    if live is not None:
+                        live.heartbeat()
+                    continue
                 for future in done:
-                    task, start = started[future]
+                    task, start = in_flight.pop(future)
+                    elapsed = time.perf_counter() - start
                     try:
                         artifact = future.result()
                     except Exception as exc:  # noqa: BLE001
-                        record_failure(task, exc)
-                        continue
-                    record_success(task, artifact, time.perf_counter() - start)
+                        record_failure(task, exc, elapsed)
+                    else:
+                        record_success(task, artifact, elapsed)
+                    if queue:
+                        submit_next()
 
     store.finalize(statuses)
     return outcome

@@ -5,11 +5,19 @@ Layout of one run directory::
     <run_dir>/
       manifest.json          # spec, task list, last known statuses
       tasks/<task_key>.json  # one artifact per completed task
+      telemetry/
+        heartbeat.json       # live progress snapshot (done/total, ETA)
+        events.jsonl         # sweep_task_started/finished trace events
 
 Every file is written atomically: serialize to a temp file in the same
 directory, ``fsync``, then ``os.replace`` over the final name.  A sweep
 killed at any instant therefore leaves either a complete artifact or none —
 never a truncated one — which is what makes resume lossless.
+
+The ``telemetry/`` files are the exception to determinism, on purpose:
+they carry wallclock timestamps and durations so a running sweep can be
+watched live (``soup sweep --out DIR --status --watch``).  They are
+append-only observability output, never read by resume.
 
 Completion is decided from the artifacts alone (a key's artifact exists,
 parses, and self-identifies with that key); the statuses recorded in the
@@ -29,6 +37,7 @@ from repro.runtime.spec import SweepSpec, SweepTask
 
 MANIFEST_SCHEMA = "soup-sweep-run/v1"
 ARTIFACT_SCHEMA = "soup-sweep-task/v1"
+HEARTBEAT_SCHEMA = "soup-sweep-heartbeat/v1"
 
 
 def atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
@@ -58,10 +67,22 @@ class RunStore:
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
         self.tasks_dir = self.root / "tasks"
+        self.telemetry_dir = self.root / "telemetry"
+        #: Next telemetry seq; initialized lazily from the existing event
+        #: file so resumed sweeps keep the sequence monotonic.
+        self._telemetry_seq: Optional[int] = None
 
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
+
+    @property
+    def heartbeat_path(self) -> Path:
+        return self.telemetry_dir / "heartbeat.json"
+
+    @property
+    def telemetry_events_path(self) -> Path:
+        return self.telemetry_dir / "events.jsonl"
 
     # ------------------------------------------------------------------
     # manifest
@@ -121,6 +142,56 @@ class RunStore:
                 else:
                     entry.pop("error", None)
         atomic_write_json(self.manifest_path, manifest)
+
+    # ------------------------------------------------------------------
+    # telemetry (live progress; wallclock on purpose, never read by resume)
+    # ------------------------------------------------------------------
+    def write_heartbeat(self, payload: Dict[str, Any]) -> None:
+        """Atomically replace the heartbeat snapshot (schema-stamped)."""
+        document = {"schema": HEARTBEAT_SCHEMA}
+        document.update(payload)
+        atomic_write_json(self.heartbeat_path, document)
+
+    def read_heartbeat(self) -> Optional[Dict[str, Any]]:
+        """The last heartbeat, or None if absent/corrupt (mid-replace)."""
+        if not self.heartbeat_path.exists():
+            return None
+        try:
+            with open(self.heartbeat_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != HEARTBEAT_SCHEMA:
+            return None
+        return payload
+
+    def append_telemetry_event(self, event: str, **fields: Any) -> None:
+        """Append one schema-valid trace event to ``telemetry/events.jsonl``.
+
+        The file is a regular v1 trace (``soup trace-validate`` passes on
+        it); ``seq`` continues across resumes.  Each record is one
+        ``write`` of a newline-terminated line, so concurrent appends
+        from one process never interleave mid-record.
+        """
+        from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        if self._telemetry_seq is None:
+            try:
+                with open(
+                    self.telemetry_events_path, "r", encoding="utf-8"
+                ) as handle:
+                    self._telemetry_seq = sum(1 for _ in handle)
+            except OSError:
+                self._telemetry_seq = 0
+        record = {"v": TRACE_SCHEMA_VERSION, "seq": self._telemetry_seq,
+                  "event": event}
+        record.update(fields)
+        self._telemetry_seq += 1
+        with open(self.telemetry_events_path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
 
     # ------------------------------------------------------------------
     # artifacts

@@ -30,6 +30,12 @@ import networkx as nx
 import numpy as np
 
 from repro.obs import MetricsRegistry, get_tracer, pop_registry, push_registry
+from repro.obs.analysis import (
+    AnomalyConfig,
+    detect_churn_storms,
+    detect_mirror_flapping,
+    detect_repair_loops,
+)
 from repro.obs.profiling import PROFILER
 
 from repro.behavior.activity import ActivityModel
@@ -162,11 +168,22 @@ class SoupSimulation:
         #: of :meth:`run` and snapshotted per epoch into the result.
         self.metrics = MetricsRegistry()
         self._tracer = get_tracer()
+        #: Per-owner count of epochs the owner's data was unreachable —
+        #: the same flags the availability metric averages, so the trace
+        #: analyzer's attribution table reconciles exactly against it.
+        self._owner_unavailable_epochs = np.zeros(self.n_total, dtype=np.int64)
+        #: In-engine event streams for the anomaly rules shared with
+        #: repro.obs.analysis (repair loops, churn storms, flapping).
+        self.anomaly_config = AnomalyConfig()
+        self._repair_epochs_by_owner: Dict[int, List[int]] = {}
+        self._drops_by_epoch: Dict[int, int] = {}
+        self._mirror_toggles: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # invariant bookkeeping
     # ------------------------------------------------------------------
     def _trace_drop(self, owner: int, mirror: int, reason: str, epoch: int) -> None:
+        self._drops_by_epoch[epoch] = self._drops_by_epoch.get(epoch, 0) + 1
         if self._tracer.enabled:
             self._tracer.emit(
                 "replica_dropped", owner=owner, mirror=mirror,
@@ -394,6 +411,22 @@ class SoupSimulation:
         self.result.blacklisted_owner_count = sum(
             len(node.store.blacklisted_owners()) for node in self.nodes
         )
+        self.result.unavailable_owner_epochs = {
+            int(owner): int(count)
+            for owner, count in enumerate(self._owner_unavailable_epochs)
+            if count
+        }
+        findings = (
+            detect_repair_loops(self._repair_epochs_by_owner, self.anomaly_config)
+            + detect_churn_storms(self._drops_by_epoch, self.anomaly_config)
+            + detect_mirror_flapping(self._mirror_toggles, self.anomaly_config)
+        )
+        anomalies: Dict[str, int] = {}
+        for finding in findings:
+            anomalies[finding.rule] = anomalies.get(finding.rule, 0) + 1
+        self.result.anomalies = anomalies
+        for rule, count in sorted(anomalies.items()):
+            self.metrics.counter(f"engine.anomaly.{rule}").inc(count)
         self.result.metrics = self.metrics.snapshot()
         logger.info(
             "run complete: steady availability=%.3f",
@@ -454,7 +487,7 @@ class SoupSimulation:
             self._rebuild_pairs()
 
         with PROFILER.span("engine.measure"):
-            availability[epoch], overhead[epoch] = self._measure(online_now)
+            availability[epoch], overhead[epoch] = self._measure(online_now, epoch)
             for name, mask in cohorts.items():
                 cohort_series[name][epoch] = self._measure_cohort(online_now, mask)
         self.metrics.gauge("engine.availability").set(availability[epoch])
@@ -799,6 +832,9 @@ class SoupSimulation:
         old_mirrors = set(node.selected_mirrors)
         new_mirrors = list(result.mirrors)
         new_set = set(new_mirrors)
+        for mirror_id in old_mirrors.symmetric_difference(new_set):
+            pair = (node.node_id, mirror_id)
+            self._mirror_toggles[pair] = self._mirror_toggles.get(pair, 0) + 1
 
         # Withdraw replicas from de-selected mirrors.
         for mirror_id in old_mirrors - new_set:
@@ -1011,6 +1047,7 @@ class SoupSimulation:
                 node.announced_mirrors.remove(mirror_id)
             node.pending_placements.discard(mirror_id)
         self._deficit_since.setdefault(node.node_id, epoch)
+        self._repair_epochs_by_owner.setdefault(node.node_id, []).append(epoch)
         rel.repairs_triggered += 1
         self.metrics.counter("engine.repair.rounds").inc()
         before = set(node.announced_mirrors)
@@ -1161,13 +1198,35 @@ class SoupSimulation:
             available[self._pair_owners[mirror_online]] = True
         return available
 
-    def _measure(self, online_now: np.ndarray) -> Tuple[float, float]:
+    def _measure(self, online_now: np.ndarray, epoch: int) -> Tuple[float, float]:
         mask = self._joined_benign_mask()
         population = int(mask.sum())
         if population == 0:
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "availability_sample", epoch=epoch, population=0,
+                    available=0, unavailable=[],
+                )
             return 0.0, 0.0
         available = self._availability_flags(online_now)
-        availability = float(available[mask].sum()) / population
+        available_count = int(available[mask].sum())
+        availability = available_count / population
+
+        # Per-owner attribution ground truth: exactly which joined benign
+        # owners the availability fraction is missing this epoch.
+        unavailable_ids = np.nonzero(mask & ~available)[0]
+        self._owner_unavailable_epochs[unavailable_ids] += 1
+        self.metrics.counter(
+            "engine.availability.unavailable_owner_epochs"
+        ).inc(len(unavailable_ids))
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "availability_sample",
+                epoch=epoch,
+                population=population,
+                available=available_count,
+                unavailable=[int(i) for i in unavailable_ids],
+            )
 
         if len(self._pair_owners):
             replica_counts = np.bincount(self._pair_owners, minlength=self.n_total)

@@ -135,6 +135,12 @@ class SimulationResult:
     blacklisted_owner_count: int = 0
     #: Reliability-layer counters; None when the run had repair disabled.
     reliability: Optional[ReliabilityMetrics] = None
+    #: owner -> epochs the owner's data was unreachable (only owners with a
+    #: nonzero count); sums to the engine's per-epoch unavailable counts.
+    unavailable_owner_epochs: Dict[int, int] = field(default_factory=dict)
+    #: anomaly rule -> finding count from the in-engine detectors
+    #: (repair_loop, churn_storm, mirror_flapping — repro.obs.analysis).
+    anomalies: Dict[str, int] = field(default_factory=dict)
     #: Scalar metrics-registry snapshot at the end of each epoch
     #: (counters, gauges, histogram count/mean — see repro.obs.registry).
     metrics_by_epoch: List[Dict[str, float]] = field(default_factory=list)
@@ -213,6 +219,13 @@ class SimulationResult:
             "reliability": (
                 self.reliability.to_dict() if self.reliability is not None else None
             ),
+            "unavailable_owner_epochs": {
+                str(owner): int(count)
+                for owner, count in sorted(self.unavailable_owner_epochs.items())
+            },
+            "anomalies": {
+                name: int(count) for name, count in sorted(self.anomalies.items())
+            },
             "metrics_by_epoch": self.metrics_by_epoch,
             "metrics": self.metrics,
         }
@@ -268,6 +281,16 @@ class SimulationResult:
                 if reliability is not None
                 else None
             ),
+            unavailable_owner_epochs={
+                int(owner): int(count)
+                for owner, count in payload.get(
+                    "unavailable_owner_epochs", {}
+                ).items()
+            },
+            anomalies={
+                str(name): int(count)
+                for name, count in payload.get("anomalies", {}).items()
+            },
             metrics_by_epoch=list(payload.get("metrics_by_epoch", [])),
             metrics=payload.get("metrics"),
         )
@@ -288,7 +311,16 @@ class SimulationResult:
             "final_drop_rate": self.drop_rate_by_round[-1]
             if self.drop_rate_by_round
             else 0.0,
+            # Unavailability attribution + anomaly counts: scalar so sweep
+            # aggregation reduces them across seeds like any other metric.
+            "unavailable_owner_epochs_total": float(
+                sum(self.unavailable_owner_epochs.values())
+            ),
+            "unavailable_owners": float(len(self.unavailable_owner_epochs)),
+            "anomaly_findings_total": float(sum(self.anomalies.values())),
         }
+        for rule, count in sorted(self.anomalies.items()):
+            numbers[f"anomaly_{rule}"] = float(count)
         if self.reliability is not None:
             numbers.update(self.reliability.summary())
         return numbers

@@ -57,6 +57,21 @@ def describe_result(name: str, result: SimulationResult) -> List[str]:
         )
     if result.blacklisted_owner_count:
         lines.append(f"  blacklist entries: {result.blacklisted_owner_count}")
+    if result.unavailable_owner_epochs:
+        total = sum(result.unavailable_owner_epochs.values())
+        worst_owner, worst = max(
+            result.unavailable_owner_epochs.items(), key=lambda item: item[1]
+        )
+        lines.append(
+            f"  unavailability {total} owner-epochs over "
+            f"{len(result.unavailable_owner_epochs)} owners "
+            f"(worst: owner {worst_owner}, {worst} epochs)"
+        )
+    if result.anomalies:
+        rendered = " ".join(
+            f"{rule}={count}" for rule, count in sorted(result.anomalies.items())
+        )
+        lines.append(f"  anomalies     {rendered}")
     rel = result.reliability
     if rel is not None:
         lines.append(

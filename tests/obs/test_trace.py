@@ -116,6 +116,16 @@ class TestValidateEvent:
             "repair_round": dict(owner=7, dead=[1], replacements=1),
             "invariant_checked": dict(epoch=3, ok=True, checks=4),
             "update_dropped": dict(target=1, origin=2, reason="buffer-full"),
+            "availability_sample": dict(
+                epoch=3, population=10, available=9, unavailable=[4]
+            ),
+            "sweep_task_started": dict(
+                task="t0001", key="ab12", pending=3, total=5
+            ),
+            "sweep_task_finished": dict(
+                task="t0001", key="ab12", status="ok", seconds=1.25,
+                done=3, total=5,
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMAS)
         for event, fields in samples.items():

@@ -1,0 +1,346 @@
+"""Trace analytics: streaming reader, lifecycles, attribution, anomalies.
+
+The acceptance contract of ``repro.obs.analysis``:
+
+* the streaming reader is gzip-aware, bounded-memory, and tolerant of
+  the truncated final line a killed run leaves behind;
+* per-(owner, mirror) lifecycle machines reconstruct every transition;
+* per-owner unavailability attribution reconciles *exactly* with the
+  engine's own availability metric over the same run;
+* each anomaly rule fires on its crafted fixture and stays quiet below
+  threshold.
+"""
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.analysis import (
+    AnomalyConfig,
+    TraceReadReport,
+    analyze_trace,
+    detect_churn_storms,
+    detect_mirror_flapping,
+    detect_repair_loops,
+    iter_trace,
+    owner_timeline,
+    render_analysis,
+)
+from repro.obs.trace import Tracer, validate_trace_file
+
+
+def lines(*events):
+    """Render event dicts as the JSONL lines a Tracer would write."""
+    return [
+        json.dumps({"v": 1, "seq": seq, **event}, sort_keys=True) + "\n"
+        for seq, event in enumerate(events)
+    ]
+
+
+def sample(epoch, unavailable, population=10):
+    return {
+        "event": "availability_sample",
+        "epoch": epoch,
+        "population": population,
+        "available": population - len(unavailable),
+        "unavailable": list(unavailable),
+    }
+
+
+# ----------------------------------------------------------------------
+# streaming reader
+# ----------------------------------------------------------------------
+class TestStreamingReader:
+    def test_reads_iterables_paths_and_handles(self, tmp_path):
+        text = lines({"event": "retry", "kind": "x", "attempt": 1})
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(text))
+        for source in (text, str(path), open(path, "r", encoding="utf-8")):
+            assert [o["event"] for o in iter_trace(source)] == ["retry"]
+
+    def test_truncated_final_line_is_tolerated_not_an_error(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        body = "".join(lines(sample(0, [1]), sample(1, [1])))
+        path.write_text(body + '{"v": 1, "seq": 2, "eve')  # no newline
+        report = TraceReadReport()
+        events = list(iter_trace(str(path), report=report))
+        assert len(events) == 2
+        assert report.truncated
+        assert report.errors == []
+
+    def test_validate_trace_file_streams_and_flags_truncation(self, tmp_path):
+        # Satellite 2 regression: strict validation must run through the
+        # streaming reader and report the partial final line as an error.
+        path = tmp_path / "killed.jsonl"
+        path.write_text("".join(lines(sample(0, []))) + '{"v": 1, "se')
+        errors = validate_trace_file(str(path))
+        assert len(errors) == 1
+        assert "truncated" in errors[0]
+
+    def test_midfile_garbage_is_always_an_error(self):
+        source = lines(sample(0, [])) + ["not json\n"] + lines(sample(1, []))
+        report = TraceReadReport()
+        events = list(iter_trace(source, report=report))
+        assert len(events) == 2
+        assert not report.truncated
+        assert len(report.errors) == 1 and "invalid JSON" in report.errors[0]
+
+    def test_streams_large_trace_from_generator(self):
+        # 100k lines through a generator: nothing is materialized, so this
+        # passing at all demonstrates the bounded-memory contract.
+        def generate():
+            for epoch in range(100_000):
+                yield json.dumps(sample(epoch, [epoch % 7])) + "\n"
+
+        analysis = analyze_trace(generate())
+        assert analysis.report.events == 100_000
+        assert analysis.total_unavailable_epochs == 100_000
+
+
+class TestGzip:
+    def _emit(self, path):
+        tracer = Tracer.to_path(str(path), strict=True)
+        tracer.emit("replica_pushed", owner=1, mirror=2, bytes=10)
+        tracer.emit("replica_dropped", owner=1, mirror=2, reason="capacity")
+        tracer.close()
+
+    def test_gzip_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        self._emit(path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        events = [o["event"] for o in iter_trace(str(path))]
+        assert events == ["replica_pushed", "replica_dropped"]
+        assert validate_trace_file(str(path)) == []
+
+    def test_gzip_is_byte_identical_across_writes(self, tmp_path):
+        # Satellite 1: same events -> byte-identical .gz (mtime pinned),
+        # and decompressing yields exactly the plain-encoding bytes.
+        a, b, plain = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz", tmp_path / "c.jsonl"
+        self._emit(a)
+        self._emit(b)
+        self._emit(plain)
+        assert a.read_bytes() == b.read_bytes()
+        assert gzip.decompress(a.read_bytes()) == plain.read_bytes()
+
+    def test_truncated_gzip_stream_sets_truncated(self, tmp_path):
+        whole = tmp_path / "whole.jsonl.gz"
+        self._emit(whole)
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(whole.read_bytes()[:-8])  # chop the gzip trailer
+        report = TraceReadReport()
+        list(iter_trace(str(cut), report=report))
+        assert report.truncated
+
+
+# ----------------------------------------------------------------------
+# lifecycle state machines
+# ----------------------------------------------------------------------
+class TestLifecycles:
+    def test_each_transition_is_reconstructed(self):
+        analysis = analyze_trace(lines(
+            {"event": "replica_pushed", "owner": 1, "mirror": 2, "epoch": 0},
+            {"event": "replica_dropped", "owner": 1, "mirror": 2,
+             "reason": "capacity", "epoch": 3},
+            {"event": "replica_pushed", "owner": 1, "mirror": 2, "epoch": 4},
+            {"event": "failure_declared", "by": 1, "peer": 2, "epoch": 7},
+            {"event": "repair_round", "owner": 1, "dead": [2],
+             "replacements": 1, "epoch": 8},
+        ))
+        cycle = analysis.lifecycles[(1, 2)]
+        assert [t.state for t in cycle.transitions] == [
+            "pushed", "dropped", "pushed", "failure_declared", "repaired",
+        ]
+        assert cycle.state == "repaired"
+        assert (cycle.pushes, cycle.drops, cycle.failures, cycle.repairs) == (2, 1, 1, 1)
+        assert cycle.drop_reasons == {"capacity": 1}
+
+    def test_counters_stay_exact_when_history_caps(self):
+        events = [
+            {"event": "replica_pushed", "owner": 1, "mirror": 2, "epoch": e}
+            for e in range(300)
+        ]
+        analysis = analyze_trace(lines(*events))
+        cycle = analysis.lifecycles[(1, 2)]
+        assert cycle.pushes == 300
+        assert len(cycle.transitions) == 256
+        assert cycle.truncated_history
+
+
+# ----------------------------------------------------------------------
+# unavailability windows + causal attribution
+# ----------------------------------------------------------------------
+class TestAttribution:
+    def test_window_with_preceding_drop_is_replica_loss(self):
+        analysis = analyze_trace(lines(
+            {"event": "mirror_selected", "owner": 4, "mirrors": [7], "epoch": 0},
+            {"event": "replica_dropped", "owner": 4, "mirror": 7,
+             "reason": "withdrawn", "epoch": 1},
+            sample(2, [4]),
+            sample(3, [4]),
+            sample(4, []),
+        ))
+        windows = analysis.windows_by_owner[4]
+        assert len(windows) == 1
+        window = windows[0]
+        assert (window.start_epoch, window.end_epoch, window.length) == (2, 3, 2)
+        assert window.cause == "replica_loss"
+        assert [c.event for c in window.causes] == ["replica_dropped"]
+        assert analysis.unavailable_epochs_by_owner == {4: 2}
+
+    def test_window_without_events_gets_typed_fallback(self):
+        analysis = analyze_trace(lines(
+            {"event": "mirror_selected", "owner": 4, "mirrors": [7], "epoch": 0},
+            sample(1, [4]),   # selected, nothing dropped -> mirrors_offline
+            sample(1, [9]),   # never selected -> no_mirrors_yet
+        ))
+        assert analysis.windows_by_owner[4][0].cause == "mirrors_offline"
+        assert analysis.windows_by_owner[9][0].cause == "no_mirrors_yet"
+
+    def test_lookback_expires_stale_causes(self):
+        analysis = analyze_trace(lines(
+            {"event": "replica_dropped", "owner": 4, "mirror": 7,
+             "reason": "withdrawn", "epoch": 0},
+            {"event": "mirror_selected", "owner": 4, "mirrors": [7], "epoch": 1},
+            sample(50, [4]),
+        ), lookback=10)
+        window = analysis.windows_by_owner[4][0]
+        assert window.cause == "mirrors_offline"
+        assert window.causes == []
+
+    def test_attribution_rows_sorted_worst_first(self):
+        analysis = analyze_trace(lines(
+            sample(0, [1, 2]), sample(1, [2]), sample(2, [2]),
+        ))
+        rows = analysis.attribution_rows()
+        assert [row.owner for row in rows] == [2, 1]
+        assert rows[0].unavailable_epochs == 3
+        assert rows[0].windows == 1 and rows[0].longest_window == 3
+        assert analysis.total_unavailable_epochs == 4
+
+
+# ----------------------------------------------------------------------
+# anomaly rules
+# ----------------------------------------------------------------------
+class TestAnomalyRules:
+    def test_repair_loop_fires_on_crafted_fixture(self):
+        findings = detect_repair_loops({5: [10, 14, 18], 6: [0, 40, 80]})
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "repair_loop"
+        assert finding.data["owner"] == 5 and finding.data["repairs"] == 3
+        assert finding.epoch == 10
+
+    def test_repair_loop_quiet_below_threshold(self):
+        assert detect_repair_loops({5: [0, 11]}) == []
+        assert detect_repair_loops({5: [0, 12, 24]}) == []  # too spread out
+
+    def test_churn_storm_merges_overlapping_bursts(self):
+        config = AnomalyConfig(churn_storm_drops=10, churn_storm_window=2)
+        findings = detect_churn_storms(
+            {0: 6, 1: 6, 2: 6, 50: 1, 90: 12}, config
+        )
+        assert [f.epoch for f in findings] == [0, 90]
+        assert findings[0].data["end_epoch"] >= 2
+        assert detect_churn_storms({0: 9}, config) == []
+
+    def test_mirror_flapping_threshold(self):
+        findings = detect_mirror_flapping({(1, 2): 4, (1, 3): 3})
+        assert len(findings) == 1
+        assert findings[0].data == {"owner": 1, "mirror": 2, "toggles": 4}
+
+    def test_analyze_trace_fires_repair_loop_end_to_end(self):
+        events = [
+            {"event": "repair_round", "owner": 5, "dead": [9],
+             "replacements": 1, "epoch": epoch}
+            for epoch in (10, 14, 18)
+        ]
+        analysis = analyze_trace(lines(*events))
+        assert [f.rule for f in analysis.findings] == ["repair_loop"]
+
+    def test_flapping_counted_from_mirror_selected_toggles(self):
+        selections = [[2], [3], [2], [3], [2]]  # mirror 2 toggles 4x
+        events = [
+            {"event": "mirror_selected", "owner": 1, "mirrors": m, "epoch": i}
+            for i, m in enumerate(selections)
+        ]
+        analysis = analyze_trace(lines(*events))
+        flaps = [f for f in analysis.findings if f.rule == "mirror_flapping"]
+        assert {f.data["mirror"] for f in flaps} == {2, 3}
+
+
+# ----------------------------------------------------------------------
+# reconciliation against the engine (the headline acceptance criterion)
+# ----------------------------------------------------------------------
+def _traced_scenario(tmp_path, seed):
+    from repro.obs import set_tracer
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    path = tmp_path / f"run-{seed}.jsonl"
+    tracer = Tracer.to_path(str(path), strict=True)
+    previous = set_tracer(tracer)
+    try:
+        result = run_scenario(ScenarioConfig(
+            dataset="facebook", scale=0.003, n_days=3, seed=seed,
+            repair=True, check_invariants=True,
+            faults="drop_transfer:rate=0.5:from_epoch=6:until_epoch=30",
+        ))
+    finally:
+        set_tracer(previous)
+        tracer.close()
+    return path, result
+
+
+class TestEngineReconciliation:
+    def test_attribution_matches_engine_availability_metric(self, tmp_path):
+        path, result = _traced_scenario(tmp_path, seed=5)
+        analysis = analyze_trace(str(path))
+        engine = {int(k): v for k, v in result.unavailable_owner_epochs.items()}
+        assert analysis.unavailable_epochs_by_owner == engine
+        assert analysis.total_unavailable_epochs == sum(engine.values())
+        # The engine ran the same detectors over its in-memory stream.
+        trace_counts = {}
+        for finding in analysis.findings:
+            trace_counts[finding.rule] = trace_counts.get(finding.rule, 0) + 1
+        assert trace_counts == result.anomalies
+        # And the samples cover every epoch of the availability series,
+        # with population - available summing to the attributed total.
+        assert analysis.samples == len(result.availability)
+        assert (
+            analysis.population_epochs - analysis.available_epochs
+            == analysis.total_unavailable_epochs
+        )
+
+    def test_timeline_and_rendering_cover_the_run(self, tmp_path):
+        path, result = _traced_scenario(tmp_path, seed=6)
+        analysis = analyze_trace(str(path))
+        rendered = "\n".join(render_analysis(analysis))
+        assert "unavailability attribution" in rendered
+        assert "replica lifecycles" in rendered
+        worst = analysis.attribution_rows()[0].owner
+        entries = owner_timeline(str(path), worst)
+        assert any(e.event == "unavailable" for e in entries)
+        unavailable_epochs = sum(
+            int(e.summary.split("(")[1].split(" ")[0])
+            for e in entries if e.event == "unavailable"
+        )
+        assert unavailable_epochs == analysis.unavailable_epochs_by_owner[worst]
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_every_window_has_events_or_typed_cause(self, tmp_path_factory, seed):
+        # Property: analyze never reports an unavailability window without
+        # either a causal event chain or a typed fallback cause.
+        tmp_path = tmp_path_factory.mktemp("prop")
+        path, _ = _traced_scenario(tmp_path, seed=seed)
+        analysis = analyze_trace(str(path))
+        for owner, windows in analysis.windows_by_owner.items():
+            for window in windows:
+                assert window.length >= 1
+                if window.causes:
+                    assert window.cause == "replica_loss"
+                else:
+                    assert window.cause in ("mirrors_offline", "no_mirrors_yet")

@@ -1,0 +1,102 @@
+"""Live sweep telemetry: heartbeat snapshots and task event streams.
+
+Telemetry is observability-only output: it must describe the sweep
+accurately (started/finished per task, done/total, failures), validate
+as a regular v1 trace, keep its sequence monotonic across resumes — and
+never exist when switched off.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import validate_trace_file
+from repro.runtime import HEARTBEAT_SCHEMA, RunStore, SweepSpec, run_sweep
+from repro.runtime import executor as executor_module
+
+
+def tiny_spec(n_seeds=2) -> SweepSpec:
+    return SweepSpec(
+        name="telemetry-test",
+        base={"scale": 0.004, "n_days": 2},
+        seeds=list(range(3, 3 + n_seeds)),
+    )
+
+
+def read_events(run_dir):
+    store = RunStore(run_dir)
+    with open(store.telemetry_events_path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_sweep_emits_heartbeat_and_task_events(tmp_path, jobs):
+    run_dir = tmp_path / "run"
+    outcome = run_sweep(tiny_spec(), run_dir, jobs=jobs)
+    assert outcome.complete
+
+    store = RunStore(run_dir)
+    heartbeat = store.read_heartbeat()
+    assert heartbeat is not None
+    assert heartbeat["schema"] == HEARTBEAT_SCHEMA
+    assert heartbeat["done"] == heartbeat["total"] == 2
+    assert heartbeat["failed"] == 0 and heartbeat["running"] == 0
+    assert heartbeat["mean_task_seconds"] > 0
+    assert heartbeat["updated_at"] > 0
+
+    # The event stream is itself a valid v1 trace.
+    assert validate_trace_file(str(store.telemetry_events_path)) == []
+    events = read_events(run_dir)
+    started = [e for e in events if e["event"] == "sweep_task_started"]
+    finished = [e for e in events if e["event"] == "sweep_task_finished"]
+    assert len(started) == len(finished) == 2
+    assert {e["key"] for e in started} == {e["key"] for e in finished}
+    assert all(e["status"] == "ok" and e["seconds"] >= 0 for e in finished)
+    assert max(e["done"] for e in finished) == 2
+
+
+def test_failed_task_is_surfaced_in_telemetry(tmp_path, monkeypatch):
+    real = executor_module.execute_task
+
+    def flaky(payload):
+        if payload["overrides"].get("seed") == 3:
+            raise RuntimeError("injected failure")
+        return real(payload)
+
+    monkeypatch.setattr(executor_module, "execute_task", flaky)
+    run_dir = tmp_path / "run"
+    outcome = run_sweep(tiny_spec(), run_dir, jobs=1)
+    assert len(outcome.failed) == 1
+
+    heartbeat = RunStore(run_dir).read_heartbeat()
+    assert heartbeat["failed"] == 1 and heartbeat["done"] == 2
+    failed = [
+        e for e in read_events(run_dir)
+        if e["event"] == "sweep_task_finished" and e["status"] == "failed"
+    ]
+    assert len(failed) == 1
+    assert "injected failure" in failed[0]["error"]
+
+
+def test_telemetry_seq_stays_monotonic_across_resume(tmp_path):
+    run_dir = tmp_path / "run"
+    first = run_sweep(tiny_spec(), run_dir, jobs=1, limit=1)
+    assert not first.complete
+    second = run_sweep(tiny_spec(), run_dir, jobs=1)
+    assert second.complete
+    assert second.skipped  # the resume really did skip the checkpointed task
+
+    events = read_events(run_dir)
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    # Both invocations contributed events to the same stream.
+    finished = [e for e in events if e["event"] == "sweep_task_finished"]
+    assert len(finished) == 2
+    assert validate_trace_file(str(RunStore(run_dir).telemetry_events_path)) == []
+
+
+def test_telemetry_can_be_disabled(tmp_path):
+    run_dir = tmp_path / "run"
+    outcome = run_sweep(tiny_spec(n_seeds=1), run_dir, jobs=1, telemetry=False)
+    assert outcome.complete
+    assert not (run_dir / "telemetry").exists()

@@ -192,6 +192,60 @@ def test_trace_validate_rejects_unknown_event(capsys, tmp_path):
     assert code == 1
 
 
+class TestTraceCommands:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "trace.jsonl.gz"
+        code = main([
+            "sim", "--scale", "0.004", "--days", "3", "--repair",
+            "--faults", "drop_transfer:rate=0.5:from_epoch=6:until_epoch=40",
+            "--trace", str(path),
+        ])
+        assert code == 0
+        return str(path)
+
+    def test_trace_validate_subcommand_reads_gzip(self, capsys, trace_path):
+        code, out = run_cli(capsys, "trace", "validate", trace_path)
+        assert code == 0
+        assert "all valid" in out
+
+    def test_trace_analyze_text_and_json(self, capsys, trace_path):
+        import json
+
+        code, out = run_cli(capsys, "trace", "analyze", trace_path)
+        assert code == 0
+        assert "unavailability attribution" in out
+        assert "replica lifecycles" in out
+        code, out = run_cli(capsys, "trace", "analyze", trace_path, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["lifecycles"]
+        assert payload["total_unavailable_epochs"] == sum(
+            row["unavailable_epochs"] for row in payload["attribution"]
+        )
+
+    def test_trace_anomalies(self, capsys, trace_path):
+        import json
+
+        code, out = run_cli(
+            capsys, "trace", "anomalies", trace_path, "--json",
+            "--churn-storm-drops", "5",
+        )
+        assert code == 0
+        findings = json.loads(out)
+        assert any(f["rule"] == "churn_storm" for f in findings)
+
+    def test_trace_timeline(self, capsys, trace_path):
+        import json
+
+        code, out = run_cli(capsys, "trace", "analyze", trace_path, "--json")
+        owner = json.loads(out)["attribution"][0]["owner"]
+        code, out = run_cli(capsys, "trace", "timeline", trace_path, str(owner))
+        assert code == 0
+        assert f"owner {owner}:" in out
+        assert "unavailable" in out
+
+
 def test_metrics_view(capsys):
     code, out = run_cli(
         capsys, "metrics", "--scale", "0.004", "--days", "2", "--repair"
@@ -293,6 +347,47 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "dataset=epinions" in out
+
+    def test_sweep_writes_telemetry(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir))
+        assert (run_dir / "telemetry" / "heartbeat.json").exists()
+        code, _ = run_cli(
+            capsys, "trace", "validate",
+            str(run_dir / "telemetry" / "events.jsonl"),
+        )
+        assert code == 0
+
+    def test_sweep_status_watch_exits_when_complete(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        run_cli(capsys, *self.SWEEP_ARGS, "--out", str(run_dir))
+        code, out = run_cli(
+            capsys, "sweep", "--out", str(run_dir), "--status", "--watch",
+            "--interval", "0.1",
+        )
+        assert code == 0
+        assert "2/2 tasks complete" in out
+
+    def test_sweep_status_watch_surfaces_failures(self, capsys, tmp_path, monkeypatch):
+        from repro.runtime import executor as executor_module
+
+        real = executor_module.execute_task
+
+        def flaky(payload):
+            if payload["overrides"].get("altruist_fraction") == 0.02:
+                raise RuntimeError("boom")
+            return real(payload)
+
+        monkeypatch.setattr(executor_module, "execute_task", flaky)
+        run_dir = tmp_path / "run"
+        main([*self.SWEEP_ARGS, "--out", str(run_dir)])
+        capsys.readouterr()
+        code, out = run_cli(
+            capsys, "sweep", "--out", str(run_dir), "--status", "--watch",
+            "--interval", "0.1",
+        )
+        assert code == 1
+        assert "failed" in out and "boom" in out
 
     def test_sweep_rejects_bad_override(self, capsys, tmp_path):
         code = main(
