@@ -1,0 +1,52 @@
+"""repro.bench — the standing perf-regression harness behind ``soup bench``.
+
+The suite (:mod:`repro.bench.suite`) measures the simulator's hot paths —
+epoch-loop throughput, SimNetwork message rate, sweep-orchestrator
+overhead, crypto-mode sign/verify rates — and serializes each run as a
+schema-versioned ``BENCH_*.json`` artifact (:mod:`repro.bench.artifacts`,
+schema ``soup-bench/v1``).  ``soup bench --check --baseline PATH`` diffs a
+fresh run against a committed baseline and fails on regressions beyond a
+configurable threshold; CI runs the smoke profile on every push.
+
+See ``docs/BENCHMARKS.md``.
+"""
+
+from repro.bench.artifacts import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    BenchResult,
+    Comparison,
+    ComparisonRow,
+    build_artifact,
+    compare,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.suite import (
+    PROFILES,
+    BenchProfile,
+    benchmark_names,
+    register,
+    resolve_profile,
+    run_suite,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "BenchProfile",
+    "BenchResult",
+    "Comparison",
+    "ComparisonRow",
+    "PROFILES",
+    "benchmark_names",
+    "build_artifact",
+    "compare",
+    "load_artifact",
+    "register",
+    "resolve_profile",
+    "run_suite",
+    "validate_artifact",
+    "write_artifact",
+]

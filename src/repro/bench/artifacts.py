@@ -1,0 +1,195 @@
+"""Schema-versioned benchmark artifacts (``BENCH_*.json``) and baseline diffs.
+
+Every ``soup bench`` run serializes its results as a ``soup-bench/v1``
+document.  Artifacts are the interchange format of the perf-regression
+harness: CI uploads them, baselines are committed under
+``benchmarks/baselines/``, and :func:`compare` diffs a fresh run against a
+baseline with a configurable regression threshold.
+
+Throughput is the primary metric (higher is better); wall-clock is kept
+alongside for context.  A benchmark regresses when its throughput falls
+below ``baseline * (1 - threshold)`` — the threshold absorbs scheduler
+noise on shared CI hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+BENCH_SCHEMA = "soup-bench/v1"
+
+#: Default relative throughput drop tolerated before a run is flagged.
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurement."""
+
+    name: str
+    wall_seconds: float
+    throughput: float
+    unit: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "unit": self.unit,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=str(data["name"]),
+            wall_seconds=float(data["wall_seconds"]),
+            throughput=float(data["throughput"]),
+            unit=str(data.get("unit", "ops/s")),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+def build_artifact(
+    results: List[BenchResult],
+    profile: str,
+    seed: int,
+    created: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the ``soup-bench/v1`` document for one suite run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "profile": profile,
+        "seed": seed,
+        "created": created or "",
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "results": {result.name: result.to_dict() for result in results},
+    }
+
+
+def validate_artifact(payload: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed artifact."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench artifact must be a JSON object")
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(f"expected schema {BENCH_SCHEMA!r}, got {schema!r}")
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        raise ValueError("bench artifact has no 'results' mapping")
+    for name, entry in results.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"result {name!r} is not an object")
+        for key in ("name", "wall_seconds", "throughput"):
+            if key not in entry:
+                raise ValueError(f"result {name!r} is missing {key!r}")
+        if float(entry["wall_seconds"]) < 0:
+            raise ValueError(f"result {name!r} has negative wall_seconds")
+        if float(entry["throughput"]) < 0:
+            raise ValueError(f"result {name!r} has negative throughput")
+
+
+def write_artifact(payload: Dict[str, Any], path: str) -> None:
+    validate_artifact(payload)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    payload = json.loads(Path(path).read_text())
+    validate_artifact(payload)
+    return payload
+
+
+def artifact_results(payload: Dict[str, Any]) -> Dict[str, BenchResult]:
+    return {
+        name: BenchResult.from_dict(entry)
+        for name, entry in payload["results"].items()
+    }
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    baseline_throughput: float
+    current_throughput: float
+    #: current / baseline; > 1 is faster, < 1 - threshold is a regression.
+    ratio: float
+    regressed: bool
+
+
+@dataclass
+class Comparison:
+    """The full diff of a run against a baseline artifact."""
+
+    threshold: float
+    rows: List[ComparisonRow] = field(default_factory=list)
+    #: Benchmarks present in only one of the two artifacts.
+    only_in_baseline: List[str] = field(default_factory=list)
+    only_in_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def report_lines(self) -> List[str]:
+        lines = []
+        for row in self.rows:
+            verdict = "REGRESSION" if row.regressed else "ok"
+            lines.append(
+                f"{row.name:<24} baseline={row.baseline_throughput:>12.1f} "
+                f"current={row.current_throughput:>12.1f} "
+                f"ratio={row.ratio:.2f}  {verdict}"
+            )
+        for name in self.only_in_baseline:
+            lines.append(f"{name:<24} missing from current run")
+        for name in self.only_in_current:
+            lines.append(f"{name:<24} new (no baseline)")
+        return lines
+
+
+def compare(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Diff two artifacts; only benchmarks present in both are judged."""
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    base = artifact_results(baseline)
+    cur = artifact_results(current)
+    comparison = Comparison(threshold=threshold)
+    for name in base:
+        if name not in cur:
+            comparison.only_in_baseline.append(name)
+            continue
+        base_tp = base[name].throughput
+        cur_tp = cur[name].throughput
+        ratio = cur_tp / base_tp if base_tp > 0 else float("inf")
+        comparison.rows.append(
+            ComparisonRow(
+                name=name,
+                baseline_throughput=base_tp,
+                current_throughput=cur_tp,
+                ratio=ratio,
+                regressed=ratio < 1.0 - threshold,
+            )
+        )
+    comparison.only_in_current = [name for name in cur if name not in base]
+    return comparison

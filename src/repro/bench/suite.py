@@ -1,0 +1,281 @@
+"""The standing benchmark suite behind ``soup bench``.
+
+Four benchmarks cover the hot paths the epoch-loop overhaul optimized:
+
+* ``epoch_loop`` — a fig5-style availability run on the WOSN (Facebook)
+  graph; throughput in node-epochs/s.  The ``full`` profile runs the
+  paper-scale graph (90,269 nodes / 3.6M directed edges).
+* ``simnet_messages`` — raw :class:`~repro.network.simnet.SimNetwork`
+  delivery rate with pooled events; throughput in messages/s.
+* ``sweep_overhead`` — a tiny grid through the ``repro.runtime``
+  orchestrator, measuring per-task overhead; throughput in tasks/s.
+* ``crypto_modes`` — sign+verify rate in ``by_id`` mode, with the
+  ``full``-RSA rate and the speedup in the detail block.
+
+Each benchmark is a registered callable taking a :class:`BenchProfile`
+and returning a :class:`~repro.bench.artifacts.BenchResult`; tests (and
+extensions) can :func:`register` additional benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.artifacts import BenchResult
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Knobs shared by the suite's benchmarks."""
+
+    name: str
+    seed: int = 5
+    #: Dataset scale for the epoch-loop benchmark (1.0 = paper size).
+    scale: float = 0.005
+    #: Simulated days for the epoch-loop benchmark.
+    days: int = 4
+    #: Messages pushed through the SimNetwork benchmark.
+    messages: int = 20_000
+    #: Seeds (= tasks) in the sweep-overhead grid.
+    sweep_seeds: int = 3
+    #: Objects signed+verified per crypto mode.
+    crypto_objects: int = 60
+    #: RSA modulus size for the crypto benchmark.
+    crypto_bits: int = 512
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    # CI-sized: the whole suite runs in well under a minute.
+    "smoke": BenchProfile(name="smoke"),
+    # Paper-scale WOSN epoch loop; minutes, not hours.
+    "full": BenchProfile(
+        name="full",
+        scale=1.0,
+        days=2,
+        messages=200_000,
+        sweep_seeds=4,
+        crypto_objects=200,
+    ),
+}
+
+
+def resolve_profile(
+    name: str, scale: Optional[float] = None, seed: Optional[int] = None
+) -> BenchProfile:
+    """Look up a profile, optionally overriding scale/seed from the CLI."""
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise KeyError(f"unknown profile {name!r}; available: {sorted(PROFILES)}")
+    if scale is not None:
+        profile = replace(profile, scale=scale)
+    if seed is not None:
+        profile = replace(profile, seed=seed)
+    return profile
+
+
+BenchFn = Callable[[BenchProfile], BenchResult]
+
+_REGISTRY: Dict[str, BenchFn] = {}
+
+
+def register(name: str) -> Callable[[BenchFn], BenchFn]:
+    """Register a benchmark under ``name`` (last registration wins, so
+    tests can shadow real benchmarks with synthetic ones)."""
+
+    def decorator(fn: BenchFn) -> BenchFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def benchmark_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def run_suite(
+    profile: BenchProfile, names: Optional[List[str]] = None
+) -> List[BenchResult]:
+    """Run the selected benchmarks (default: all) in registration order."""
+    selected = names or benchmark_names()
+    unknown = [name for name in selected if name not in _REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmarks {unknown}; available: {benchmark_names()}"
+        )
+    return [_REGISTRY[name](profile) for name in selected]
+
+
+# --- the standing suite ---------------------------------------------------
+
+
+@register("epoch_loop")
+def bench_epoch_loop(profile: BenchProfile) -> BenchResult:
+    """Fig5-style epoch-loop throughput on the WOSN graph.
+
+    Graph generation is measured separately (``detail.graph_seconds``) so
+    the headline number isolates the engine's epoch loop.
+    """
+    from repro.graphs.datasets import generate_dataset
+    from repro.sim.engine import SoupSimulation
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        dataset="facebook",
+        scale=profile.scale,
+        n_days=profile.days,
+        seed=profile.seed,
+    )
+    graph_start = time.perf_counter()
+    graph = generate_dataset("facebook", scale=profile.scale, seed=profile.seed)
+    graph_seconds = time.perf_counter() - graph_start
+
+    sim = SoupSimulation(graph, config)
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
+
+    node_epochs = graph.number_of_nodes() * config.n_epochs
+    return BenchResult(
+        name="epoch_loop",
+        wall_seconds=wall,
+        throughput=node_epochs / wall if wall > 0 else 0.0,
+        unit="node-epochs/s",
+        detail={
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "epochs": config.n_epochs,
+            "graph_seconds": graph_seconds,
+            "steady_availability": result.steady_state_availability(),
+        },
+    )
+
+
+@register("simnet_messages")
+def bench_simnet_messages(profile: BenchProfile) -> BenchResult:
+    """Raw SimNetwork message rate with pooled delivery events."""
+    from repro.network.events import EventLoop
+    from repro.network.simnet import SimNetwork
+
+    n_nodes = 64
+    loop = EventLoop()
+    net = SimNetwork(loop)
+    received = [0]
+
+    def handler(sender, message):
+        received[0] += 1
+
+    for node_id in range(n_nodes):
+        net.register(node_id, handler)
+
+    start = time.perf_counter()
+    for i in range(profile.messages):
+        sender = i % n_nodes
+        receiver = (i + 1 + i // n_nodes) % n_nodes
+        if receiver == sender:
+            receiver = (receiver + 1) % n_nodes
+        net.send(sender, receiver, ("ping", i), size_bytes=512)
+        # Drain in batches so the heap and the event pool stay hot but
+        # bounded, the way the engine's epoch loop drives the network.
+        if i % 1024 == 1023:
+            loop.run_until(loop.now + 3600.0)
+    loop.run_until(loop.now + 3600.0)
+    wall = time.perf_counter() - start
+
+    return BenchResult(
+        name="simnet_messages",
+        wall_seconds=wall,
+        throughput=net.messages_delivered / wall if wall > 0 else 0.0,
+        unit="messages/s",
+        detail={
+            "sent": profile.messages,
+            "delivered": net.messages_delivered,
+            "handler_invocations": received[0],
+            "pool_size": len(net._event_pool),
+        },
+    )
+
+
+@register("sweep_overhead")
+def bench_sweep_overhead(profile: BenchProfile) -> BenchResult:
+    """Orchestrator overhead: a tiny sweep grid, serial, through the full
+    spec → task → checkpoint → aggregate path."""
+    import tempfile
+
+    from repro.runtime import load_records, run_sweep
+    from repro.runtime.spec import SweepSpec
+
+    spec = SweepSpec.from_mapping(
+        {
+            "name": "bench-overhead",
+            "base": {"dataset": "facebook", "scale": 0.003, "n_days": 1},
+            "seeds": list(range(profile.sweep_seeds)),
+        }
+    )
+    with tempfile.TemporaryDirectory(prefix="soup-bench-sweep-") as tmp:
+        start = time.perf_counter()
+        outcome = run_sweep(spec, tmp, jobs=1)
+        records = load_records(tmp)
+        wall = time.perf_counter() - start
+    if outcome.failed:
+        raise RuntimeError(f"sweep benchmark tasks failed: {outcome.failed}")
+
+    tasks = len(records)
+    return BenchResult(
+        name="sweep_overhead",
+        wall_seconds=wall,
+        throughput=tasks / wall if wall > 0 else 0.0,
+        unit="tasks/s",
+        detail={"tasks": tasks, "seconds_per_task": wall / tasks if tasks else 0.0},
+    )
+
+
+@register("crypto_modes")
+def bench_crypto_modes(profile: BenchProfile) -> BenchResult:
+    """Sign+verify rate of ``crypto_mode="by_id"`` vs full RSA."""
+    from repro.core.objects import ObjectType, SoupObject
+    from repro.crypto.keys import KeyPair
+    from repro.node.security_manager import SecurityManager
+
+    keys = KeyPair.generate(bits=profile.crypto_bits, seed=profile.seed)
+
+    def run_mode(mode: str, count: int) -> float:
+        manager = SecurityManager(keys, crypto_mode=mode)
+        manager.learn_public_key(keys.soup_id, keys.public)
+        start = time.perf_counter()
+        for i in range(count):
+            obj = SoupObject(
+                source=keys.soup_id,
+                dest=keys.soup_id,
+                object_type=ObjectType.MESSAGE,
+                payload={"seq": i},
+            )
+            manager.sign_object(obj)
+            if not manager.verify_object(obj):
+                raise RuntimeError(f"self-signed object failed to verify ({mode})")
+        return time.perf_counter() - start
+
+    # by_id is ~25x faster per op, so it gets proportionally more
+    # iterations — a sub-millisecond measurement would be all jitter.
+    full_ops = profile.crypto_objects
+    by_id_ops = profile.crypto_objects * 100
+    full_wall = run_mode("full", full_ops)
+    by_id_wall = run_mode("by_id", by_id_ops)
+
+    full_rate = full_ops / full_wall if full_wall > 0 else 0.0
+    by_id_rate = by_id_ops / by_id_wall if by_id_wall > 0 else 0.0
+    return BenchResult(
+        name="crypto_modes",
+        wall_seconds=by_id_wall,
+        throughput=by_id_rate,
+        unit="sign+verify/s",
+        detail={
+            "full_objects": full_ops,
+            "by_id_objects": by_id_ops,
+            "full_wall_seconds": full_wall,
+            "full_ops_per_s": full_rate,
+            "by_id_speedup": by_id_rate / full_rate if full_rate > 0 else 0.0,
+        },
+    )

@@ -267,7 +267,12 @@ def _cmd_table4(args) -> int:
 def _cmd_deploy(args) -> int:
     from repro.deploy.emulation import Deployment
 
-    deployment = Deployment(n_desktop=args.desktop, n_mobile=args.mobile, seed=args.seed)
+    deployment = Deployment(
+        n_desktop=args.desktop,
+        n_mobile=args.mobile,
+        seed=args.seed,
+        crypto_mode=args.crypto_mode,
+    )
     report = deployment.run(duration_s=args.duration, selection_rounds=args.rounds)
     print(f"users={report.n_users} mobile={report.n_mobile} "
           f"friendships={report.friendships} photos={report.photos_shared} "
@@ -646,6 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--duration", type=float, default=1800.0)
     pd.add_argument("--rounds", type=int, default=15)
     pd.add_argument("--seed", type=int, default=7)
+    pd.add_argument("--crypto-mode", default="full",
+                    choices=("full", "by_id"),
+                    help="signature scheme: real RSA ('full') or simulated "
+                         "by-ID signatures ('by_id'; see docs/PROTOCOL.md)")
     _obs_flags(pd)
 
     ps = sub.add_parser(
@@ -696,6 +705,40 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--rate", type=float, default=20.0)
     pf.add_argument("--duration", type=int, default=300)
     pf.add_argument("--seed", type=int, default=7)
+
+    pb = sub.add_parser(
+        "bench",
+        help="run the standing perf suite; emit a soup-bench/v1 artifact "
+             "and optionally diff it against a baseline "
+             "(see docs/BENCHMARKS.md)",
+    )
+    pb.add_argument("names", nargs="*", metavar="BENCH",
+                    help="benchmarks to run (default: the whole suite; "
+                         "see --list)")
+    pb.add_argument("--list", action="store_true",
+                    help="list the registered benchmarks and exit")
+    pb.add_argument("--bench-profile", default="smoke", metavar="PROFILE",
+                    choices=("smoke", "full"),
+                    help="suite sizing: 'smoke' (CI, seconds) or 'full' "
+                         "(paper-scale WOSN epoch loop; minutes)")
+    pb.add_argument("--scale", type=float, default=None,
+                    help="override the profile's dataset scale")
+    pb.add_argument("--seed", type=int, default=None,
+                    help="override the profile's seed")
+    pb.add_argument("--out", default=None, metavar="PATH",
+                    help="write the BENCH_*.json artifact here "
+                         "(default: BENCH_<profile>.json)")
+    pb.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline artifact to diff against "
+                         "(e.g. benchmarks/baselines/BENCH_baseline.json)")
+    pb.add_argument("--check", action="store_true",
+                    help="with --baseline: exit 4 if any benchmark's "
+                         "throughput regresses beyond the threshold")
+    pb.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                    help="relative throughput drop tolerated before a "
+                         "regression is flagged (default: 0.30)")
+    pb.add_argument("--json", action="store_true",
+                    help="print the artifact JSON to stdout")
 
     pr = sub.add_parser("replay", help="replay a soup-repro/v1 violation line")
     pr.add_argument("line", help="one-line repro string from an InvariantViolation")
@@ -766,6 +809,66 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_bench(args) -> int:
+    from datetime import datetime, timezone
+
+    from repro.bench import (
+        DEFAULT_THRESHOLD,
+        benchmark_names,
+        build_artifact,
+        compare,
+        load_artifact,
+        resolve_profile,
+        run_suite,
+        write_artifact,
+    )
+
+    if args.list:
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    profile = resolve_profile(
+        args.bench_profile, scale=args.scale, seed=args.seed
+    )
+    names = args.names or None
+    print(f"profile={profile.name} scale={profile.scale} seed={profile.seed}",
+          file=sys.stderr)
+    results = run_suite(profile, names)
+    artifact = build_artifact(
+        results,
+        profile=profile.name,
+        seed=profile.seed,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+
+    out_path = args.out or f"BENCH_{profile.name}.json"
+    write_artifact(artifact, out_path)
+    for result in results:
+        print(f"{result.name:<24} {result.throughput:>12.1f} {result.unit:<16} "
+              f"wall={result.wall_seconds:.3f}s")
+    print(f"artifact: {out_path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+
+    if args.baseline:
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        comparison = compare(load_artifact(args.baseline), artifact, threshold)
+        print(f"\nbaseline diff vs {args.baseline} (threshold {threshold:.0%}):")
+        for line in comparison.report_lines():
+            print(line)
+        if args.check and not comparison.ok:
+            names_ = ", ".join(row.name for row in comparison.regressions)
+            print(f"perf regression: {names_}", file=sys.stderr)
+            return 4
+    elif args.check:
+        print("bench --check requires --baseline", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_replay(args) -> int:
     from repro.sim.invariants import run_repro
 
@@ -830,6 +933,8 @@ def _dispatch(args) -> int:
         return _cmd_sweep(args)
     if command == "replay":
         return _cmd_replay(args)
+    if command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {command}")
 
 

@@ -39,6 +39,24 @@ class StoreDecision:
     reason: str = ""
 
 
+class _ScoreTable(Dict[int, float]):
+    """Dropping scores with a running upper bound.
+
+    ``ceiling`` bounds every stored score from above (stale-high after
+    score decreases, tightened on each full blacklist scan), which lets
+    :meth:`ReplicaStore._check_blacklist` skip the all-owners scan while
+    nothing can possibly have reached θ.  Tracking happens in
+    ``__setitem__`` so even direct score writes keep the bound valid.
+    """
+
+    ceiling: float = 0.0
+
+    def __setitem__(self, owner: int, score: float) -> None:
+        super().__setitem__(owner, score)
+        if score > self.ceiling:
+            self.ceiling = score
+
+
 class ReplicaStore:
     """A mirror's replica storage with protective dropping.
 
@@ -53,7 +71,7 @@ class ReplicaStore:
         self.capacity_profiles = capacity_profiles
         self._config = config
         self._replicas: Dict[int, ReplicaInfo] = {}
-        self._scores: Dict[int, float] = {}
+        self._scores: _ScoreTable = _ScoreTable()
         self._blacklist: Set[int] = set()
 
     # --- inspection -------------------------------------------------------
@@ -175,10 +193,18 @@ class ReplicaStore:
         return self._check_blacklist()
 
     def _check_blacklist(self) -> List[int]:
+        if self._scores.ceiling < self._config.theta:
+            return []
         removed = []
+        ceiling = 0.0
         for owner, score in self._scores.items():
-            if score >= self._config.theta and owner not in self._blacklist:
+            if owner in self._blacklist:
+                continue
+            if score >= self._config.theta:
                 self._blacklist.add(owner)
                 if self._replicas.pop(owner, None) is not None:
                     removed.append(owner)
+            elif score > ceiling:
+                ceiling = score
+        self._scores.ceiling = ceiling
         return removed

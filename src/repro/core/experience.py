@@ -72,23 +72,38 @@ class ExperienceSet:
     exchange" (Sec. 4.4).
     """
 
+    __slots__ = ("observed_friend", "_counts")
+
     def __init__(self, observed_friend: int) -> None:
         self.observed_friend = observed_friend
-        self._records: Dict[int, ObservationRecord] = {}
+        # Packed counters ``mirror -> [requests, successes]``: observe() is
+        # the single hottest call of the epoch loop (one per mirror per
+        # profile request), so the per-mirror state is two list slots
+        # instead of an ObservationRecord allocation.  record_for() still
+        # materializes ObservationRecord for callers.
+        self._counts: Dict[int, List[int]] = {}
 
     def observe(self, mirror: int, success: bool) -> None:
         """Record one attempt to fetch the friend's data from ``mirror``."""
-        self._records.setdefault(mirror, ObservationRecord()).observe(success)
+        counter = self._counts.get(mirror)
+        if counter is None:
+            counter = self._counts[mirror] = [0, 0]
+        counter[0] += 1
+        if success:
+            counter[1] += 1
 
     def record_for(self, mirror: int) -> ObservationRecord:
         """The accumulated record for ``mirror`` (empty if never observed)."""
-        return self._records.get(mirror, ObservationRecord())
+        counter = self._counts.get(mirror)
+        if counter is None:
+            return ObservationRecord()
+        return ObservationRecord(counter[0], counter[1])
 
     def observed_mirrors(self) -> List[int]:
-        return list(self._records)
+        return list(self._counts)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._counts)
 
     def drain(self, reporter: int, o_max: int) -> List[ExperienceReport]:
         """Produce capped reports for an ES exchange and reset the set.
@@ -97,18 +112,18 @@ class ExperienceSet:
         single (possibly malicious) reporter can claim unbounded influence.
         """
         reports = []
-        for mirror, record in self._records.items():
-            if record.requests == 0:
+        for mirror, (requests, successes) in self._counts.items():
+            if requests == 0:
                 continue
             reports.append(
                 ExperienceReport(
                     reporter=reporter,
                     mirror=mirror,
-                    observations=min(record.requests, o_max),
-                    availability=record.availability,
+                    observations=min(requests, o_max),
+                    availability=successes / requests,
                 )
             )
-        self._records.clear()
+        self._counts.clear()
         return reports
 
 

@@ -96,12 +96,22 @@ class RegularRanker:
     Algorithm 1.
     """
 
-    def __init__(self, knowledge: KnowledgeBase, config: SoupConfig) -> None:
+    def __init__(
+        self, knowledge: KnowledgeBase, config: SoupConfig, columnar: bool = False
+    ) -> None:
         self._knowledge = knowledge
         self._config = config
         #: mirror -> [decayed request weight, decayed success weight]
-        #: (used by the "aged_counts" estimator).
+        #: (used by the "aged_counts" estimator in scalar mode).
         self._counters: Dict[int, List[float]] = {}
+        #: Packed-array twin of ``_counters`` (columnar engine mode);
+        #: bit-identical by construction, property-tested in
+        #: tests/property/test_columnar_properties.py.
+        self._columns = None
+        if columnar:
+            from repro.core.columnar import AgedCounterColumns
+
+            self._columns = AgedCounterColumns()
 
     def ingest_reports(self, reports: Iterable[ExperienceReport]) -> Dict[int, float]:
         """Apply one exchange round of reports; returns updated exp values."""
@@ -133,24 +143,37 @@ class RegularRanker:
         """
         retention = self._config.count_retention
         o_max = self._config.o_max
-        for counter in self._counters.values():
-            counter[0] *= retention
-            counter[1] *= retention
+        columns = self._columns
+        if columns is not None:
+            columns.decay(retention)
+        else:
+            for counter in self._counters.values():
+                counter[0] *= retention
+                counter[1] *= retention
 
         updated: Dict[int, float] = {}
+        owner = self._knowledge.owner
         for report in reports:
-            if report.mirror == self._knowledge.owner:
+            if report.mirror == owner:
                 continue
             # Per-friend cap first (Eq. 1's security property), then the
             # extension weight (tie strength, Sec. 8) scales the influence.
             weight = min(report.observations, o_max) * max(0.0, report.weight)
             if weight <= 0:
                 continue
-            counter = self._counters.setdefault(report.mirror, [0.0, 0.0])
-            counter[0] += weight
-            counter[1] += weight * report.availability
+            if columns is not None:
+                columns.add(report.mirror, weight, report.availability)
+            else:
+                counter = self._counters.setdefault(report.mirror, [0.0, 0.0])
+                counter[0] += weight
+                counter[1] += weight * report.availability
         prior = self._config.bootstrap_prior
         prior_weight = self._config.count_prior_weight
+        if columns is not None:
+            for mirror, value in columns.scores(prior, prior_weight):
+                self._knowledge.set_experience(mirror, value)
+                updated[mirror] = value
+            return updated
         for mirror, (requests, successes) in self._counters.items():
             if requests <= 0.0:
                 continue

@@ -1,0 +1,54 @@
+"""Simulated by-ID signatures: the `crypto_mode="by_id"` scheme.
+
+Textbook-RSA sign/verify (:mod:`repro.crypto.rsa`) costs a modular
+exponentiation per object — the right price when a scenario attacks the
+signature scheme itself, pure overhead when it does not.  In ``by_id``
+mode a signature is the pair *(signer's SOUP ID, message digest)*:
+producing one is a single SHA-256, and verification checks that
+
+1. the embedded signer ID equals the object's claimed source — inside the
+   simulation, only the node that owns an identity signs through its own
+   :class:`~repro.node.security_manager.SecurityManager`, so this models
+   "only the private-key holder can sign as this ID";
+2. the digest matches the received bytes (integrity); and
+3. the receiver knows the source's public key (same directory-resolution
+   requirement as full mode — unknown senders are still discarded).
+
+A Sybil or slanderer forging an update with ``source = victim`` therefore
+still fails verification in both modes: its own manager embeds *its* ID
+(by_id) or signs with *its* key (full).  What by_id deliberately does not
+model is an attacker hand-crafting the signature tuple outside the
+protocol stack — scenarios that attack the signature scheme itself must
+run ``crypto_mode="full"`` (see docs/PROTOCOL.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.obs import get_registry
+
+
+@dataclass(frozen=True)
+class ByIdSignature:
+    """A simulated signature: who signed, over which bytes."""
+
+    signer: int
+    digest: bytes
+
+
+def sign_by_id(message: bytes, signer_id: int) -> ByIdSignature:
+    """Produce the simulated signature for ``message``."""
+    get_registry().counter("crypto.by_id.signs").inc()
+    return ByIdSignature(signer=signer_id, digest=hashlib.sha256(message).digest())
+
+
+def verify_by_id(message: bytes, signature: object, expected_signer: int) -> bool:
+    """Verify a simulated signature against the object's claimed source."""
+    get_registry().counter("crypto.by_id.verifies").inc()
+    if not isinstance(signature, ByIdSignature):
+        return False
+    if signature.signer != expected_signer:
+        return False
+    return signature.digest == hashlib.sha256(message).digest()

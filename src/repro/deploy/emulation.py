@@ -77,6 +77,7 @@ class Deployment:
         seed: int = 7,
         config: Optional[SoupConfig] = None,
         key_bits: int = 512,
+        crypto_mode: str = "full",
     ) -> None:
         if n_desktop < 1:
             raise ValueError("need at least one desktop node (the gateway)")
@@ -95,6 +96,7 @@ class Deployment:
         self.users: List[SoupNode] = []
         self._seed = seed
         self._key_bits = key_bits
+        self.crypto_mode = crypto_mode
         self.n_desktop = n_desktop
         self.n_mobile = n_mobile
 
@@ -114,6 +116,7 @@ class Deployment:
             is_mobile=is_mobile,
             link=link,
             key_bits=self._key_bits,
+            crypto_mode=self.crypto_mode,
             # Sec. 7: "All phones were relaying via the same gateway node"
             # — the study pinned phones to the gateway, so regular users
             # refuse relays (the limit every regular node can set).

@@ -68,11 +68,16 @@ def _adjust_edge_count(graph: nx.Graph, target_edges: int, rng: random.Random) -
     friend, matching the connected crawls the paper uses).
     """
     nodes = list(graph.nodes)
-    while graph.number_of_edges() < target_edges:
+    # Track the edge count locally: graph.number_of_edges() is O(E) in
+    # networkx, which made this loop quadratic at full WOSN scale
+    # (3.6M edges).  The RNG draw sequence is unchanged.
+    edge_count = graph.number_of_edges()
+    while edge_count < target_edges:
         u, v = rng.sample(nodes, 2)
         if not graph.has_edge(u, v):
             graph.add_edge(u, v)
-    if graph.number_of_edges() > target_edges:
+            edge_count += 1
+    if edge_count > target_edges:
         removable = [
             (u, v)
             for u, v in graph.edges
@@ -80,10 +85,11 @@ def _adjust_edge_count(graph: nx.Graph, target_edges: int, rng: random.Random) -
         ]
         rng.shuffle(removable)
         for u, v in removable:
-            if graph.number_of_edges() <= target_edges:
+            if edge_count <= target_edges:
                 break
             if graph.degree[u] > 1 and graph.degree[v] > 1:
                 graph.remove_edge(u, v)
+                edge_count -= 1
 
 
 def generate_dataset(name: str, scale: float = 1.0, seed: int = 0) -> nx.Graph:

@@ -115,6 +115,70 @@ Handler = Callable[[int, Any], None]
 FailureHandler = Callable[[int, Any, str], None]
 
 
+class _NetEvent:
+    """One scheduled delivery or failure notification, pooled.
+
+    Every :meth:`SimNetwork.send` used to allocate a fresh closure per
+    message; at deployment-emulation message rates that allocation (and
+    the captured cell objects) dominated the network layer's profile.  An
+    event object instead carries the message fields in ``__slots__`` and
+    returns itself to the network's free list after firing, so steady-state
+    traffic allocates nothing per message.  The event loop fires each
+    scheduled entry exactly once, so an event is only recycled after its
+    single shot — at-most-once delivery is preserved (property-tested in
+    tests/property/test_reliability_properties.py).
+    """
+
+    __slots__ = (
+        "net",
+        "kind",
+        "sender",
+        "receiver",
+        "message",
+        "size_bytes",
+        "receive_duration",
+        "reason",
+        "failure_handler",
+    )
+
+    #: Event kinds.
+    DELIVER = 0
+    FAIL = 1
+
+    def __init__(self, net: "SimNetwork") -> None:
+        self.net = net
+        self.kind = _NetEvent.DELIVER
+        self.sender = 0
+        self.receiver = 0
+        self.message = None
+        self.size_bytes = 0
+        self.receive_duration = 0.0
+        self.reason = ""
+        self.failure_handler: Optional[FailureHandler] = None
+
+    def __call__(self) -> None:
+        net = self.net
+        try:
+            if self.kind == _NetEvent.DELIVER:
+                net._deliver(
+                    self.sender,
+                    self.receiver,
+                    self.message,
+                    self.size_bytes,
+                    self.receive_duration,
+                )
+            else:
+                handler = self.failure_handler
+                if handler is not None:
+                    handler(self.receiver, self.message, self.reason)
+        finally:
+            # Drop payload/handler references before pooling so a recycled
+            # slot cannot keep a message graph alive.
+            self.message = None
+            self.failure_handler = None
+            net._event_pool.append(self)
+
+
 class SimNetwork:
     """Message delivery between registered nodes over an event loop."""
 
@@ -138,6 +202,8 @@ class SimNetwork:
         self._uplink_free_at: Dict[int, float] = {}
         #: Time each node's downlink is busy until (receives serialize).
         self._downlink_free_at: Dict[int, float] = {}
+        #: Free list of recycled :class:`_NetEvent` objects.
+        self._event_pool: List[_NetEvent] = []
 
     # --- membership -------------------------------------------------------
     def register(
@@ -208,6 +274,51 @@ class SimNetwork:
         bottleneck = min(s_link.upstream_bytes_per_s, r_link.downstream_bytes_per_s)
         return s_link.latency_s + r_link.latency_s + size_bytes / bottleneck
 
+    def _acquire_event(self) -> _NetEvent:
+        pool = self._event_pool
+        if pool:
+            return pool.pop()
+        return _NetEvent(self)
+
+    def _schedule_failure(
+        self,
+        delay: float,
+        handler: FailureHandler,
+        sender: int,
+        receiver: int,
+        message: Any,
+        reason: str,
+    ) -> None:
+        event = self._acquire_event()
+        event.kind = _NetEvent.FAIL
+        event.sender = sender
+        event.receiver = receiver
+        event.message = message
+        event.reason = reason
+        event.failure_handler = handler
+        self.loop.schedule(delay, event)
+
+    def _deliver(
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        receive_duration: float,
+    ) -> None:
+        # The receiver may have gone offline while the bytes were in
+        # flight; they are then lost.
+        if not self._online.get(receiver, False):
+            self._count_failure("lost-in-flight")
+            return
+        # Concurrent inbound streams share (serialize on) the downlink.
+        start = max(self.loop.now, self._downlink_free_at.get(receiver, 0.0))
+        self._downlink_free_at[receiver] = start + receive_duration
+        self.meters[receiver].record_received(start, size_bytes, receive_duration)
+        self.messages_delivered += 1
+        get_registry().counter("net.delivered").inc()
+        self._handlers[receiver](sender, message)
+
     def send(self, sender: int, receiver: int, message: Any, size_bytes: int) -> None:
         """Send a message; delivery or failure is scheduled on the loop."""
         if sender not in self._links:
@@ -222,8 +333,8 @@ class SimNetwork:
             self._count_failure("sender-offline")
             failure_handler = self._failure_handlers.get(sender)
             if failure_handler is not None:
-                self.loop.schedule(
-                    0.0, lambda: failure_handler(receiver, message, "sender-offline")
+                self._schedule_failure(
+                    0.0, failure_handler, sender, receiver, message, "sender-offline"
                 )
             return
         # Sends serialize on the sender's uplink: a burst of pushes occupies
@@ -240,32 +351,20 @@ class SimNetwork:
             if failure_handler is not None:
                 # Failure is detected after a timeout ~ the link latency.
                 delay = self._links[sender].latency_s * 2 + 0.5
-                self.loop.schedule(
-                    delay, lambda: failure_handler(receiver, message, "unreachable")
+                self._schedule_failure(
+                    delay, failure_handler, sender, receiver, message, "unreachable"
                 )
             return
 
         delay = self.transfer_time(sender, receiver, size_bytes)
-
-        receive_duration = size_bytes / min(
+        event = self._acquire_event()
+        event.kind = _NetEvent.DELIVER
+        event.sender = sender
+        event.receiver = receiver
+        event.message = message
+        event.size_bytes = size_bytes
+        event.receive_duration = size_bytes / min(
             self._links[sender].upstream_bytes_per_s,
             self._links[receiver].downstream_bytes_per_s,
         )
-
-        def deliver() -> None:
-            # The receiver may have gone offline while the bytes were in
-            # flight; they are then lost.
-            if not self._online.get(receiver, False):
-                self._count_failure("lost-in-flight")
-                return
-            # Concurrent inbound streams share (serialize on) the downlink.
-            start = max(self.loop.now, self._downlink_free_at.get(receiver, 0.0))
-            self._downlink_free_at[receiver] = start + receive_duration
-            self.meters[receiver].record_received(
-                start, size_bytes, receive_duration
-            )
-            self.messages_delivered += 1
-            get_registry().counter("net.delivered").inc()
-            self._handlers[receiver](sender, message)
-
-        self.loop.schedule(queue_delay + delay, deliver)
+        self.loop.schedule(queue_delay + delay, event)

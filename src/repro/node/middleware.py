@@ -69,6 +69,7 @@ class SoupNode:
         coding_k: int = 0,
         coding_threshold_bytes: int = 8_000_000,
         mobile_relay_limit: int = 4,
+        crypto_mode: str = "full",
     ) -> None:
         self.name = name
         self.config = config or SoupConfig()
@@ -82,7 +83,8 @@ class SoupNode:
         self.overlay = overlay
         self.registry = registry
 
-        self.security = SecurityManager(self.keys)
+        self.crypto_mode = crypto_mode
+        self.security = SecurityManager(self.keys, crypto_mode=crypto_mode)
         self.social = SocialManager(self.node_id, self.security)
         self.applications = ApplicationManager(self.node_id)
         self.mirror_manager = MirrorManager(

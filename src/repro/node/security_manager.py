@@ -13,17 +13,36 @@ from repro.core.objects import SoupObject
 from repro.crypto import rsa
 from repro.crypto.abe import AbeAuthority, AbeCiphertext, AbePrivateKey, decrypt as abe_decrypt
 from repro.crypto.access import AccessStructure, attr
+from repro.crypto.by_id import sign_by_id, verify_by_id
 from repro.crypto.keys import KeyPair
 
 
 class SecurityManager:
-    """All cryptographic state and operations of one SOUP node."""
+    """All cryptographic state and operations of one SOUP node.
+
+    ``crypto_mode`` selects the signature scheme: ``"full"`` runs real
+    textbook-RSA sign/verify; ``"by_id"`` simulates signatures by
+    (signer ID, digest), skipping the modular exponentiation — for
+    scenarios that do not attack the signature scheme itself (see
+    :mod:`repro.crypto.by_id`).  Either way an object forged with
+    someone else's source ID fails verification.
+    """
 
     #: Default access policy: data readable by anyone granted "friend".
     DEFAULT_POLICY = attr("friend")
 
-    def __init__(self, keys: KeyPair, master_secret: Optional[bytes] = None) -> None:
+    def __init__(
+        self,
+        keys: KeyPair,
+        master_secret: Optional[bytes] = None,
+        crypto_mode: str = "full",
+    ) -> None:
+        if crypto_mode not in ("full", "by_id"):
+            raise ValueError(
+                f"crypto_mode must be 'full' or 'by_id', got {crypto_mode!r}"
+            )
         self.keys = keys
+        self.crypto_mode = crypto_mode
         self.authority = AbeAuthority(
             master_secret=master_secret,
             authority_id=f"{keys.soup_id:016x}",
@@ -37,7 +56,10 @@ class SecurityManager:
     def sign_object(self, obj: SoupObject) -> SoupObject:
         """Attach the owner's signature; "requests to modify any data must
         be encapsulated in an appropriately signed SOUP object"."""
-        obj.signature = rsa.sign(obj.signing_bytes(), self.keys.private)
+        if self.crypto_mode == "by_id":
+            obj.signature = sign_by_id(obj.signing_bytes(), self.keys.soup_id)
+        else:
+            obj.signature = rsa.sign(obj.signing_bytes(), self.keys.private)
         return obj
 
     def verify_object(self, obj: SoupObject) -> bool:
@@ -45,12 +67,20 @@ class SecurityManager:
 
         Unknown senders cannot be verified; the object is rejected, which
         is the conservative behaviour the paper requires ("will otherwise
-        be discarded").
+        be discarded").  In ``by_id`` mode the directory-resolution
+        requirement is unchanged — the source's public key must still be
+        known — and the signature must embed the source's own ID, so
+        forged-source objects are rejected in both modes.
         """
         if obj.signature is None:
             return False
         public_key = self._known_public_keys.get(obj.source)
         if public_key is None:
+            return False
+        if self.crypto_mode == "by_id":
+            return verify_by_id(obj.signing_bytes(), obj.signature, obj.source)
+        if not isinstance(obj.signature, int):
+            # A by_id tuple is never acceptable to a full-crypto verifier.
             return False
         return rsa.verify(obj.signing_bytes(), obj.signature, public_key)
 

@@ -123,9 +123,29 @@ class SoupSimulation:
         self.n_traitors = int(round(base_n * config.traitor_fraction))
         self.n_total = base_n + self.n_altruists + self.n_sybils + self.n_traitors
 
+        #: Columnar hot path: membership flags mirrored into packed numpy
+        #: arrays so the per-epoch passes (join activation, benign mask,
+        #: reachability, interaction ages) are vector ops instead of
+        #: full-population Python loops, and per-node rankers keep their
+        #: aged counters in packed arrays.  The arrays shadow the per-node
+        #: flags bit-for-bit — every transition funnels through
+        #: :meth:`note_departed` / :meth:`_activate_joins` — and the
+        #: reference mode keeps the original traversals, which the
+        #: equivalence suite holds byte-identical to this path.
+        self._columnar = config.engine_mode == "columnar"
+
         self._build_population(graph)
         self._build_online_matrix()
         self._build_attacks()
+
+        self._col_joined = np.array([n.joined for n in self.nodes], dtype=bool)
+        self._col_departed = np.array([n.departed for n in self.nodes], dtype=bool)
+        self._col_benign = np.array(
+            [not (n.is_sybil or n.is_traitor) for n in self.nodes], dtype=bool
+        )
+        self._col_join_epochs = np.array(
+            [n.join_epoch for n in self.nodes], dtype=np.int64
+        )
 
         #: mirror -> set of owners whose replica it currently stores
         #: (ground truth; kept in sync with every ReplicaStore).
@@ -195,6 +215,16 @@ class SoupSimulation:
         owner could rebuild its announced set."""
         self._stale_announced.setdefault(owner, set()).add(mirror)
 
+    def note_departed(self, node_id: int) -> None:
+        """Mark a node departed, keeping the columnar flags in sync.
+
+        Every departure — scheduled mass departure or injected crash —
+        must go through here rather than writing ``node.departed``
+        directly, or the packed arrays the columnar mode measures from
+        would silently disagree with the object state."""
+        self.nodes[node_id].departed = True
+        self._col_departed[node_id] = True
+
     def stale_announcements_of(self, owner: int) -> Set[int]:
         return self._stale_announced.get(owner, set())
 
@@ -246,7 +276,7 @@ class SoupSimulation:
                 friends=friends,
                 kb=kb,
                 bootstrap=BootstrapRanker(self.soup),
-                ranker=RegularRanker(kb, self.soup),
+                ranker=RegularRanker(kb, self.soup, columnar=self._columnar),
                 store=ReplicaStore(node_id, float(capacities[node_id]), self.soup),
                 is_altruist=base_n <= node_id < base_n + self.n_altruists,
                 is_sybil=base_n + self.n_altruists
@@ -487,9 +517,18 @@ class SoupSimulation:
             self._rebuild_pairs()
 
         with PROFILER.span("engine.measure"):
-            availability[epoch], overhead[epoch] = self._measure(online_now, epoch)
+            # The benign mask and availability flags are pure functions of
+            # state frozen for the rest of the epoch, so the headline
+            # measurement and every cohort share one computation.
+            benign_mask = self._joined_benign_mask()
+            flags = self._availability_flags(online_now)
+            availability[epoch], overhead[epoch] = self._measure(
+                online_now, epoch, benign_mask=benign_mask, flags=flags
+            )
             for name, mask in cohorts.items():
-                cohort_series[name][epoch] = self._measure_cohort(online_now, mask)
+                cohort_series[name][epoch] = self._measure_cohort(
+                    online_now, mask, benign_mask=benign_mask, flags=flags
+                )
         self.metrics.gauge("engine.availability").set(availability[epoch])
         self.metrics.gauge("engine.replica_overhead").set(overhead[epoch])
 
@@ -528,20 +567,32 @@ class SoupSimulation:
     # ------------------------------------------------------------------
     def _activate_joins(self, epoch: int) -> None:
         online_now = self.online_matrix[:, epoch]
-        for node in self.nodes:
-            if (
-                not node.joined
-                and node.join_epoch <= epoch
-                and not node.departed
-                and online_now[node.node_id]
-            ):
-                # A node joins the OSN at its first online appearance — it
-                # must be online to contact a bootstrap node (Sec. 3.2).
-                node.joined = True
+        # A node joins the OSN at its first online appearance — it must be
+        # online to contact a bootstrap node (Sec. 3.2).
+        if self._columnar:
+            ready = np.nonzero(
+                ~self._col_joined
+                & ~self._col_departed
+                & (self._col_join_epochs <= epoch)
+                & online_now
+            )[0]
+            for node_id in ready:
+                self.nodes[int(node_id)].joined = True
+            self._col_joined[ready] = True
+        else:
+            for node in self.nodes:
+                if (
+                    not node.joined
+                    and node.join_epoch <= epoch
+                    and not node.departed
+                    and online_now[node.node_id]
+                ):
+                    node.joined = True
+                    self._col_joined[node.node_id] = True
         if self.departure_epoch is not None and epoch == self.departure_epoch:
             for node_id in self.departing_ids:
                 node = self.nodes[node_id]
-                node.departed = True
+                self.note_departed(node_id)
                 # A departing node's stored replicas become unreachable.
                 for owner in node.store.stored_owners():
                     self.replica_locations[node_id].discard(owner)
@@ -555,10 +606,14 @@ class SoupSimulation:
             return
         # Per-epoch serving load per mirror (Sec. 5.2.5 overload model).
         self._served_this_epoch: Dict[int, int] = {}
+        if self._columnar:
+            join_epochs_online = self._col_join_epochs[online_ids]
+        else:
+            join_epochs_online = np.array(
+                [self.nodes[int(i)].join_epoch for i in online_ids]
+            )
         ages_days = np.maximum(
-            0.0,
-            (epoch - np.array([self.nodes[int(i)].join_epoch for i in online_ids]))
-            / config.epochs_per_day,
+            0.0, (epoch - join_epochs_online) / config.epochs_per_day
         )
         rates = config.activity.rates_per_day(ages_days) / config.epochs_per_day
         counts = self.np_rng.poisson(rates)
@@ -591,7 +646,7 @@ class SoupSimulation:
         target = self.nodes[target_id]
         if target.joined and not target.departed:
             # Meeting a node makes it (and us) known — KB entries both ways.
-            node.kb.add_node(target_id, is_friend=target_id in set(node.friends))
+            node.kb.add_node(target_id, is_friend=target_id in node.friends)
             if not target.is_sybil:
                 target.kb.add_node(node.node_id)
             # Bootstrapping nodes harvest recommendations from every contact.
@@ -918,11 +973,15 @@ class SoupSimulation:
         if getattr(self, "_unreachable_epoch", None) == epoch:
             return self._unreachable_cache
         online_now = self.online_matrix[:, epoch]
-        self._unreachable_cache = {
-            n.node_id
-            for n in self.nodes
-            if n.departed or not n.joined or not online_now[n.node_id]
-        }
+        if self._columnar:
+            reachable = self._col_joined & ~self._col_departed & online_now
+            self._unreachable_cache = set(np.nonzero(~reachable)[0].tolist())
+        else:
+            self._unreachable_cache = {
+                n.node_id
+                for n in self.nodes
+                if n.departed or not n.joined or not online_now[n.node_id]
+            }
         self._unreachable_epoch = epoch
         return self._unreachable_cache
 
@@ -1181,6 +1240,8 @@ class SoupSimulation:
         self._pair_mirrors = np.array(mirrors, dtype=np.int64)
 
     def _joined_benign_mask(self) -> np.ndarray:
+        if self._columnar:
+            return self._col_joined & ~self._col_departed & self._col_benign
         mask = np.zeros(self.n_total, dtype=bool)
         for node in self.nodes:
             mask[node.node_id] = (
@@ -1198,8 +1259,14 @@ class SoupSimulation:
             available[self._pair_owners[mirror_online]] = True
         return available
 
-    def _measure(self, online_now: np.ndarray, epoch: int) -> Tuple[float, float]:
-        mask = self._joined_benign_mask()
+    def _measure(
+        self,
+        online_now: np.ndarray,
+        epoch: int,
+        benign_mask: Optional[np.ndarray] = None,
+        flags: Optional[np.ndarray] = None,
+    ) -> Tuple[float, float]:
+        mask = self._joined_benign_mask() if benign_mask is None else benign_mask
         population = int(mask.sum())
         if population == 0:
             if self._tracer.enabled:
@@ -1208,7 +1275,7 @@ class SoupSimulation:
                     available=0, unavailable=[],
                 )
             return 0.0, 0.0
-        available = self._availability_flags(online_now)
+        available = self._availability_flags(online_now) if flags is None else flags
         available_count = int(available[mask].sum())
         availability = available_count / population
 
@@ -1235,12 +1302,20 @@ class SoupSimulation:
             overhead = 0.0
         return availability, overhead
 
-    def _measure_cohort(self, online_now: np.ndarray, cohort: np.ndarray) -> float:
-        mask = self._joined_benign_mask() & cohort
+    def _measure_cohort(
+        self,
+        online_now: np.ndarray,
+        cohort: np.ndarray,
+        benign_mask: Optional[np.ndarray] = None,
+        flags: Optional[np.ndarray] = None,
+    ) -> float:
+        if benign_mask is None:
+            benign_mask = self._joined_benign_mask()
+        mask = benign_mask & cohort
         population = int(mask.sum())
         if population == 0:
             return 0.0
-        available = self._availability_flags(online_now)
+        available = self._availability_flags(online_now) if flags is None else flags
         return float(available[mask].sum()) / population
 
     def _cohort_masks(self) -> Dict[str, np.ndarray]:

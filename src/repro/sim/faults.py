@@ -192,7 +192,9 @@ class FaultInjector:
             victims = rng.sample(eligible, count) if count else []
         for victim in victims:
             node = sim.nodes[victim]
-            node.departed = True
+            # Funnel through the engine so the columnar membership arrays
+            # stay in sync with the per-node flag.
+            sim.note_departed(victim)
             sim.online_matrix[victim, epoch:] = False
             for owner in node.store.stored_owners():
                 sim.replica_locations[victim].discard(owner)

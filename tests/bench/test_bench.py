@@ -1,0 +1,199 @@
+"""The perf-regression harness: artifacts, baseline diffs, and the CLI.
+
+The timing-sensitive test injects a sleep into a synthetic benchmark and
+asserts ``soup bench --check`` trips on it — real benchmarks are too slow
+(and too noisy) to regress on purpose in CI.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import cli
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    build_artifact,
+    compare,
+    load_artifact,
+    register,
+    resolve_profile,
+    run_suite,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench import suite as suite_module
+
+
+def _result(name, throughput, wall=1.0):
+    return BenchResult(
+        name=name, wall_seconds=wall, throughput=throughput, unit="ops/s"
+    )
+
+
+# --- artifacts ------------------------------------------------------------
+
+
+def test_artifact_round_trip(tmp_path):
+    artifact = build_artifact(
+        [_result("a", 100.0), _result("b", 5.0, wall=0.25)],
+        profile="smoke",
+        seed=5,
+        created="2026-08-08T00:00:00+00:00",
+    )
+    path = tmp_path / "BENCH_smoke.json"
+    write_artifact(artifact, str(path))
+    loaded = load_artifact(str(path))
+    assert loaded == artifact
+    assert loaded["schema"] == BENCH_SCHEMA
+    assert set(loaded["results"]) == {"a", "b"}
+    assert loaded["results"]["b"]["wall_seconds"] == 0.25
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda a: a.__setitem__("schema", "soup-bench/v0"),
+        lambda a: a.pop("results"),
+        lambda a: a["results"]["a"].pop("throughput"),
+        lambda a: a["results"]["a"].__setitem__("wall_seconds", -1.0),
+    ],
+)
+def test_validate_rejects_malformed_artifacts(mutate):
+    artifact = build_artifact([_result("a", 100.0)], profile="smoke", seed=5)
+    mutate(artifact)
+    with pytest.raises(ValueError):
+        validate_artifact(artifact)
+
+
+def test_compare_flags_only_regressions_beyond_threshold():
+    baseline = build_artifact(
+        [_result("fast", 100.0), _result("slow", 10.0), _result("gone", 1.0)],
+        profile="smoke",
+        seed=5,
+    )
+    current = build_artifact(
+        # fast dropped 25% (within a 30% threshold), slow dropped 50%.
+        [_result("fast", 75.0), _result("slow", 5.0), _result("new", 2.0)],
+        profile="smoke",
+        seed=5,
+    )
+    comparison = compare(baseline, current, threshold=0.30)
+    assert [row.name for row in comparison.regressions] == ["slow"]
+    assert not comparison.ok
+    assert comparison.only_in_baseline == ["gone"]
+    assert comparison.only_in_current == ["new"]
+    # At a looser threshold the same diff is clean.
+    assert compare(baseline, current, threshold=0.60).ok
+    with pytest.raises(ValueError):
+        compare(baseline, current, threshold=1.5)
+
+
+# --- suite registry -------------------------------------------------------
+
+
+def test_standing_suite_is_registered():
+    from repro.bench import benchmark_names
+
+    names = benchmark_names()
+    for expected in (
+        "epoch_loop",
+        "simnet_messages",
+        "sweep_overhead",
+        "crypto_modes",
+    ):
+        assert expected in names
+
+
+def test_unknown_benchmark_and_profile_rejected():
+    with pytest.raises(KeyError):
+        run_suite(resolve_profile("smoke"), ["no_such_bench"])
+    with pytest.raises(KeyError):
+        resolve_profile("gigantic")
+
+
+# --- the CLI, end to end --------------------------------------------------
+
+
+@pytest.fixture
+def toy_benchmark():
+    """Register a synthetic 'toy' benchmark whose speed the test controls."""
+    state = {"sleep": 0.0}
+
+    @register("toy")
+    def bench_toy(profile):
+        ops = 200
+        start = time.perf_counter()
+        for _ in range(ops):
+            if state["sleep"]:
+                time.sleep(state["sleep"] / ops)
+        wall = time.perf_counter() - start
+        # Guard against a zero-length measurement on the fast path.
+        wall = max(wall, 1e-6)
+        return BenchResult(
+            name="toy", wall_seconds=wall, throughput=ops / wall, unit="ops/s"
+        )
+
+    try:
+        yield state
+    finally:
+        suite_module._REGISTRY.pop("toy", None)
+
+
+def test_bench_cli_check_trips_on_injected_sleep(tmp_path, toy_benchmark, capsys):
+    baseline_path = tmp_path / "BENCH_baseline.json"
+    current_path = tmp_path / "BENCH_current.json"
+
+    assert cli.main(["bench", "toy", "--out", str(baseline_path)]) == 0
+    validate_artifact(json.loads(baseline_path.read_text()))
+
+    # Clean re-run: no regression.
+    assert (
+        cli.main(
+            [
+                "bench", "toy",
+                "--out", str(current_path),
+                "--baseline", str(baseline_path),
+                "--check",
+            ]
+        )
+        == 0
+    )
+
+    # Inject a sleep; throughput collapses and --check must fail.
+    toy_benchmark["sleep"] = 0.2
+    assert (
+        cli.main(
+            [
+                "bench", "toy",
+                "--out", str(current_path),
+                "--baseline", str(baseline_path),
+                "--check",
+                "--threshold", "0.5",
+            ]
+        )
+        == 4
+    )
+    out = capsys.readouterr()
+    assert "REGRESSION" in out.out
+
+
+def test_bench_cli_check_requires_baseline(tmp_path, toy_benchmark):
+    assert (
+        cli.main(
+            ["bench", "toy", "--out", str(tmp_path / "b.json"), "--check"]
+        )
+        == 2
+    )
+
+
+def test_bench_cli_list(capsys):
+    assert cli.main(["bench", "--list"]) == 0
+    assert "epoch_loop" in capsys.readouterr().out
+
+
+def test_committed_baseline_is_valid():
+    payload = load_artifact("benchmarks/baselines/BENCH_baseline.json")
+    assert payload["profile"] == "smoke"
+    assert "epoch_loop" in payload["results"]

@@ -1,0 +1,98 @@
+"""crypto_mode: by_id simulated signatures vs full RSA.
+
+The performance escape hatch must not change the security semantics the
+simulations rely on: an attacker signing an object whose ``source`` claims
+someone else's identity is rejected by receivers in *both* modes, and the
+directory-resolution requirement (the source's public key must be known)
+holds in both modes too.
+"""
+
+import pytest
+
+from repro.core.objects import ObjectType, SoupObject
+from repro.crypto.by_id import ByIdSignature, sign_by_id, verify_by_id
+from repro.crypto.keys import KeyPair
+from repro.node.security_manager import SecurityManager
+
+ALICE = KeyPair.generate(bits=256, seed=1)
+MALLORY = KeyPair.generate(bits=256, seed=2)
+
+
+def _update_from(source_id: int) -> SoupObject:
+    return SoupObject(
+        source=source_id,
+        dest=0xBEEF,
+        object_type=ObjectType.UPDATE,
+        payload={"status": "all good"},
+    )
+
+
+def _verifier(mode: str) -> SecurityManager:
+    """A receiving node that knows both parties' public keys."""
+    receiver = SecurityManager(KeyPair.generate(bits=256, seed=3), crypto_mode=mode)
+    receiver.learn_public_key(ALICE.soup_id, ALICE.public)
+    receiver.learn_public_key(MALLORY.soup_id, MALLORY.public)
+    return receiver
+
+
+@pytest.mark.parametrize("mode", ["full", "by_id"])
+def test_legitimate_object_verifies(mode):
+    alice = SecurityManager(ALICE, crypto_mode=mode)
+    obj = alice.sign_object(_update_from(ALICE.soup_id))
+    assert _verifier(mode).verify_object(obj)
+
+
+@pytest.mark.parametrize("mode", ["full", "by_id"])
+def test_forged_source_is_rejected(mode):
+    # Mallory crafts an update claiming to come from Alice and signs it
+    # with her own manager — the only signing oracle she controls.
+    mallory = SecurityManager(MALLORY, crypto_mode=mode)
+    forged = mallory.sign_object(_update_from(ALICE.soup_id))
+    assert not _verifier(mode).verify_object(forged)
+
+
+@pytest.mark.parametrize("mode", ["full", "by_id"])
+def test_tampered_payload_is_rejected(mode):
+    alice = SecurityManager(ALICE, crypto_mode=mode)
+    obj = alice.sign_object(_update_from(ALICE.soup_id))
+    obj.payload = {"status": "send money"}
+    assert not _verifier(mode).verify_object(obj)
+
+
+@pytest.mark.parametrize("mode", ["full", "by_id"])
+def test_unknown_sender_is_rejected(mode):
+    alice = SecurityManager(ALICE, crypto_mode=mode)
+    obj = alice.sign_object(_update_from(ALICE.soup_id))
+    stranger = SecurityManager(KeyPair.generate(bits=256, seed=4), crypto_mode=mode)
+    assert not stranger.verify_object(obj)
+
+
+def test_full_mode_rejects_by_id_signatures():
+    # A by_id tuple must never satisfy a full-crypto verifier — otherwise
+    # by_id signatures would be trivially forgeable in full scenarios.
+    obj = _update_from(ALICE.soup_id)
+    obj.signature = sign_by_id(obj.signing_bytes(), ALICE.soup_id)
+    assert not _verifier("full").verify_object(obj)
+
+
+def test_by_id_mode_rejects_rsa_signatures():
+    alice_full = SecurityManager(ALICE, crypto_mode="full")
+    obj = alice_full.sign_object(_update_from(ALICE.soup_id))
+    assert not _verifier("by_id").verify_object(obj)
+
+
+def test_by_id_primitives():
+    message = b"hello soup"
+    signature = sign_by_id(message, 42)
+    assert verify_by_id(message, signature, 42)
+    assert not verify_by_id(message, signature, 43)
+    assert not verify_by_id(b"hello sou?", signature, 42)
+    assert not verify_by_id(message, "not a signature", 42)
+    assert not verify_by_id(
+        message, ByIdSignature(signer=42, digest=b"\x00" * 32), 42
+    )
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        SecurityManager(ALICE, crypto_mode="fast")
