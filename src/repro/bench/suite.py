@@ -44,6 +44,10 @@ class BenchProfile:
     crypto_objects: int = 60
     #: RSA modulus size for the crypto benchmark.
     crypto_bits: int = 512
+    #: Nodes in the live-loopback (real TCP sockets) benchmark.
+    live_nodes: int = 10
+    #: Epochs driven through the live-loopback benchmark.
+    live_epochs: int = 6
 
 
 PROFILES: Dict[str, BenchProfile] = {
@@ -57,6 +61,8 @@ PROFILES: Dict[str, BenchProfile] = {
         messages=200_000,
         sweep_seeds=4,
         crypto_objects=200,
+        live_nodes=25,
+        live_epochs=10,
     ),
 }
 
@@ -277,5 +283,55 @@ def bench_crypto_modes(profile: BenchProfile) -> BenchResult:
             "full_wall_seconds": full_wall,
             "full_ops_per_s": full_rate,
             "by_id_speedup": by_id_rate / full_rate if full_rate > 0 else 0.0,
+        },
+    )
+
+
+@register("live_loopback")
+def bench_live_loopback(profile: BenchProfile) -> BenchResult:
+    """End-to-end frame rate of the live TCP loopback backend.
+
+    Boots ``live_nodes`` full middleware instances on real loopback
+    sockets via the resilience harness (no chaos), drives the standing
+    open-loop load mix for ``live_epochs`` epochs, and reports delivered
+    wire frames per second.  This is the standing regression guard for
+    the asyncio transport: a slowdown in framing, connection caching, or
+    the clock shows up here without any simulation in the way.
+    """
+    from repro.deploy.live import ResilienceConfig, ResilienceHarness
+
+    config = ResilienceConfig(
+        n_nodes=profile.live_nodes,
+        seed=profile.seed,
+        backend="live",
+        chaos="",
+        epochs=profile.live_epochs,
+        epoch_s=0.2,
+        load_rps=80.0,
+        settle_s=0.15,
+    )
+    harness = ResilienceHarness(config)
+    start = time.perf_counter()
+    report = harness.run()
+    wall = time.perf_counter() - start
+
+    requests = report["requests"]
+    ops = sum(
+        count for kind, count in requests.items() if kind != "skipped_actor_down"
+    )
+    delivered = report["net"]["delivered"]
+    return BenchResult(
+        name="live_loopback",
+        wall_seconds=wall,
+        throughput=delivered / wall if wall > 0 else 0.0,
+        unit="frames/s",
+        detail={
+            "nodes": config.n_nodes,
+            "epochs": config.epochs,
+            "ops_executed": ops,
+            "frames_delivered": delivered,
+            "frames_failed": report["net"]["failed"],
+            "availability_mean": report["availability"]["mean"],
+            "read_p99_s": report["latency"].get("read", {}).get("p99_s"),
         },
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -566,14 +567,23 @@ def _cmd_sweep(args) -> int:
             f"{len(outcome.skipped)} cached, {len(outcome.failed)} failed",
             file=sys.stderr,
         )
+        if outcome.interrupted:
+            print(
+                f"sweep {spec.name}: interrupted; checkpoint saved, "
+                f"rerun with --resume to continue",
+                file=sys.stderr,
+            )
     cells = aggregate_run(args.out)
     if args.json:
         print(aggregate_json(cells))
     else:
         for line in sweep_table(cells):
             print(line)
-    if not args.aggregate_only and outcome.failed:
-        return 1
+    if not args.aggregate_only:
+        if outcome.interrupted:
+            return 130
+        if outcome.failed:
+            return 1
     return 0
 
 
@@ -740,6 +750,34 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--json", action="store_true",
                     help="print the artifact JSON to stdout")
 
+    prs = sub.add_parser(
+        "resilience",
+        help="run a chaos scenario on a live-socket (or simulated) cluster "
+             "and evaluate declarative gates (see docs/RESILIENCE.md)",
+    )
+    prs.add_argument("--nodes", type=int, default=25,
+                     help="cluster size (default 25)")
+    prs.add_argument("--seed", type=int, default=7)
+    prs.add_argument("--backend", default="live", choices=("sim", "live"),
+                     help="transport backend: real TCP loopback sockets "
+                          "('live') or the deterministic simulator ('sim')")
+    prs.add_argument("--chaos", default="",
+                     help="fault-plan spec, e.g. "
+                          "'kill:epoch=3:count=7;partition:epoch=5:heal=8'")
+    prs.add_argument("--epochs", type=int, default=12)
+    prs.add_argument("--epoch-s", type=float, default=0.5, metavar="SECONDS",
+                     help="epoch length (wall seconds on live, simulated "
+                          "seconds on sim)")
+    prs.add_argument("--rps", type=float, default=40.0,
+                     help="open-loop request rate (fig15-style mix)")
+    prs.add_argument("--gates", default=None, metavar="TOML",
+                     help="gate file to enforce "
+                          "(e.g. configs/gates/smoke.toml)")
+    prs.add_argument("--report", default=None, metavar="PATH",
+                     help="write the soup-resilience/v1 report JSON here")
+    prs.add_argument("--json", action="store_true",
+                     help="print the full report JSON to stdout")
+
     pr = sub.add_parser("replay", help="replay a soup-repro/v1 violation line")
     pr.add_argument("line", help="one-line repro string from an InvariantViolation")
 
@@ -869,6 +907,75 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.deploy.gates import evaluate_gates, load_gates
+    from repro.deploy.live import ResilienceConfig, ResilienceHarness
+
+    config = ResilienceConfig(
+        n_nodes=args.nodes,
+        seed=args.seed,
+        backend=args.backend,
+        chaos=args.chaos,
+        epochs=args.epochs,
+        epoch_s=args.epoch_s,
+        load_rps=args.rps,
+    )
+    print(
+        f"resilience: backend={config.backend} nodes={config.n_nodes} "
+        f"seed={config.seed} epochs={config.epochs} chaos={config.chaos!r}",
+        file=sys.stderr,
+    )
+    report = ResilienceHarness(config).run()
+
+    gates = load_gates(args.gates) if args.gates else []
+    outcome = evaluate_gates(gates, report)
+    report["gates"] = outcome
+
+    if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"report: {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        availability = report["availability"]
+        print(
+            f"availability mean={availability['mean']:.4f} "
+            f"min={availability['min']:.4f} "
+            f"during-chaos-min={availability['during_chaos_min']:.4f}"
+        )
+        read = report["latency"]["read"]
+        print(
+            f"read latency p50={read['p50_s'] * 1000:.2f}ms "
+            f"p99={read['p99_s'] * 1000:.2f}ms ({read['count']} reads)"
+        )
+        durability = report["durability"]
+        print(
+            f"durability acked={durability['acked_updates']} "
+            f"lost={durability['lost_acked_updates']}"
+        )
+        recovery = report["recovery"]
+        if recovery["applicable"]:
+            seconds = recovery["seconds"]
+            print(
+                "recovery after heal: "
+                + (f"{seconds:.2f}s" if recovery["recovered"] else "NOT RECOVERED")
+            )
+    for result in outcome["results"]:
+        status = "PASS" if result["passed"] else "FAIL"
+        print(
+            f"gate {status} {result['name']}: {result['metric']} "
+            f"{result['op']} {result['value']} (actual {result['actual']})"
+        )
+    if gates and not outcome["passed"]:
+        names = ", ".join(outcome["violated"])
+        print(f"resilience gates violated: {names}", file=sys.stderr)
+        return 5
+    return 0
+
+
 def _cmd_replay(args) -> int:
     from repro.sim.invariants import run_repro
 
@@ -931,6 +1038,8 @@ def _dispatch(args) -> int:
         return _cmd_fig15(args)
     if command == "sweep":
         return _cmd_sweep(args)
+    if command == "resilience":
+        return _cmd_resilience(args)
     if command == "replay":
         return _cmd_replay(args)
     if command == "bench":

@@ -1,0 +1,209 @@
+"""Declarative resilience gates over a ``soup-resilience/v1`` report.
+
+A gate file is TOML, one ``[[gate]]`` table per assertion::
+
+    [[gate]]
+    name = "availability-during-churn"
+    metric = "availability.during_chaos_min"   # dotted path into the report
+    op = ">="
+    value = 0.85
+    description = "kills + partition must not sink serving below 85%"
+
+``metric`` is resolved with dot-notation against the report dict; a
+missing or null metric **fails** the gate (a run that could not measure
+recovery did not demonstrate recovery).  ``op`` is one of ``<=``, ``>=``,
+``<``, ``>``, ``==``, ``!=``.
+
+Evaluation is pure data-in/data-out: :func:`evaluate_gates` returns a
+verdict dict that the ``soup resilience`` CLI embeds into the report
+(under ``"gates"``) and turns into its exit code — 0 when every gate
+passed, 5 on violation.  The gate *file*, the chaos spec, and the seed
+together make a resilience claim replayable from one command line.
+
+TOML parsing uses :mod:`tomllib` where available (Python ≥ 3.11) and
+falls back to a small built-in parser covering the gate-file subset
+(``[[gate]]`` tables; string/number/boolean values) — the repo supports
+3.9+ and must not grow dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<=": lambda actual, bound: actual <= bound,
+    ">=": lambda actual, bound: actual >= bound,
+    "<": lambda actual, bound: actual < bound,
+    ">": lambda actual, bound: actual > bound,
+    "==": lambda actual, bound: actual == bound,
+    "!=": lambda actual, bound: actual != bound,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One declarative assertion against the report."""
+
+    name: str
+    metric: str
+    op: str
+    value: Number
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"gate {self.name!r}: unknown op {self.op!r}")
+        if not self.metric:
+            raise ValueError(f"gate {self.name!r}: empty metric path")
+
+
+def resolve_metric(report: dict, path: str):
+    """Walk a dotted path into the report; None if any hop is missing."""
+    value = report
+    for hop in path.split("."):
+        if not isinstance(value, dict) or hop not in value:
+            return None
+        value = value[hop]
+    return value
+
+
+def evaluate_gates(gates: List[Gate], report: dict) -> dict:
+    """Evaluate every gate; missing/null metrics fail (never vacuous)."""
+    results = []
+    for gate in gates:
+        actual = resolve_metric(report, gate.metric)
+        if isinstance(actual, bool):
+            actual = int(actual)
+        if actual is None or not isinstance(actual, (int, float)):
+            results.append(
+                {
+                    "name": gate.name,
+                    "metric": gate.metric,
+                    "op": gate.op,
+                    "value": gate.value,
+                    "actual": None,
+                    "passed": False,
+                    "reason": "metric missing or not numeric",
+                }
+            )
+            continue
+        passed = _OPS[gate.op](actual, gate.value)
+        results.append(
+            {
+                "name": gate.name,
+                "metric": gate.metric,
+                "op": gate.op,
+                "value": gate.value,
+                "actual": actual,
+                "passed": passed,
+                "reason": "" if passed else f"{actual!r} {gate.op} {gate.value!r} is false",
+            }
+        )
+    return {
+        "passed": all(result["passed"] for result in results),
+        "violated": [result["name"] for result in results if not result["passed"]],
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def gates_from_mapping(data: dict) -> List[Gate]:
+    raw_gates = data.get("gate", [])
+    if not isinstance(raw_gates, list):
+        raise ValueError("expected [[gate]] tables")
+    gates = []
+    for index, raw in enumerate(raw_gates):
+        try:
+            gates.append(
+                Gate(
+                    name=str(raw["name"]),
+                    metric=str(raw["metric"]),
+                    op=str(raw["op"]),
+                    value=raw["value"],
+                    description=str(raw.get("description", "")),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(f"gate #{index}: missing key {exc}") from None
+    if not gates:
+        raise ValueError("gate file defines no gates")
+    return gates
+
+
+def load_gates(path: Union[str, Path]) -> List[Gate]:
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        import tomllib
+
+        data = tomllib.loads(text)
+    except ImportError:  # Python < 3.11: the bundled subset parser
+        data = _parse_gates_toml(text)
+    return gates_from_mapping(data)
+
+
+def _parse_scalar(raw: str):
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
+        return raw[1:-1]
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"unsupported TOML value {raw!r}") from None
+
+
+def _parse_gates_toml(text: str) -> dict:
+    """Parse the gate-file TOML subset: ``[[gate]]`` array-of-tables with
+    scalar key/value lines.  Not a general TOML parser — just enough for
+    gate configs on Pythons without :mod:`tomllib`."""
+    data: dict = {"gate": []}
+    current: Optional[dict] = None
+    for line_no, raw_line in enumerate(text.splitlines(), 1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[gate]]":
+            current = {}
+            data["gate"].append(current)
+            continue
+        if line.startswith("["):
+            raise ValueError(
+                f"line {line_no}: only [[gate]] tables are supported ({line!r})"
+            )
+        if "=" not in line:
+            raise ValueError(f"line {line_no}: expected key = value ({line!r})")
+        if current is None:
+            raise ValueError(f"line {line_no}: key/value outside a [[gate]] table")
+        key, raw_value = line.split("=", 1)
+        # Strip trailing comments outside quoted strings.
+        raw_value = raw_value.strip()
+        if raw_value.startswith(('"', "'")):
+            quote = raw_value[0]
+            end = raw_value.find(quote, 1)
+            if end < 0:
+                raise ValueError(f"line {line_no}: unterminated string ({line!r})")
+            trailer = raw_value[end + 1 :].strip()
+            if trailer and not trailer.startswith("#"):
+                raise ValueError(
+                    f"line {line_no}: trailing content after string ({line!r})"
+                )
+            raw_value = raw_value[: end + 1]
+        elif "#" in raw_value:
+            raw_value = raw_value.split("#", 1)[0].strip()
+        current[key.strip()] = _parse_scalar(raw_value)
+    return data

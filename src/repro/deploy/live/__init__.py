@@ -1,0 +1,35 @@
+"""Live deployment runtime: real middleware over real sockets.
+
+The simulator answers "does the protocol behave?"; this package answers
+"does the *implementation* behave when the network is real" — real TCP
+loopback sockets, real buffers, wall-clock timers, and process-level
+chaos.  It is the second backend of the transport seam
+(:mod:`repro.network.transport`):
+
+* :mod:`repro.deploy.live.transport` — :class:`AsyncClock` (the wallclock
+  :class:`~repro.network.transport.Clock`) and :class:`LiveTransport`
+  (every frame crosses a real TCP loopback socket).
+* :mod:`repro.deploy.live.chaos` — :class:`ChaosController`: replays a
+  :class:`~repro.sim.faults.FaultPlan` spec (``kill``/``pause``/
+  ``partition``/``delay``/``drop``) against either transport backend,
+  seeded and epoch-triggered.
+* :mod:`repro.deploy.live.load` — the open-loop fig15-style request mix.
+* :mod:`repro.deploy.live.harness` — :class:`ResilienceHarness`: builds
+  an N-node cluster on either backend, drives load + chaos, and emits a
+  ``soup-resilience/v1`` report for :mod:`repro.deploy.gates`.
+"""
+
+from repro.deploy.live.chaos import ChaosController
+from repro.deploy.live.harness import ResilienceConfig, ResilienceHarness
+from repro.deploy.live.load import LoadOp, build_load_plan
+from repro.deploy.live.transport import AsyncClock, LiveTransport
+
+__all__ = [
+    "AsyncClock",
+    "ChaosController",
+    "LiveTransport",
+    "LoadOp",
+    "ResilienceConfig",
+    "ResilienceHarness",
+    "build_load_plan",
+]

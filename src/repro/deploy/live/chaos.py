@@ -1,0 +1,212 @@
+"""The chaos controller: replays a fault plan against a transport.
+
+Takes the same one-line :class:`~repro.sim.faults.FaultSpec` grammar the
+epoch simulator uses and applies the process/socket-level kinds to a
+:class:`~repro.network.transport.Transport` — either backend — at epoch
+boundaries:
+
+* ``kill:epoch=E:count=N`` (or ``node=ID``) — victims shut down abruptly
+  and never return (``crash`` is accepted as an alias).
+* ``pause:epoch=E:resume=E2:count=N`` — SIGSTOP-style stall until the
+  ``resume`` epoch (default: one epoch later).
+* ``partition:epoch=E:heal=E2:groups=G`` — seeded split into ``G``
+  (default 2) balanced groups, healed at ``heal``.
+* ``delay:from_epoch=A:to_epoch=B:seconds=S`` — extra per-delivery delay
+  inside the window.
+* ``drop:from_epoch=A:to_epoch=B:rate=R`` — seeded random message loss
+  inside the window.
+
+Victim selection draws from a per-spec :class:`random.Random` seeded by
+``(base_seed, index, kind)`` — the same derivation as
+:class:`~repro.sim.faults.FaultInjector` — over the cluster's stable node
+order, so a plan replays identically on both backends and across runs.
+Every action is appended to :attr:`events` (with the transport clock's
+timestamp), which the resilience report publishes for replay comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.network.transport import Transport
+from repro.sim.faults import FaultSpec
+
+#: Spec kinds this controller executes (others — e.g. ``reorder`` — are
+#: simulator-internal and ignored here).
+CHAOS_KINDS = ("kill", "crash", "pause", "partition", "delay", "drop")
+
+
+class ChaosController:
+    """Executes the process/socket-level kinds of a fault plan."""
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        transport: Transport,
+        nodes: Dict[int, object],
+        node_order: Sequence[int],
+        base_seed: int = 0,
+        protected: Iterable[int] = (),
+    ) -> None:
+        self.specs = [spec for spec in specs if spec.kind in CHAOS_KINDS]
+        self._rngs = [
+            random.Random(f"{base_seed}/{index}/{spec.kind}")
+            for index, spec in enumerate(self.specs)
+        ]
+        self.transport = transport
+        self.nodes = nodes
+        self.node_order = list(node_order)
+        #: Nodes chaos never targets (the bootstrap/gateway host — the
+        #: one piece of pinned infrastructure, as in the paper's study).
+        self.protected = set(protected)
+        self.base_seed = base_seed
+        #: Chronological record of every action taken.
+        self.events: List[dict] = []
+        self.killed: set = set()
+        self._paused_victims: Dict[int, List[int]] = {}
+        self._delay_active: set = set()
+        self._drop_active: set = set()
+        self._partition_up: set = set()
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec_string: Optional[str],
+        transport: Transport,
+        nodes: Dict[int, object],
+        node_order: Sequence[int],
+        base_seed: int = 0,
+        protected: Iterable[int] = (),
+    ) -> "ChaosController":
+        specs = (
+            [FaultSpec.parse(clause) for clause in spec_string.split(";") if clause]
+            if spec_string
+            else []
+        )
+        return cls(specs, transport, nodes, node_order, base_seed, protected)
+
+    def to_string(self) -> str:
+        return ";".join(spec.to_string() for spec in self.specs)
+
+    # ------------------------------------------------------------------
+    def _record(self, epoch: int, kind: str, **detail) -> None:
+        self.events.append(
+            {"epoch": epoch, "t": round(self.transport.loop.now, 3), "kind": kind, **detail}
+        )
+
+    def _sample_victims(
+        self, rng: random.Random, count: int, node_param: Optional[object]
+    ) -> List[int]:
+        if node_param is not None:
+            return [int(node_param)]
+        pool = [
+            node_id
+            for node_id in self.node_order
+            if self.transport.is_online(node_id)
+            and node_id not in self.protected
+            and not self.transport.is_paused(node_id)
+        ]
+        count = min(count, len(pool))
+        return rng.sample(pool, count) if count else []
+
+    # ------------------------------------------------------------------
+    def on_epoch(self, epoch: int) -> None:
+        """Apply every spec's actions due at this epoch boundary."""
+        for index, (spec, rng) in enumerate(zip(self.specs, self._rngs)):
+            kind = "kill" if spec.kind == "crash" else spec.kind
+            if kind == "kill":
+                self._apply_kill(epoch, spec, rng)
+            elif kind == "pause":
+                self._apply_pause(index, epoch, spec, rng)
+            elif kind == "partition":
+                self._apply_partition(index, epoch, spec, rng)
+            elif kind == "delay":
+                self._apply_delay(index, epoch, spec)
+            elif kind == "drop":
+                self._apply_drop(index, epoch, spec)
+
+    # --- kinds ---------------------------------------------------------
+    def _apply_kill(self, epoch: int, spec: FaultSpec, rng: random.Random) -> None:
+        if spec.get("epoch") != epoch:
+            return
+        victims = self._sample_victims(rng, int(spec.get("count", 1)), spec.get("node"))
+        for victim in victims:
+            node = self.nodes.get(victim)
+            if node is not None:
+                node.shutdown(graceful=False)
+            else:
+                self.transport.set_online(victim, False)
+            self.killed.add(victim)
+        self._record(epoch, "kill", nodes=sorted(victims))
+
+    def _apply_pause(
+        self, index: int, epoch: int, spec: FaultSpec, rng: random.Random
+    ) -> None:
+        if spec.get("epoch") == epoch:
+            victims = self._sample_victims(
+                rng, int(spec.get("count", 1)), spec.get("node")
+            )
+            for victim in victims:
+                self.transport.pause(victim)
+            self._paused_victims[index] = victims
+            self._record(epoch, "pause", nodes=sorted(victims))
+        resume_epoch = spec.get("resume", spec.get("epoch", 0) + 1)
+        if resume_epoch == epoch and index in self._paused_victims:
+            victims = self._paused_victims.pop(index)
+            for victim in victims:
+                self.transport.resume(victim)
+            self._record(epoch, "resume", nodes=sorted(victims))
+
+    def _apply_partition(
+        self, index: int, epoch: int, spec: FaultSpec, rng: random.Random
+    ) -> None:
+        if spec.get("epoch") == epoch:
+            n_groups = max(2, int(spec.get("groups", 2)))
+            order = list(self.node_order)
+            rng.shuffle(order)
+            groups = {
+                node_id: position % n_groups for position, node_id in enumerate(order)
+            }
+            self.transport.set_partition(groups)
+            self._partition_up.add(index)
+            sizes = [sum(1 for g in groups.values() if g == i) for i in range(n_groups)]
+            self._record(epoch, "partition", groups=n_groups, sizes=sizes)
+        if spec.get("heal") == epoch and index in self._partition_up:
+            self.transport.heal_partition()
+            self._partition_up.discard(index)
+            self._record(epoch, "partition_heal")
+
+    def _apply_delay(self, index: int, epoch: int, spec: FaultSpec) -> None:
+        if spec.in_window(epoch) and index not in self._delay_active:
+            seconds = float(spec.get("seconds", 0.25))
+            self.transport.set_extra_delay(seconds)
+            self._delay_active.add(index)
+            self._record(epoch, "delay_on", seconds=seconds)
+        elif not spec.in_window(epoch) and index in self._delay_active:
+            self.transport.set_extra_delay(0.0)
+            self._delay_active.discard(index)
+            self._record(epoch, "delay_off")
+
+    def _apply_drop(self, index: int, epoch: int, spec: FaultSpec) -> None:
+        if spec.in_window(epoch) and index not in self._drop_active:
+            rate = float(spec.get("rate", 0.1))
+            self.transport.set_drop(rate, seed=f"{self.base_seed}/{index}")
+            self._drop_active.add(index)
+            self._record(epoch, "drop_on", rate=rate)
+        elif not spec.in_window(epoch) and index in self._drop_active:
+            self.transport.set_drop(0.0)
+            self._drop_active.discard(index)
+            self._record(epoch, "drop_off")
+
+    # ------------------------------------------------------------------
+    def partition_heal_events(self) -> List[dict]:
+        return [event for event in self.events if event["kind"] == "partition_heal"]
+
+    def first_chaos_epoch(self) -> Optional[int]:
+        epochs = [
+            spec.get("epoch", spec.get("from_epoch"))
+            for spec in self.specs
+            if spec.get("epoch", spec.get("from_epoch")) is not None
+        ]
+        return min(epochs) if epochs else None

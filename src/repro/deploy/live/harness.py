@@ -1,0 +1,472 @@
+"""The resilience harness: one cluster, either backend, chaos + load + gates.
+
+Builds an N-node SOUP cluster out of real :class:`~repro.node.middleware.SoupNode`
+middleware instances on either side of the transport seam — the
+deterministic :class:`~repro.network.simnet.SimNetwork` or the socket-backed
+:class:`~repro.deploy.live.transport.LiveTransport` — then drives an
+open-loop request mix through it while a :class:`ChaosController` replays
+a fault plan, and emits a ``soup-resilience/v1`` report.
+
+The protocol-level metrics in the report (availability samples, chaos
+events, durability accounting) are **structural**: they are computed from
+middleware state that only mutates synchronously inside harness-ordered
+calls, never from message arrival timing.  That is what makes the same
+seed produce the same availability series on both backends (the
+equivalence acceptance criterion) — while latency percentiles and
+retry/timeout counters remain honestly backend-specific.
+
+Availability is measured SuperNova-style, from the readers' side: at each
+epoch boundary, over every (reader, owner) pair with the reader alive,
+the owner's data counts as available if the reader can currently reach
+the owner itself or any announced mirror that is online and actually
+stores the owner's replica.  A partition therefore *does* hurt
+availability (cross-group mirrors don't count for that reader) even
+though no data was lost.
+
+"Zero lost acked updates" is likewise structural: every acked replica
+push is remembered as ``(owner, sequence)``; at the end of the run an
+acked update is *lost* only if its owner is offline and no online node
+still holds it (in an update log or a stored replica).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SoupConfig
+from repro.deploy.live.chaos import ChaosController
+from repro.deploy.live.load import DEFAULT_MIX, LATENCY_BUCKETS, LoadOp, build_load_plan
+from repro.deploy.live.transport import AsyncClock, LiveTransport
+from repro.dht.bootstrap import BootstrapRegistry
+from repro.dht.pastry import PastryOverlay
+from repro.network.events import EventLoop
+from repro.network.reliability import ReliabilityStats
+from repro.network.simnet import SimNetwork
+from repro.network.transport import DESKTOP_LINK, SERVER_LINK, Transport
+from repro.node.middleware import SoupNode
+from repro.node.profile import DataItem
+from repro.obs import get_registry, pop_registry, push_registry
+
+#: Report schema identifier (bump on breaking changes).
+REPORT_SCHEMA = "soup-resilience/v1"
+
+
+@dataclass
+class ResilienceConfig:
+    """One resilience run, fully specified (and fully replayable)."""
+
+    n_nodes: int = 25
+    seed: int = 7
+    backend: str = "sim"
+    #: Fault-plan spec string (see :mod:`repro.sim.faults`); empty = no chaos.
+    chaos: str = ""
+    epochs: int = 10
+    #: Seconds per epoch — simulated seconds on the sim backend, wall
+    #: seconds on the live one.
+    epoch_s: float = 0.5
+    load_rps: float = 40.0
+    friends_per_node: int = 3
+    items_per_node: int = 2
+    #: Small keys + simulated signatures keep a 25-node smoke run fast;
+    #: the protocol logic is identical (forgeries still rejected).
+    key_bits: int = 256
+    crypto_mode: str = "by_id"
+    #: Live backend only: wall seconds for sockets to settle after setup.
+    settle_s: float = 0.25
+
+    def validate(self) -> None:
+        if self.backend not in ("sim", "live"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.n_nodes < 3:
+            raise ValueError("a resilience run needs at least 3 nodes")
+        if self.epochs < 1:
+            raise ValueError("need at least one epoch")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch duration must be positive")
+        if self.load_rps <= 0:
+            raise ValueError("load rate must be positive")
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ResilienceConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown resilience config keys: {sorted(unknown)}")
+        return cls(**raw)  # type: ignore[arg-type]
+
+
+class ResilienceHarness:
+    """Runs one resilience scenario and produces the report dict."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        config.validate()
+        self.config = config
+        self.network: Optional[Transport] = None
+        self.nodes: Dict[int, SoupNode] = {}
+        self.order: List[int] = []
+        self.gateway_id: Optional[int] = None
+        self.chaos: Optional[ChaosController] = None
+        self.samples: List[dict] = []
+        self.baseline_availability: float = 1.0
+        self._acked: Dict[tuple, int] = {}
+        self._counts: Dict[str, int] = {}
+        self._read_attempts = 0
+        self._read_successes = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        """Execute the scenario; returns the ``soup-resilience/v1`` report."""
+        push_registry()
+        try:
+            if self.config.backend == "live":
+                return asyncio.run(self._run_live())
+            return self._run_sim()
+        finally:
+            pop_registry()
+
+    # --- cluster construction (shared) --------------------------------
+    def _build(self, network: Transport) -> None:
+        cfg = self.config
+        self.network = network
+        self.rng = random.Random(cfg.seed)
+        self.overlay = PastryOverlay()
+        self.overlay.set_liveness(network.is_online)
+        self.bootstrap = BootstrapRegistry()
+
+        def resolve(node_id: int) -> Optional[SoupNode]:
+            return self.nodes.get(node_id)
+
+        for index in range(cfg.n_nodes):
+            node = SoupNode(
+                name="gateway" if index == 0 else f"user{index:02d}",
+                network=network,
+                overlay=self.overlay,
+                registry=self.bootstrap,
+                peer_resolver=resolve,
+                config=SoupConfig(),
+                seed=self.rng.randrange(2**31),
+                link=SERVER_LINK if index == 0 else DESKTOP_LINK,
+                key_bits=cfg.key_bits,
+                crypto_mode=cfg.crypto_mode,
+            )
+            self.nodes[node.node_id] = node
+            self.order.append(node.node_id)
+        self.gateway_id = self.order[0]
+
+    def _join_all(self) -> None:
+        gateway = self.nodes[self.gateway_id]
+        gateway.join()
+        gateway.make_bootstrap_node()
+        for node_id in self.order[1:]:
+            self.nodes[node_id].join(bootstrap_id=self.gateway_id)
+
+    def _setup_social(self) -> None:
+        """Ring + seeded random extra friendships (connected by construction)."""
+        cfg = self.config
+        n = len(self.order)
+        for index, node_id in enumerate(self.order):
+            self.nodes[node_id].befriend(self.order[(index + 1) % n])
+        extra = max(0, cfg.friends_per_node - 2)
+        for index, node_id in enumerate(self.order):
+            for _ in range(extra):
+                other = self.rng.randrange(n - 1)
+                if other >= index:
+                    other += 1
+                other_id = self.order[other]
+                if not self.nodes[node_id].social.is_friend(other_id):
+                    self.nodes[node_id].befriend(other_id)
+
+    def _seed_content(self) -> None:
+        for node_id in self.order:
+            self.nodes[node_id].run_selection_round()
+        for node_id in self.order:
+            for _ in range(self.config.items_per_node):
+                self._post(node_id)
+        # A second round lets early selectors see the now-announced peers.
+        for node_id in self.order:
+            self.nodes[node_id].run_selection_round()
+
+    # --- workload ------------------------------------------------------
+    def _ack_cb(self, owner_id: int) -> Callable[[int, object], None]:
+        def on_ack(dest: int, payload: object) -> None:
+            key = (owner_id, getattr(payload, "sequence", None))
+            self._acked[key] = self._acked.get(key, 0) + 1
+
+        return on_ack
+
+    def _post(self, owner_id: int) -> None:
+        item = DataItem.text(size_bytes=2_000, created_at=self.network.loop.now)
+        self.nodes[owner_id].post_item(item, on_push_ack=self._ack_cb(owner_id))
+
+    def _count(self, key: str) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def _execute_op(self, op: LoadOp) -> None:
+        actor_id = self.order[op.actor]
+        target_id = self.order[op.target]
+        net = self.network
+        if not net.is_online(actor_id) or net.is_paused(actor_id):
+            self._count("skipped_actor_down")
+            return
+        node = self.nodes[actor_id]
+        started = time.perf_counter()
+        if op.kind == "read":
+            ok = bool(node.request_profile(target_id))
+            self._read_attempts += 1
+            self._read_successes += int(ok)
+        elif op.kind == "post":
+            self._post(actor_id)
+            ok = True
+        else:
+            ok = bool(node.send_message(target_id, "resilience-probe"))
+        elapsed = time.perf_counter() - started
+        get_registry().histogram(
+            f"resilience.latency.{op.kind}_s", buckets=LATENCY_BUCKETS
+        ).observe(elapsed)
+        self._count(f"{op.kind}_{'ok' if ok else 'fail'}")
+
+    def _maintenance(self, epoch: int) -> None:
+        net = self.network
+        for node_id in self.order:
+            if not net.is_online(node_id) or net.is_paused(node_id):
+                continue
+            node = self.nodes[node_id]
+            node.run_selection_round()
+            node.exchange_experience_sets()
+
+    # --- measurement ---------------------------------------------------
+    def _compute_availability(self) -> float:
+        net = self.network
+        readers = [
+            node_id
+            for node_id in self.order
+            if net.is_online(node_id) and not net.is_paused(node_id)
+        ]
+        if not readers:
+            return 0.0
+        pairs = served = 0
+        for owner_id in self.order:
+            owner_online = net.is_online(owner_id)
+            serving_mirrors = [
+                mirror_id
+                for mirror_id in self.nodes[owner_id].mirror_manager.announced_mirrors
+                if net.is_online(mirror_id)
+                and self.nodes[mirror_id].mirror_manager.store.stores_for(owner_id)
+            ]
+            for reader_id in readers:
+                if reader_id == owner_id:
+                    continue
+                pairs += 1
+                if owner_online and net.reachable(reader_id, owner_id):
+                    served += 1
+                elif any(
+                    net.reachable(reader_id, mirror_id)
+                    for mirror_id in serving_mirrors
+                ):
+                    served += 1
+        return served / pairs if pairs else 1.0
+
+    def _sample(self, epoch: int) -> None:
+        net = self.network
+        self.samples.append(
+            {
+                "epoch": epoch,
+                "t": round(net.loop.now, 3),
+                "availability": round(self._compute_availability(), 6),
+                "online": sum(1 for node_id in self.order if net.is_online(node_id)),
+            }
+        )
+
+    def _durability(self) -> dict:
+        net = self.network
+        lost = []
+        for owner_id, sequence in self._acked:
+            if net.is_online(owner_id):
+                continue
+            survives = False
+            for node_id in self.order:
+                if node_id == owner_id or not net.is_online(node_id):
+                    continue
+                manager = self.nodes[node_id].mirror_manager
+                log = manager.update_log_for(owner_id)
+                if log is not None and any(
+                    entry.sequence == sequence for entry in log.entries()
+                ):
+                    survives = True
+                    break
+                if manager.store.stores_for(owner_id):
+                    survives = True
+                    break
+            if not survives:
+                lost.append([owner_id, sequence])
+        return {
+            "acked_updates": len(self._acked),
+            "lost_acked_updates": len(lost),
+            "lost": lost[:20],
+        }
+
+    def _recovery(self) -> dict:
+        heals = self.chaos.partition_heal_events() if self.chaos else []
+        if not heals:
+            return {"applicable": False, "recovered": True, "seconds": 0.0}
+        heal = heals[0]
+        # Recover to the pre-chaos level (small epsilon for float dust).
+        target = self.baseline_availability - 1e-6
+        for sample in self.samples:
+            if sample["epoch"] >= heal["epoch"] and sample["availability"] >= target:
+                return {
+                    "applicable": True,
+                    "recovered": True,
+                    "seconds": round(max(0.0, sample["t"] - heal["t"]), 3),
+                }
+        return {"applicable": True, "recovered": False, "seconds": None}
+
+    def _latency_summary(self) -> dict:
+        registry = get_registry()
+        out = {}
+        for kind, _ in DEFAULT_MIX:
+            hist = registry.histogram(
+                f"resilience.latency.{kind}_s", buckets=LATENCY_BUCKETS
+            )
+            out[kind] = {
+                "count": hist.count,
+                "mean_s": round(hist.mean, 6),
+                "p50_s": round(hist.quantile(0.5), 6),
+                "p95_s": round(hist.quantile(0.95), 6),
+                "p99_s": round(hist.quantile(0.99), 6),
+                "max_s": round(hist.maximum or 0.0, 6),
+            }
+        return out
+
+    def _aggregate_reliability(self) -> dict:
+        total = ReliabilityStats()
+        for node in self.nodes.values():
+            total.merge(node.reliability.stats)
+        return asdict(total)
+
+    def _report(self) -> dict:
+        availabilities = [sample["availability"] for sample in self.samples]
+        first_chaos = self.chaos.first_chaos_epoch() if self.chaos else None
+        during = (
+            [s["availability"] for s in self.samples if s["epoch"] >= first_chaos]
+            if first_chaos is not None
+            else availabilities
+        ) or availabilities
+        read_rate = (
+            self._read_successes / self._read_attempts if self._read_attempts else 1.0
+        )
+        net = self.network
+        return {
+            "schema": REPORT_SCHEMA,
+            "config": asdict(self.config),
+            "chaos": {
+                "spec": self.chaos.to_string() if self.chaos else "",
+                "events": list(self.chaos.events) if self.chaos else [],
+                "killed": len(self.chaos.killed) if self.chaos else 0,
+            },
+            "availability": {
+                "baseline": round(self.baseline_availability, 6),
+                "mean": round(sum(availabilities) / len(availabilities), 6)
+                if availabilities
+                else 1.0,
+                "min": round(min(availabilities), 6) if availabilities else 1.0,
+                "final": availabilities[-1] if availabilities else 1.0,
+                "during_chaos_min": round(min(during), 6) if during else 1.0,
+                "request_success_rate": round(read_rate, 6),
+                "samples": self.samples,
+            },
+            "latency": self._latency_summary(),
+            "requests": dict(sorted(self._counts.items())),
+            "durability": self._durability(),
+            "recovery": self._recovery(),
+            "reliability": self._aggregate_reliability(),
+            "net": {
+                "delivered": net.messages_delivered,
+                "failed": net.messages_failed,
+                "failures_by_reason": dict(sorted(net.failures_by_reason.items())),
+            },
+        }
+
+    # --- drivers --------------------------------------------------------
+    def _make_chaos(self) -> ChaosController:
+        self.chaos = ChaosController.from_spec(
+            self.config.chaos,
+            self.network,
+            self.nodes,
+            self.order,
+            base_seed=self.config.seed,
+            protected={self.gateway_id},
+        )
+        return self.chaos
+
+    def _run_sim(self) -> dict:
+        cfg = self.config
+        loop = EventLoop()
+        network = SimNetwork(loop)
+        self._build(network)
+        self._join_all()
+        loop.run_until(loop.now + 1.0)
+        self._setup_social()
+        loop.run_until(loop.now + 1.0)
+        self._seed_content()
+        loop.run_until(loop.now + 2.0)
+        self.baseline_availability = self._compute_availability()
+        chaos = self._make_chaos()
+        plan = build_load_plan(
+            cfg.n_nodes, cfg.load_rps, cfg.epochs * cfg.epoch_s, seed=cfg.seed
+        )
+        t_base = loop.now
+        op_index = 0
+        for epoch in range(cfg.epochs):
+            chaos.on_epoch(epoch)
+            horizon = (epoch + 1) * cfg.epoch_s
+            while op_index < len(plan) and plan[op_index].at_s < horizon:
+                loop.run_until(t_base + plan[op_index].at_s)
+                self._execute_op(plan[op_index])
+                op_index += 1
+            loop.run_until(t_base + horizon)
+            self._maintenance(epoch)
+            self._sample(epoch)
+        loop.run_until(loop.now + 2.0)
+        return self._report()
+
+    async def _run_live(self) -> dict:
+        cfg = self.config
+        clock = AsyncClock()
+        network = LiveTransport(clock)
+        try:
+            self._build(network)
+            await network.start()
+            self._join_all()
+            self._setup_social()
+            self._seed_content()
+            await network.drain(cfg.settle_s)
+            self.baseline_availability = self._compute_availability()
+            chaos = self._make_chaos()
+            plan = build_load_plan(
+                cfg.n_nodes, cfg.load_rps, cfg.epochs * cfg.epoch_s, seed=cfg.seed
+            )
+            t_base = clock.now
+            op_index = 0
+            for epoch in range(cfg.epochs):
+                chaos.on_epoch(epoch)
+                horizon = (epoch + 1) * cfg.epoch_s
+                while op_index < len(plan) and plan[op_index].at_s < horizon:
+                    wait = t_base + plan[op_index].at_s - clock.now
+                    if wait > 0:
+                        await asyncio.sleep(wait)
+                    self._execute_op(plan[op_index])
+                    op_index += 1
+                wait = t_base + horizon - clock.now
+                if wait > 0:
+                    await asyncio.sleep(wait)
+                self._maintenance(epoch)
+                self._sample(epoch)
+            await network.drain(cfg.settle_s)
+            return self._report()
+        finally:
+            await network.close()

@@ -1,0 +1,284 @@
+"""The live transport backend: TCP loopback sockets under asyncio.
+
+Every node gets a real TCP server on ``127.0.0.1`` (ephemeral port);
+every :meth:`LiveTransport.send` pickles the message into a
+length-prefixed frame and writes it over a real socket connection to the
+receiver's server, where it is unpickled and dispatched to the node's
+registered handler.  Protocol state stays in-process (the middleware's
+``peer_resolver`` still hands out live objects — exactly as in the
+simulated deployment, where decisions are synchronous but every byte
+crosses the metered network), so the middleware runs unchanged; what
+becomes real is the timing: kernel buffers, connection setup, wall-clock
+retry timers.
+
+Failure semantics deliberately mirror :class:`~repro.network.simnet.SimNetwork`
+so the reliability layer sees the same reasons on both backends:
+``sender-offline`` (immediate), ``unreachable`` (after a latency-derived
+detection delay, or when the connection errors), ``lost-in-flight`` (the
+receiver went offline while the frame was in flight), plus the chaos
+reasons (``partitioned``, ``chaos-drop``) from the shared base class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import pickle
+import struct
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.network.transport import Transport
+from repro.obs import get_registry
+
+logger = logging.getLogger("repro.deploy.live.transport")
+
+_HEADER = struct.Struct(">I")
+
+
+class AsyncClock:
+    """Wallclock :class:`~repro.network.transport.Clock` over asyncio.
+
+    ``now`` is seconds since the clock was created (so timestamps look
+    like the simulator's small floats, not epoch seconds); ``schedule``
+    maps to ``call_later``.  Timer callbacks are guarded: an exception in
+    a retry timer must not kill the event loop.  Must be constructed
+    inside a running event loop.
+    """
+
+    def __init__(self) -> None:
+        self.aioloop = asyncio.get_running_loop()
+        self._t0 = self.aioloop.time()
+        self._handles: Set[asyncio.TimerHandle] = set()
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        return self.aioloop.time() - self._t0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if self._closed:
+            return
+        handle: Optional[asyncio.TimerHandle] = None
+
+        def fire() -> None:
+            self._handles.discard(handle)
+            if self._closed:
+                return
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 — timers must not kill the loop
+                logger.exception("scheduled callback failed")
+
+        handle = self.aioloop.call_later(max(0.0, delay), fire)
+        self._handles.add(handle)
+
+    def close(self) -> None:
+        """Cancel every outstanding timer (teardown: pending retries from
+        killed nodes must not fire into a dismantled cluster)."""
+        self._closed = True
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+
+class LiveTransport(Transport):
+    """Message delivery over real TCP loopback sockets."""
+
+    def __init__(self, clock: AsyncClock) -> None:
+        super().__init__(clock)
+        self._aio = clock.aioloop
+        self._clock = clock
+        self._servers: Dict[int, asyncio.base_events.Server] = {}
+        self._ports: Dict[int, int] = {}
+        #: One cached outbound connection per (sender, receiver) pair.
+        self._writers: Dict[Tuple[int, int], asyncio.StreamWriter] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._closed = False
+
+    # --- lifecycle --------------------------------------------------------
+    async def start(self) -> None:
+        """Open one TCP server per registered node (idempotent — call
+        again after registering more nodes)."""
+        for node_id in self.node_ids():
+            if node_id not in self._servers:
+                await self._start_server(node_id)
+
+    async def _start_server(self, node_id: int) -> None:
+        server = await asyncio.start_server(
+            lambda reader, writer, nid=node_id: self._serve(nid, reader, writer),
+            host="127.0.0.1",
+            port=0,
+        )
+        self._servers[node_id] = server
+        self._ports[node_id] = server.sockets[0].getsockname()[1]
+
+    def port_of(self, node_id: int) -> Optional[int]:
+        return self._ports.get(node_id)
+
+    async def close(self) -> None:
+        """Tear the runtime down: timers, in-flight tasks, sockets."""
+        self._closed = True
+        self._clock.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for server in self._servers.values():
+            server.close()
+        await asyncio.gather(
+            *(server.wait_closed() for server in self._servers.values()),
+            return_exceptions=True,
+        )
+        self._servers.clear()
+        self._ports.clear()
+
+    async def drain(self, settle_s: float = 0.05) -> None:
+        """Wait for every queued outbound frame to hit the wire, then a
+        short settle so inbound dispatch runs."""
+        pending = [task for task in self._tasks if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await asyncio.sleep(settle_s)
+
+    # --- inbound ----------------------------------------------------------
+    async def _serve(
+        self, node_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                payload = await reader.readexactly(length)
+                sender, size_bytes, message = pickle.loads(payload)
+                self._dispatch(sender, node_id, message, size_bytes)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(
+        self, sender: int, receiver: int, message: Any, size_bytes: int
+    ) -> None:
+        if self._closed:
+            return
+        if not self._online.get(receiver, False):
+            # Went offline while the frame was in flight: bytes are lost.
+            self._count_failure("lost-in-flight")
+            return
+        if self._chaos is not None and receiver in self._chaos.paused:
+            self._buffer_inbound(sender, receiver, message, size_bytes, 0.0)
+            return
+        link = self._links.get(receiver)
+        if link is None:
+            self._count_failure("lost-in-flight")
+            return
+        self.meters[receiver].record_received(
+            self.loop.now, size_bytes, size_bytes / link.downstream_bytes_per_s
+        )
+        self.messages_delivered += 1
+        get_registry().counter("net.delivered").inc()
+        handler = self._handlers.get(receiver)
+        if handler is not None:
+            try:
+                handler(sender, message)
+            except Exception:  # noqa: BLE001 — one bad frame must not kill the server
+                logger.exception("handler for node %d failed", receiver)
+
+    def _flush_inbound(
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        receive_duration: float,
+    ) -> None:
+        self._dispatch(sender, receiver, message, size_bytes)
+
+    # --- outbound ---------------------------------------------------------
+    def _schedule_failure(
+        self, delay: float, sender: int, receiver: int, message: Any, reason: str
+    ) -> None:
+        failure_handler = self._failure_handlers.get(sender)
+        if failure_handler is None:
+            return
+        self.loop.schedule(
+            delay, lambda: failure_handler(receiver, message, reason)
+        )
+
+    def send(self, sender: int, receiver: int, message: Any, size_bytes: int) -> None:
+        """Send a message; the frame crosses a real loopback socket."""
+        if sender not in self._links:
+            raise KeyError(f"unknown sender {sender}")
+        if size_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        if self._closed:
+            return
+        if not self._online.get(sender, False):
+            self._count_failure("sender-offline")
+            self._schedule_failure(0.0, sender, receiver, message, "sender-offline")
+            return
+        if self._chaos is not None:
+            blocked = self._chaos_blocks(sender, receiver)
+            if blocked == "paused":
+                self._buffer_outbound(sender, receiver, message, size_bytes)
+                return
+            if blocked == "chaos-drop":
+                self._count_failure("chaos-drop")
+                return
+            if blocked is not None:  # "partitioned"
+                self._count_failure(blocked)
+                delay = self._links[sender].latency_s * 2 + 0.5
+                self._schedule_failure(delay, sender, receiver, message, blocked)
+                return
+        send_duration = size_bytes / self._links[sender].upstream_bytes_per_s
+        self.meters[sender].record_sent(self.loop.now, size_bytes, send_duration)
+        if receiver not in self._links or not self._online.get(receiver, False):
+            self._count_failure("unreachable")
+            delay = self._links[sender].latency_s * 2 + 0.5
+            self._schedule_failure(delay, sender, receiver, message, "unreachable")
+            return
+        task = self._aio.create_task(
+            self._transmit(sender, receiver, message, size_bytes)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _transmit(
+        self, sender: int, receiver: int, message: Any, size_bytes: int
+    ) -> None:
+        extra = self._chaos_extra_delay()
+        if extra:
+            await asyncio.sleep(extra)
+        try:
+            payload = pickle.dumps(
+                (sender, size_bytes, message), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:  # noqa: BLE001 — report, don't crash the runtime
+            logger.exception("unpicklable message from %d to %d", sender, receiver)
+            self._count_failure("unreachable")
+            self._schedule_failure(0.0, sender, receiver, message, "unreachable")
+            return
+        frame = _HEADER.pack(len(payload)) + payload
+        key = (sender, receiver)
+        try:
+            writer = self._writers.get(key)
+            if writer is None or writer.is_closing():
+                port = self._ports.get(receiver)
+                if port is None:
+                    raise ConnectionError(f"no server for node {receiver}")
+                _, writer = await asyncio.open_connection("127.0.0.1", port)
+                self._writers[key] = writer
+            writer.write(frame)
+            await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self._writers.pop(key, None)
+            if self._closed:
+                return
+            self._count_failure("unreachable")
+            self._schedule_failure(0.0, sender, receiver, message, "unreachable")

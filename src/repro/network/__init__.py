@@ -1,23 +1,37 @@
-"""Simulated network substrate.
+"""Network substrate: the transport seam and its backends.
 
 SOUP nodes communicate over direct channels established after a DHT lookup
 (Sec. 3.6).  This package provides the machinery the node middleware and
 the deployment emulation run on:
 
+* :mod:`repro.network.transport` — the :class:`Transport` seam (links,
+  membership, traffic meters, chaos primitives) both backends implement.
 * :mod:`repro.network.events` — a discrete-event loop (heap scheduler).
-* :mod:`repro.network.simnet` — the network itself: per-node links with
-  latency and bandwidth, message delivery to registered handlers, loss for
-  offline nodes, and per-node traffic meters that produce the KB/s series
-  of Figs. 14a/14b/15.
+* :mod:`repro.network.simnet` — the deterministic simulated backend:
+  per-node links with latency and bandwidth, message delivery to
+  registered handlers, loss for offline nodes, and per-node traffic
+  meters that produce the KB/s series of Figs. 14a/14b/15.
+
+The live asyncio backend lives in :mod:`repro.deploy.live` (it needs the
+deployment layer, so it is not imported here).
 """
 
 from repro.network.events import EventLoop
-from repro.network.simnet import DeliveryFailure, LinkSpec, SimNetwork, TrafficMeter
+from repro.network.simnet import SimNetwork
+from repro.network.transport import (
+    Clock,
+    DeliveryFailure,
+    LinkSpec,
+    TrafficMeter,
+    Transport,
+)
 
 __all__ = [
+    "Clock",
     "EventLoop",
     "DeliveryFailure",
     "LinkSpec",
     "SimNetwork",
     "TrafficMeter",
+    "Transport",
 ]

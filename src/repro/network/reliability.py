@@ -1,8 +1,8 @@
 """Reliable delivery over the simulated network.
 
-:class:`~repro.network.simnet.SimNetwork` is deliberately unreliable:
-messages to offline nodes vanish, in-flight bytes are lost when the
-receiver goes dark, and a sender crashing mid-action loses the send.  The
+:class:`~repro.network.transport.Transport` backends are deliberately
+unreliable: messages to offline nodes vanish, in-flight bytes are lost when
+the receiver goes dark, and a sender crashing mid-action loses the send.  The
 protocol stack, however, makes durability claims — "data of any
 participant [is] always available" — that rest on those very messages
 (replica pushes, buffered-update deliveries) actually arriving.  This
@@ -26,7 +26,9 @@ module supplies the machinery between the two:
   sequence-numbered :class:`Envelope` frames, receivers ack every frame
   (including duplicates) and deduplicate before delivering to the inner
   handler, so *ack loss → retry* never applies an update twice.  Per-
-  message timers run on the existing :class:`~repro.network.events.EventLoop`.
+  message timers run on the transport's clock — the simulated
+  :class:`~repro.network.events.EventLoop` or the live asyncio clock, so
+  the same reliability code runs on either backend.
 
 Everything here is deterministic for a fixed seed: timer ordering comes
 from the event loop's sequence numbers and jitter from hashed-seed RNG
@@ -41,8 +43,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.network.events import EventLoop
-from repro.network.simnet import SimNetwork
+from repro.network.transport import Clock, Transport
 from repro.obs import get_registry, get_tracer
 
 logger = logging.getLogger("repro.network.reliability")
@@ -341,7 +342,7 @@ class ReliableEndpoint:
     def __init__(
         self,
         node_id: int,
-        network: SimNetwork,
+        network: Transport,
         inner_handler: Callable[[int, Any], None],
         policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -351,7 +352,7 @@ class ReliableEndpoint:
     ) -> None:
         self.node_id = node_id
         self.network = network
-        self.loop: EventLoop = network.loop
+        self.loop: Clock = network.loop
         self.inner_handler = inner_handler
         self.policy = policy or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()

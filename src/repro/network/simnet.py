@@ -9,110 +9,33 @@ as failures and end up in experience sets.
 
 :class:`TrafficMeter` buckets bytes per second per direction, producing
 exactly the KB/s-over-time series plotted in Figs. 14a, 14b and 15.
+
+:class:`SimNetwork` is one backend of the :class:`~repro.network.transport.Transport`
+seam — the deterministic discrete-event one.  The live asyncio backend
+(:mod:`repro.deploy.live`) implements the same contract over TCP loopback
+sockets, so the middleware above runs unchanged on either.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.network.events import EventLoop
+from repro.network.transport import (  # noqa: F401  (re-exported compat names)
+    DESKTOP_LINK,
+    MOBILE_LINK,
+    SERVER_LINK,
+    DeliveryFailure,
+    FailureHandler,
+    Handler,
+    LinkSpec,
+    TrafficMeter,
+    Transport,
+)
 from repro.obs import get_registry
 
 logger = logging.getLogger("repro.network.simnet")
-
-
-@dataclass(frozen=True)
-class LinkSpec:
-    """A node's access link."""
-
-    latency_s: float = 0.04
-    upstream_bytes_per_s: float = 1_000_000.0
-    downstream_bytes_per_s: float = 4_000_000.0
-
-    def __post_init__(self) -> None:
-        if self.latency_s < 0:
-            raise ValueError("latency cannot be negative")
-        if self.upstream_bytes_per_s <= 0 or self.downstream_bytes_per_s <= 0:
-            raise ValueError("bandwidth must be positive")
-
-
-#: Typical 2014-era access links, used by the deployment emulation.
-DESKTOP_LINK = LinkSpec(latency_s=0.03, upstream_bytes_per_s=750_000, downstream_bytes_per_s=1_000_000)
-MOBILE_LINK = LinkSpec(latency_s=0.12, upstream_bytes_per_s=150_000, downstream_bytes_per_s=1_000_000)
-SERVER_LINK = LinkSpec(latency_s=0.01, upstream_bytes_per_s=12_500_000, downstream_bytes_per_s=12_500_000)
-
-
-class DeliveryFailure(Exception):
-    """Raised/reported when a message cannot be delivered."""
-
-
-class TrafficMeter:
-    """Per-second byte counters for one node."""
-
-    def __init__(self) -> None:
-        self._sent: Dict[int, int] = {}
-        self._received: Dict[int, int] = {}
-
-    @staticmethod
-    def _spread(
-        table: Dict[int, int], time_s: float, size_bytes: int, duration_s: float
-    ) -> None:
-        """Distribute ``size_bytes`` over ``duration_s`` starting at
-        ``time_s`` — a large transfer occupies the link for its whole
-        duration instead of spiking one bucket."""
-        start = int(time_s)
-        seconds = max(1, int(duration_s) + 1)
-        per_second = size_bytes // seconds
-        remainder = size_bytes - per_second * seconds
-        for offset in range(seconds):
-            amount = per_second + (remainder if offset == 0 else 0)
-            if amount:
-                table[start + offset] = table.get(start + offset, 0) + amount
-
-    def record_sent(
-        self, time_s: float, size_bytes: int, duration_s: float = 0.0
-    ) -> None:
-        self._spread(self._sent, time_s, size_bytes, duration_s)
-
-    def record_received(
-        self, time_s: float, size_bytes: int, duration_s: float = 0.0
-    ) -> None:
-        self._spread(self._received, time_s, size_bytes, duration_s)
-
-    def total_sent(self) -> int:
-        return sum(self._sent.values())
-
-    def total_received(self) -> int:
-        return sum(self._received.values())
-
-    def series_kb_per_s(
-        self, start_s: int = 0, end_s: Optional[int] = None
-    ) -> List[Tuple[int, float]]:
-        """(second, KB/s) series of total traffic (both directions)."""
-        buckets = set(self._sent) | set(self._received)
-        if end_s is None:
-            end_s = max(buckets) + 1 if buckets else start_s
-        series = []
-        for second in range(start_s, end_s):
-            total = self._sent.get(second, 0) + self._received.get(second, 0)
-            series.append((second, total / 1024.0))
-        return series
-
-    def peak_kb_per_s(self) -> float:
-        series = self.series_kb_per_s()
-        return max((kb for _, kb in series), default=0.0)
-
-    def mean_kb_per_s(self) -> float:
-        series = self.series_kb_per_s()
-        if not series:
-            return 0.0
-        return sum(kb for _, kb in series) / len(series)
-
-
-Handler = Callable[[int, Any], None]
-FailureHandler = Callable[[int, Any, str], None]
 
 
 class _NetEvent:
@@ -179,101 +102,15 @@ class _NetEvent:
             net._event_pool.append(self)
 
 
-class SimNetwork:
+class SimNetwork(Transport):
     """Message delivery between registered nodes over an event loop."""
 
     def __init__(self, loop: EventLoop) -> None:
-        self.loop = loop
-        self._links: Dict[int, LinkSpec] = {}
-        self._handlers: Dict[int, Handler] = {}
-        self._failure_handlers: Dict[int, FailureHandler] = {}
-        self._online: Dict[int, bool] = {}
-        self.meters: Dict[int, TrafficMeter] = {}
-        #: Separate meters for DHT/overlay control traffic, so control
-        #: overhead (Fig. 14a) can be reported independently of user data.
-        self.control_meters: Dict[int, TrafficMeter] = {}
-        self.messages_delivered = 0
-        self.messages_failed = 0
-        #: Failure counts broken down by reason ("sender-offline",
-        #: "unreachable", "lost-in-flight"), so diagnoses don't have to
-        #: guess which leg of the path dropped the message.
-        self.failures_by_reason: Dict[str, int] = {}
-        #: Time each node's uplink is busy until (sends serialize).
-        self._uplink_free_at: Dict[int, float] = {}
-        #: Time each node's downlink is busy until (receives serialize).
-        self._downlink_free_at: Dict[int, float] = {}
+        super().__init__(loop)
         #: Free list of recycled :class:`_NetEvent` objects.
         self._event_pool: List[_NetEvent] = []
 
-    # --- membership -------------------------------------------------------
-    def register(
-        self,
-        node_id: int,
-        handler: Handler,
-        link: LinkSpec = LinkSpec(),
-        on_failure: Optional[FailureHandler] = None,
-    ) -> None:
-        if node_id in self._links:
-            raise ValueError(f"node {node_id} already registered")
-        self._links[node_id] = link
-        self._handlers[node_id] = handler
-        if on_failure is not None:
-            self._failure_handlers[node_id] = on_failure
-        self._online[node_id] = True
-        self.meters[node_id] = TrafficMeter()
-        self.control_meters[node_id] = TrafficMeter()
-
-    def control_meter(self, node_id: int) -> TrafficMeter:
-        """The DHT-control traffic meter for a node (created on demand for
-        ids charged before registration, e.g. overlay-only members)."""
-        meter = self.control_meters.get(node_id)
-        if meter is None:
-            meter = TrafficMeter()
-            self.control_meters[node_id] = meter
-        return meter
-
-    def unregister(self, node_id: int) -> None:
-        for table in (
-            self._links,
-            self._handlers,
-            self._failure_handlers,
-            self._online,
-            self.meters,
-            self.control_meters,
-            self._uplink_free_at,
-            self._downlink_free_at,
-        ):
-            table.pop(node_id, None)
-
-    def set_online(self, node_id: int, online: bool) -> None:
-        if node_id not in self._links:
-            raise KeyError(f"unknown node {node_id}")
-        self._online[node_id] = online
-
-    def is_online(self, node_id: int) -> bool:
-        return self._online.get(node_id, False)
-
-    def link_of(self, node_id: int) -> LinkSpec:
-        return self._links[node_id]
-
     # --- sending ---------------------------------------------------------
-    def _count_failure(self, reason: str) -> None:
-        self.messages_failed += 1
-        self.failures_by_reason[reason] = self.failures_by_reason.get(reason, 0) + 1
-        get_registry().counter(f"net.failures.{reason}").inc()
-
-    def uplink_backlog_s(self, node_id: int) -> float:
-        """How far beyond *now* the node's uplink is already committed —
-        queued sends delay both delivery and the returning ack, so retry
-        timeouts must stretch by this much to avoid false losses."""
-        return max(0.0, self._uplink_free_at.get(node_id, 0.0) - self.loop.now)
-
-    def transfer_time(self, sender: int, receiver: int, size_bytes: int) -> float:
-        s_link = self._links[sender]
-        r_link = self._links[receiver]
-        bottleneck = min(s_link.upstream_bytes_per_s, r_link.downstream_bytes_per_s)
-        return s_link.latency_s + r_link.latency_s + size_bytes / bottleneck
-
     def _acquire_event(self) -> _NetEvent:
         pool = self._event_pool
         if pool:
@@ -311,6 +148,11 @@ class SimNetwork:
         if not self._online.get(receiver, False):
             self._count_failure("lost-in-flight")
             return
+        # A paused (SIGSTOP-stalled) receiver buffers the bytes; they are
+        # handed to the handler on resume.
+        if self._chaos is not None and receiver in self._chaos.paused:
+            self._buffer_inbound(sender, receiver, message, size_bytes, receive_duration)
+            return
         # Concurrent inbound streams share (serialize on) the downlink.
         start = max(self.loop.now, self._downlink_free_at.get(receiver, 0.0))
         self._downlink_free_at[receiver] = start + receive_duration
@@ -318,6 +160,16 @@ class SimNetwork:
         self.messages_delivered += 1
         get_registry().counter("net.delivered").inc()
         self._handlers[receiver](sender, message)
+
+    def _flush_inbound(
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        receive_duration: float,
+    ) -> None:
+        self._deliver(sender, receiver, message, size_bytes, receive_duration)
 
     def send(self, sender: int, receiver: int, message: Any, size_bytes: int) -> None:
         """Send a message; delivery or failure is scheduled on the loop."""
@@ -337,6 +189,25 @@ class SimNetwork:
                     0.0, failure_handler, sender, receiver, message, "sender-offline"
                 )
             return
+        if self._chaos is not None:
+            blocked = self._chaos_blocks(sender, receiver)
+            if blocked == "paused":
+                self._buffer_outbound(sender, receiver, message, size_bytes)
+                return
+            if blocked == "chaos-drop":
+                # Lost in flight: the sender learns nothing until its own
+                # timeout machinery notices the missing ack.
+                self._count_failure("chaos-drop")
+                return
+            if blocked is not None:  # "partitioned"
+                self._count_failure(blocked)
+                failure_handler = self._failure_handlers.get(sender)
+                if failure_handler is not None:
+                    delay = self._links[sender].latency_s * 2 + 0.5
+                    self._schedule_failure(
+                        delay, failure_handler, sender, receiver, message, blocked
+                    )
+                return
         # Sends serialize on the sender's uplink: a burst of pushes occupies
         # the link back to back instead of stacking into one instant.
         send_duration = size_bytes / self._links[sender].upstream_bytes_per_s
@@ -357,6 +228,8 @@ class SimNetwork:
             return
 
         delay = self.transfer_time(sender, receiver, size_bytes)
+        if self._chaos is not None:
+            delay += self._chaos.extra_delay_s
         event = self._acquire_event()
         event.kind = _NetEvent.DELIVER
         event.sender = sender

@@ -25,7 +25,7 @@ from repro.core.objects import ObjectType, SoupObject
 from repro.dht.pastry import DhtError, PastryOverlay, RouteResult
 from repro.dht.storage import DirectoryEntry
 from repro.network.reliability import ReliableEndpoint
-from repro.network.simnet import SimNetwork
+from repro.network.transport import Transport
 
 #: Approximate wire size of one DHT control message (key + headers).
 _DHT_MESSAGE_BYTES = 160
@@ -42,7 +42,7 @@ class InterfaceManager:
     def __init__(
         self,
         owner_id: int,
-        network: SimNetwork,
+        network: Transport,
         overlay: PastryOverlay,
         is_mobile: bool = False,
     ) -> None:

@@ -31,7 +31,7 @@ from repro.dht.bootstrap import BootstrapRegistry
 from repro.dht.pastry import PastryOverlay
 from repro.dht.storage import DirectoryEntry
 from repro.network.reliability import FailureDetector, ReliableEndpoint
-from repro.network.simnet import LinkSpec, SimNetwork
+from repro.network.transport import LinkSpec, Transport
 from repro.node.application_manager import ApplicationManager
 from repro.node.interface_manager import InterfaceManager
 from repro.node.mirror_manager import MirrorManager
@@ -55,7 +55,7 @@ class SoupNode:
     def __init__(
         self,
         name: str,
-        network: SimNetwork,
+        network: Transport,
         overlay: PastryOverlay,
         registry: BootstrapRegistry,
         peer_resolver: Callable[[int], Optional["SoupNode"]],
@@ -137,7 +137,7 @@ class SoupNode:
         self._repairing = False
 
         if link is None:
-            from repro.network.simnet import DESKTOP_LINK, MOBILE_LINK
+            from repro.network.transport import DESKTOP_LINK, MOBILE_LINK
 
             link = MOBILE_LINK if is_mobile else DESKTOP_LINK
         network.register(
@@ -192,6 +192,30 @@ class SoupNode:
             self.publish_entry()
             self.collect_updates()
 
+    def shutdown(self, graceful: bool = True) -> None:
+        """Stop this node for good (lifecycle hook for deployment runtimes).
+
+        ``graceful=True`` leaves the overlay cleanly first (directory
+        entries are re-homed, Sec. 3.2); ``graceful=False`` models a kill:
+        the node just goes dark and the ring discovers the loss through
+        failure detection.  Either way the node stays registered with the
+        transport so in-flight timers referencing it fail softly
+        ("sender-offline") instead of raising."""
+        if graceful and not self.is_mobile and self.node_id in self.overlay:
+            self.overlay.leave(self.node_id)
+        self.go_offline()
+        self.joined = False
+
+    def _reachable(self, peer_id: int) -> bool:
+        """Whether active network chaos (a partition or a SIGSTOP-style
+        pause) blocks traffic to ``peer_id``.  Serving decisions conjoin
+        this with the peer's online state, so the protocol sees chaos
+        identically on both network backends; with no chaos applied it is
+        always true and behavior is bit-identical to the pre-seam code."""
+        return not self.network.is_paused(peer_id) and not self.network.partitioned(
+            self.node_id, peer_id
+        )
+
     # ------------------------------------------------------------------
     # directory
     # ------------------------------------------------------------------
@@ -221,7 +245,7 @@ class SoupNode:
     def befriend(self, other_id: int) -> bool:
         """Full friend-request handshake with attribute-key exchange."""
         other = self._require_peer(other_id)
-        if other is None or not other.online:
+        if other is None or not other.online or not self._reachable(other_id):
             return False
         self.social.initiate_request(other_id)
         request = self.applications.encapsulate(
@@ -332,7 +356,7 @@ class SoupNode:
         )
         self.security.sign_object(message)
         dest = self._peer(dest_id)
-        if dest is not None and dest.online:
+        if dest is not None and dest.online and self._reachable(dest_id):
             self.interface.send_object(message)
             return True
         # Store-and-forward through the recipient's mirrors (Sec. 3.5).
@@ -341,12 +365,21 @@ class SoupNode:
     # ------------------------------------------------------------------
     # data operations
     # ------------------------------------------------------------------
-    def post_item(self, item: DataItem, device: Optional[str] = None) -> None:
+    def post_item(
+        self,
+        item: DataItem,
+        device: Optional[str] = None,
+        on_push_ack: Optional[Callable[[int, object], None]] = None,
+        on_push_giveup: Optional[Callable[[int, object, str], None]] = None,
+    ) -> None:
         """Add a data item and push the update to all mirrors.
 
         ``device`` names the posting device (see :meth:`attach_device`);
         mirrors retain the update in a per-owner log so the user's other
-        devices can replay it (Sec. 3.5).
+        devices can replay it (Sec. 3.5).  ``on_push_ack``/``on_push_giveup``
+        observe the per-mirror reliable push outcome — the resilience
+        harness uses them to track which updates were acknowledged (and
+        must therefore survive, the "zero lost acked updates" gate).
         """
         self.profile.add_item(item)
         update = self.applications.encapsulate(
@@ -375,10 +408,14 @@ class SoupNode:
             replica.record_local(pending)
         for mirror_id in self.mirror_manager.announced_mirrors:
             mirror = self._peer(mirror_id)
-            if mirror is None:
+            if mirror is None or not self._reachable(mirror_id):
                 continue
             self.interface.send_bytes_reliable(
-                mirror_id, update, item.size_bytes + _ENCRYPTION_OVERHEAD_BYTES
+                mirror_id,
+                update,
+                item.size_bytes + _ENCRYPTION_OVERHEAD_BYTES,
+                on_ack=on_push_ack,
+                on_giveup=on_push_giveup,
             )
             mirror.mirror_manager.record_owner_update(self.node_id, pending)
 
@@ -398,7 +435,7 @@ class SoupNode:
         replica = self.devices.device(device_name)
         for mirror_id in self.mirror_manager.announced_mirrors:
             mirror = self._peer(mirror_id)
-            if mirror is None or not mirror.online:
+            if mirror is None or not mirror.online or not self._reachable(mirror_id):
                 continue
             log = mirror.mirror_manager.update_log_for(self.node_id)
             if log is None or len(log) == 0:
@@ -425,7 +462,7 @@ class SoupNode:
         owner = self._peer(owner_id)
         record = self.social.is_friend(owner_id)
 
-        if owner is not None and owner.online:
+        if owner is not None and owner.online and self._reachable(owner_id):
             self._transfer_from(owner_id, size)
             if record:
                 self._observe_mirrors(owner_id, entry.mirror_ids)
@@ -437,6 +474,7 @@ class SoupNode:
             serves = (
                 mirror is not None
                 and mirror.online
+                and self._reachable(mirror_id)
                 and mirror.mirror_manager.store.stores_for(owner_id)
             )
             if record:
@@ -466,6 +504,7 @@ class SoupNode:
             serves = (
                 mirror is not None
                 and mirror.online
+                and self._reachable(mirror_id)
                 and mirror.mirror_manager.store.stores_for(owner_id)
             )
             self.mirror_manager.observe_mirror(owner_id, mirror_id, serves)
@@ -488,11 +527,12 @@ class SoupNode:
         """Send accumulated ES_u(w) to every friend w (Sec. 4.4)."""
         sent = 0
         for friend_id in self.social.friends():
+            friend = self._peer(friend_id)
+            if friend is None or not self._reachable(friend_id):
+                # Unreachable friend: keep accumulating, exchange later.
+                continue
             reports = self.mirror_manager.drain_reports_for(friend_id)
             if not reports:
-                continue
-            friend = self._peer(friend_id)
-            if friend is None:
                 continue
             exchange = self.applications.encapsulate(
                 friend_id,
@@ -552,7 +592,7 @@ class SoupNode:
         newly_accepted: List[int] = []
         for mirror_id in result.mirrors:
             mirror = self._peer(mirror_id)
-            if mirror is None or not mirror.online:
+            if mirror is None or not mirror.online or not self._reachable(mirror_id):
                 if mirror_id in old:
                     accepted.append(mirror_id)  # still holds our replica
                 continue
@@ -712,7 +752,8 @@ class SoupNode:
         for entry in self.mirror_manager.knowledge:
             peer = self._peer(entry.node_id)
             if peer is None or (
-                not peer.online and entry.node_id not in holding
+                (not peer.online or not self._reachable(entry.node_id))
+                and entry.node_id not in holding
             ):
                 unreachable.append(entry.node_id)
         return unreachable
@@ -736,7 +777,7 @@ class SoupNode:
         delivered = False
         for mirror_id in entry.mirror_ids:
             mirror = self._peer(mirror_id)
-            if mirror is not None and mirror.online:
+            if mirror is not None and mirror.online and self._reachable(mirror_id):
                 self.interface.send_bytes_reliable(
                     mirror_id, update_object, pending.size_bytes
                 )
@@ -746,7 +787,7 @@ class SoupNode:
                 # One level of forwarding to the offline mirror's mirrors.
                 for sub_id in mirror.mirror_manager.announced_mirrors:
                     sub = self._peer(sub_id)
-                    if sub is not None and sub.online:
+                    if sub is not None and sub.online and self._reachable(sub_id):
                         self.interface.send_bytes_reliable(
                             sub_id, update_object, pending.size_bytes
                         )
@@ -760,7 +801,7 @@ class SoupNode:
         streams = []
         for mirror_id in self.mirror_manager.announced_mirrors:
             mirror = self._peer(mirror_id)
-            if mirror is None or not mirror.online:
+            if mirror is None or not mirror.online or not self._reachable(mirror_id):
                 continue
             stream = mirror.mirror_manager.update_buffer.collect(self.node_id)
             if stream:

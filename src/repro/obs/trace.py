@@ -94,6 +94,14 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"task": (str,), "key": (str,), "status": (str,)},
         "optional": {"seconds": _NUM, "error": (str,), "done": (int,), "total": (int,)},
     },
+    # Emitted once when a sweep stops early on SIGTERM/KeyboardInterrupt:
+    # the final telemetry record of an interrupted invocation (the events
+    # file stays a valid v1 trace, and --resume picks up from the
+    # artifacts already checkpointed).
+    "sweep_interrupted": {
+        "required": {"done": (int,), "total": (int,)},
+        "optional": {"running": (int,), "reason": (str,)},
+    },
 }
 
 #: Fields present on every trace line, added by the tracer itself.

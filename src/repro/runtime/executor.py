@@ -19,6 +19,8 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -61,6 +63,7 @@ class SweepTelemetry:
         self.running = 0
         self.workers = max(1, workers)
         self.durations: List[float] = []
+        self.interrupted = False
 
     def _eta_seconds(self) -> Optional[float]:
         if not self.durations:
@@ -82,7 +85,19 @@ class SweepTelemetry:
                 if self.durations else None
             ),
             "eta_seconds": self._eta_seconds(),
+            "interrupted": self.interrupted,
         })
+
+    def sweep_interrupted(self, reason: str) -> None:
+        """Record the early stop: one final trace event + a last valid
+        heartbeat (``interrupted: true``) so ``--status`` and ``--resume``
+        see a cleanly checkpointed, not silently dead, run."""
+        self.interrupted = True
+        self.store.append_telemetry_event(
+            "sweep_interrupted", done=self.done, total=self.total,
+            running=self.running, reason=reason,
+        )
+        self.heartbeat()
 
     def task_started(self, task: SweepTask) -> None:
         self.running += 1
@@ -158,6 +173,9 @@ class SweepOutcome:
     failed: Dict[str, str] = field(default_factory=dict)  # key -> error
     #: Merged engine metrics across every task executed in this invocation.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: True when SIGTERM/KeyboardInterrupt stopped the sweep early; the
+    #: run directory is still a valid resume checkpoint.
+    interrupted: bool = False
 
     @property
     def complete(self) -> bool:
@@ -251,22 +269,44 @@ def run_sweep(
         if progress is not None:
             progress("fail", task, message)
 
-    if jobs == 1 or len(pending) <= 1:
-        for task in pending:
-            if live is not None:
-                live.task_started(task)
-            start = time.perf_counter()
-            try:
-                artifact = execute_task(_task_payload(task))
-            except Exception as exc:  # noqa: BLE001 - record, keep sweeping
-                record_failure(task, exc, time.perf_counter() - start)
-                continue
-            record_success(task, artifact, time.perf_counter() - start)
-    else:
-        # Spawn (not fork): workers must not inherit tracers, registries,
-        # or any other interpreter state that could diverge from --jobs 1.
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+    # SIGTERM → KeyboardInterrupt, so one code path handles Ctrl-C and a
+    # polite kill (what CI runners and process supervisors send) the same
+    # way: stop cleanly, flush telemetry, leave a resumable checkpoint.
+    previous_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        def _on_sigterm(signum, frame):  # noqa: ARG001
+            raise KeyboardInterrupt("SIGTERM")
+
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+
+    def mark_interrupted(reason: str) -> None:
+        outcome.interrupted = True
+        logger.warning("sweep %s interrupted (%s); checkpoint is resumable",
+                       spec.name, reason)
+        if live is not None:
+            live.sweep_interrupted(reason)
+
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for task in pending:
+                if live is not None:
+                    live.task_started(task)
+                start = time.perf_counter()
+                try:
+                    artifact = execute_task(_task_payload(task))
+                except KeyboardInterrupt:
+                    statuses[task.key] = {"status": "interrupted"}
+                    mark_interrupted("signal")
+                    break
+                except Exception as exc:  # noqa: BLE001 - record, keep sweeping
+                    record_failure(task, exc, time.perf_counter() - start)
+                    continue
+                record_success(task, artifact, time.perf_counter() - start)
+        else:
+            # Spawn (not fork): workers must not inherit tracers, registries,
+            # or any other interpreter state that could diverge from --jobs 1.
+            context = multiprocessing.get_context("spawn")
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             # Lazy submission: keep exactly ``workers`` futures in flight so
             # a sweep_task_started event means the task really has a worker
             # slot, not just a queue position.
@@ -280,31 +320,51 @@ def run_sweep(
                 future = pool.submit(execute_task, _task_payload(task))
                 in_flight[future] = (task, time.perf_counter())
 
-            while queue and len(in_flight) < workers:
-                submit_next()
-            while in_flight:
-                done, _ = wait(
-                    set(in_flight),
-                    timeout=HEARTBEAT_INTERVAL_S,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # Long tasks: keep the heartbeat fresh so --watch can
-                    # tell "still running" from "died".
-                    if live is not None:
-                        live.heartbeat()
-                    continue
-                for future in done:
-                    task, start = in_flight.pop(future)
-                    elapsed = time.perf_counter() - start
-                    try:
-                        artifact = future.result()
-                    except Exception as exc:  # noqa: BLE001
-                        record_failure(task, exc, elapsed)
-                    else:
-                        record_success(task, artifact, elapsed)
-                    if queue:
-                        submit_next()
+            try:
+                while queue and len(in_flight) < workers:
+                    submit_next()
+                while in_flight:
+                    done, _ = wait(
+                        set(in_flight),
+                        timeout=HEARTBEAT_INTERVAL_S,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # Long tasks: keep the heartbeat fresh so --watch can
+                        # tell "still running" from "died".
+                        if live is not None:
+                            live.heartbeat()
+                        continue
+                    for future in done:
+                        task, start = in_flight.pop(future)
+                        elapsed = time.perf_counter() - start
+                        try:
+                            artifact = future.result()
+                        except Exception as exc:  # noqa: BLE001
+                            record_failure(task, exc, elapsed)
+                        else:
+                            record_success(task, artifact, elapsed)
+                        if queue:
+                            submit_next()
+            except KeyboardInterrupt:
+                for task, _ in in_flight.values():
+                    statuses[task.key] = {"status": "interrupted"}
+                mark_interrupted("signal")
+                # Drop queued work and stop the workers without blocking on
+                # them; a spawn worker mid-task is killed, its artifact is
+                # simply absent and --resume re-runs it.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in (getattr(pool, "_processes", None) or {}).values():
+                    process.terminate()
+            else:
+                pool.shutdown(wait=True)
+    except KeyboardInterrupt:
+        # Interrupt landed outside the task loops (e.g. during telemetry):
+        # still leave a coherent checkpoint behind.
+        mark_interrupted("signal")
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
     store.finalize(statuses)
     return outcome

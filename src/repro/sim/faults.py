@@ -31,6 +31,25 @@ Supported kinds:
   at ``epoch``, ``count`` seeded benign nodes send one round of maximum-rate
   forged reports against their friends' mirrors.
 
+Process/socket-level kinds (PR 7) — interpreted by the chaos controller
+(:mod:`repro.deploy.live`) against either :class:`~repro.network.transport.Transport`
+backend, so the same one-line spec replays in the simulator and the live
+runtime:
+
+* ``kill`` — hard process kill: at ``epoch``, ``count`` seeded nodes (or
+  an explicit ``node``) die and never return.  In the epoch engine this
+  is an alias for ``crash``; on a transport the victims drop offline.
+* ``pause`` — SIGSTOP-style stall: at ``epoch``, ``count`` seeded nodes
+  (or ``node``) stop consuming their event loop until ``resume`` (epoch);
+  in-flight traffic to them is buffered and handed over on resume.
+* ``partition`` — the network splits into ``groups`` (default 2) seeded
+  random groups at ``epoch`` and heals at ``heal``; cross-group sends
+  fail like unreachable hosts.
+* ``delay`` — every delivery between ``from_epoch`` and ``to_epoch``
+  takes ``seconds`` extra.
+* ``drop`` — every message between ``from_epoch`` and ``to_epoch`` is
+  lost in flight with probability ``rate`` (seeded).
+
 Every fault draws randomness from its own :class:`random.Random` seeded by
 ``(base_seed, index, kind)``, so a plan replays identically regardless of
 what other code consumes the simulation RNG.
@@ -42,7 +61,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-_KINDS = ("crash", "drop_transfer", "reorder", "stale_reports", "slander_burst")
+_KINDS = (
+    "crash",
+    "drop_transfer",
+    "reorder",
+    "stale_reports",
+    "slander_burst",
+    # Process/socket-level kinds, replayable on both transport backends.
+    "kill",
+    "pause",
+    "partition",
+    "delay",
+    "drop",
+)
 
 
 def _parse_value(raw: str):
@@ -105,8 +136,14 @@ class FaultInjector:
     def __init__(self, specs: List[FaultSpec], base_seed: int = 0) -> None:
         self.specs = specs
         self.base_seed = base_seed
+        # "kill" is an alias of "crash"; seeding with the canonical kind
+        # makes the two spellings sample identical victims, so a plan can
+        # be rewritten between them without changing the replay.
         self._rngs = [
-            random.Random(f"{base_seed}/{index}/{spec.kind}")
+            random.Random(
+                f"{base_seed}/{index}/"
+                f"{'crash' if spec.kind == 'kill' else spec.kind}"
+            )
             for index, spec in enumerate(specs)
         ]
         #: (node, friend) -> reports sent at the previous exchange, kept so
@@ -137,7 +174,10 @@ class FaultInjector:
     def on_epoch_start(self, sim, epoch: int) -> None:
         """Apply epoch-triggered faults (crashes, slander bursts)."""
         for spec, rng in zip(self.specs, self._rngs):
-            if spec.kind == "crash" and spec.get("epoch") == epoch:
+            # "kill" is the process-level spelling of "crash"; the epoch
+            # engine treats them identically so one spec line replays in
+            # both the simulator and the live runtime.
+            if spec.kind in ("crash", "kill") and spec.get("epoch") == epoch:
                 self._crash(sim, epoch, spec, rng)
             elif spec.kind == "slander_burst" and spec.get("epoch") == epoch:
                 self._slander_burst(sim, spec, rng)

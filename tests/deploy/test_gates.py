@@ -1,0 +1,154 @@
+"""Declarative resilience gates: evaluation semantics and TOML loading.
+
+A gate must never pass vacuously: missing or non-numeric metrics fail.
+The bundled TOML-subset parser (for Pythons without :mod:`tomllib`) has
+to agree with the real parser on the committed gate files.
+"""
+
+import pytest
+
+from repro.deploy.gates import (
+    Gate,
+    _parse_gates_toml,
+    evaluate_gates,
+    gates_from_mapping,
+    load_gates,
+    resolve_metric,
+)
+
+REPORT = {
+    "availability": {"mean": 0.97, "during_chaos_min": 0.8125, "final": 1.0},
+    "latency": {"read": {"p99_s": 0.003}},
+    "durability": {"lost_acked_updates": 0},
+    "recovery": {"seconds": 0.4, "recovered": True},
+}
+
+
+class TestResolveMetric:
+    def test_dotted_walk(self):
+        assert resolve_metric(REPORT, "latency.read.p99_s") == 0.003
+
+    def test_missing_hops_return_none(self):
+        assert resolve_metric(REPORT, "latency.write.p99_s") is None
+        assert resolve_metric(REPORT, "nope") is None
+        assert resolve_metric(REPORT, "availability.mean.deeper") is None
+
+
+class TestEvaluate:
+    def test_all_ops(self):
+        report = {"x": 5}
+        cases = [
+            ("<=", 5, True), (">=", 5, True), ("<", 5, False),
+            (">", 4, True), ("==", 5, True), ("!=", 5, False),
+        ]
+        for op, bound, expected in cases:
+            verdict = evaluate_gates([Gate("g", "x", op, bound)], report)
+            assert verdict["passed"] is expected, (op, bound)
+
+    def test_violations_are_named(self):
+        gates = [
+            Gate("ok-gate", "availability.mean", ">=", 0.95),
+            Gate("bad-gate", "availability.mean", ">=", 0.99),
+        ]
+        verdict = evaluate_gates(gates, REPORT)
+        assert not verdict["passed"]
+        assert verdict["violated"] == ["bad-gate"]
+        by_name = {r["name"]: r for r in verdict["results"]}
+        assert by_name["ok-gate"]["passed"]
+        assert by_name["bad-gate"]["actual"] == 0.97
+        assert "false" in by_name["bad-gate"]["reason"]
+
+    def test_missing_metric_fails_not_passes(self):
+        verdict = evaluate_gates([Gate("g", "recovery.missing", "<=", 1)], REPORT)
+        assert not verdict["passed"]
+        assert verdict["results"][0]["reason"] == "metric missing or not numeric"
+
+    def test_non_numeric_metric_fails(self):
+        verdict = evaluate_gates([Gate("g", "availability", "<=", 1)], REPORT)
+        assert not verdict["passed"]
+
+    def test_bool_metric_coerces_to_int(self):
+        verdict = evaluate_gates([Gate("g", "recovery.recovered", "==", 1)], REPORT)
+        assert verdict["passed"]
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            Gate("g", "x", "~=", 1)
+        with pytest.raises(ValueError):
+            Gate("g", "", "<=", 1)
+
+
+TOML_TEXT = """
+# comment line
+[[gate]]
+name = "a"
+metric = "availability.mean"   # trailing comment
+op = ">="
+value = 0.95
+description = "mean stays up"
+
+[[gate]]
+name = "b"
+metric = "durability.lost_acked_updates"
+op = "<="
+value = 0
+"""
+
+
+class TestLoading:
+    def test_fallback_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert _parse_gates_toml(TOML_TEXT) == tomllib.loads(TOML_TEXT)
+
+    def test_fallback_parser_handles_committed_gate_files(self):
+        for path in ("configs/gates/smoke.toml", "configs/gates/strict.toml"):
+            text = open(path, encoding="utf-8").read()
+            gates = gates_from_mapping(_parse_gates_toml(text))
+            assert gates, path
+            assert all(g.name and g.metric for g in gates)
+
+    def test_load_gates_from_file(self, tmp_path):
+        path = tmp_path / "gates.toml"
+        path.write_text(TOML_TEXT)
+        gates = load_gates(path)
+        assert [g.name for g in gates] == ["a", "b"]
+        assert gates[0].value == 0.95 and gates[1].value == 0
+        assert gates[1].description == ""
+
+    def test_empty_gate_file_rejected(self, tmp_path):
+        path = tmp_path / "gates.toml"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError):
+            load_gates(path)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing key"):
+            gates_from_mapping({"gate": [{"name": "x", "metric": "m", "op": "<="}]})
+
+    def test_fallback_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            _parse_gates_toml("[other]\nname = 'x'\n")
+        with pytest.raises(ValueError):
+            _parse_gates_toml("name = 'orphan'\n")
+        with pytest.raises(ValueError):
+            _parse_gates_toml("[[gate]]\njust-a-line\n")
+
+    def test_committed_smoke_gates_pass_a_healthy_report(self):
+        gates = load_gates("configs/gates/smoke.toml")
+        report = {
+            "availability": {"mean": 0.99, "during_chaos_min": 0.85, "final": 1.0},
+            "latency": {"read": {"p99_s": 0.01}},
+            "durability": {"lost_acked_updates": 0},
+            "recovery": {"seconds": 0.5},
+        }
+        assert evaluate_gates(gates, report)["passed"]
+
+    def test_committed_strict_gates_fail_any_chaos_dip(self):
+        gates = load_gates("configs/gates/strict.toml")
+        report = {
+            "availability": {"during_chaos_min": 0.99},
+            "durability": {"lost_acked_updates": 0},
+        }
+        verdict = evaluate_gates(gates, report)
+        assert not verdict["passed"]
+        assert verdict["violated"] == ["availability-perfect"]

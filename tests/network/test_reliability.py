@@ -120,6 +120,58 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(reset_timeout_s=0.0)
 
+    def test_half_open_reprobe_cycles_until_success(self):
+        # open -> half-open -> probe fails -> open -> half-open -> probe
+        # succeeds -> closed: every transition is counted exactly once per
+        # cycle and each reopened window restarts from the failed probe.
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure(1, now=0.0)
+        assert breaker.state_of(1, now=10.0) == HALF_OPEN
+        breaker.record_failure(1, now=10.5)  # probe #1 fails
+        assert not breaker.allow(1, now=15.0)
+        assert breaker.state_of(1, now=20.5) == HALF_OPEN
+        breaker.record_success(1, now=21.0)  # probe #2 succeeds
+        assert breaker.state_of(1) == CLOSED
+        assert breaker.transitions == {
+            "closed->open": 1,
+            "open->half-open": 2,
+            "half-open->open": 1,
+            "half-open->closed": 1,
+        }
+
+    def test_closed_after_probe_requires_full_threshold_again(self):
+        # A recovery via the half-open probe must not leave stale failure
+        # counts: re-opening takes ``failure_threshold`` fresh failures.
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        for t in range(3):
+            breaker.record_failure(1, now=float(t))
+        breaker.state_of(1, now=20.0)  # -> half-open
+        breaker.record_success(1, now=20.5)  # -> closed
+        breaker.record_failure(1, now=21.0)
+        breaker.record_failure(1, now=22.0)
+        assert breaker.state_of(1) == CLOSED
+        breaker.record_failure(1, now=23.0)
+        assert breaker.state_of(1) == OPEN
+
+    def test_clock_skew_backwards_keeps_circuit_open(self):
+        # A ``now`` earlier than the opening timestamp (clock skew, replayed
+        # timers) must never count as "timeout elapsed".
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure(1, now=100.0)
+        assert breaker.state_of(1, now=95.0) == OPEN
+        assert not breaker.allow(1, now=0.0)
+        # Forward again past the window: the probe unlocks as usual.
+        assert breaker.allow(1, now=110.0)
+        assert breaker.state_of(1) == HALF_OPEN
+
+    def test_state_of_without_now_never_transitions(self):
+        # Read-only inspection (no ``now``) must not promote open circuits.
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure(1, now=0.0)
+        for _ in range(3):
+            assert breaker.state_of(1) == OPEN
+        assert "open->half-open" not in breaker.transitions
+
 
 class TestFailureDetector:
     def test_declares_dead_at_threshold_once(self):
@@ -157,6 +209,53 @@ class TestFailureDetector:
         assert not detector.declare_dead(9)
         assert deaths == [9]
         assert detector.dead_peers() == {9}
+
+    def test_success_after_declared_dead_revives_and_resets(self):
+        # A delivery observed from a force-declared-dead peer (e.g. the
+        # "dead" mirror answers a later probe) revives it AND zeroes its
+        # suspicion — a single stale failure afterwards must not re-kill it.
+        deaths, alive = [], []
+        detector = FailureDetector(
+            suspicion_threshold=3, on_dead=deaths.append, on_alive=alive.append
+        )
+        detector.declare_dead(9)
+        assert detector.suspicion_of(9) == 3
+        detector.record_success(9)
+        assert not detector.is_dead(9)
+        assert detector.suspicion_of(9) == 0
+        assert alive == [9] and detector.revivals == 1
+        # Full threshold is required again before a second declaration.
+        assert not detector.record_failure(9)
+        assert not detector.record_failure(9)
+        assert detector.record_failure(9)
+        assert deaths == [9, 9] and detector.deaths_declared == 2
+
+    def test_failures_after_death_keep_raising_suspicion_silently(self):
+        deaths = []
+        detector = FailureDetector(suspicion_threshold=2, on_dead=deaths.append)
+        detector.record_failure(9)
+        detector.record_failure(9)
+        assert detector.is_dead(9)
+        # Extra failures on an already-dead peer: no duplicate callbacks,
+        # suspicion still tracked (it is evidence, not a decision).
+        assert not detector.record_failure(9)
+        assert not detector.record_failure(9)
+        assert detector.suspicion_of(9) == 4
+        assert deaths == [9] and detector.deaths_declared == 1
+
+    def test_success_on_unknown_peer_is_a_noop(self):
+        alive = []
+        detector = FailureDetector(suspicion_threshold=2, on_alive=alive.append)
+        detector.record_success(42)
+        assert not alive and detector.revivals == 0
+        assert detector.suspicion_of(42) == 0
+
+    def test_declare_dead_never_lowers_suspicion(self):
+        detector = FailureDetector(suspicion_threshold=2)
+        for _ in range(5):
+            detector.record_failure(9)
+        detector.declare_dead(9)  # already dead via threshold
+        assert detector.suspicion_of(9) == 5  # max(), not overwrite
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,193 @@
+"""Chaos primitives on the Transport seam, exercised via SimNetwork.
+
+The chaos API (pause/partition/delay/drop) lives on the :class:`Transport`
+base so the simulated and live backends honor a replayed fault plan
+identically.  These tests pin the SimNetwork semantics: what gets
+buffered, what fails (and with which reason), what is silently lost, and
+that a fully healed network returns to the fast no-chaos path.
+"""
+
+import pytest
+
+from repro.network.events import EventLoop
+from repro.network.simnet import SimNetwork
+
+
+def make_net(n_nodes=4):
+    loop = EventLoop()
+    net = SimNetwork(loop)
+    received = {i: [] for i in range(n_nodes)}
+    failures = {i: [] for i in range(n_nodes)}
+
+    for node_id in range(n_nodes):
+        def handler(sender, message, _inbox=received[node_id]):
+            _inbox.append((sender, message))
+
+        def on_failure(receiver, message, reason, _log=failures[node_id]):
+            _log.append((receiver, message, reason))
+
+        net.register(node_id, handler, on_failure=on_failure)
+    return loop, net, received, failures
+
+
+def drain(loop, seconds=3600.0):
+    loop.run_until(loop.now + seconds)
+
+
+class TestPartition:
+    def test_cross_partition_send_fails_with_reason(self):
+        loop, net, received, failures = make_net()
+        net.set_partition({0: 0, 1: 0, 2: 1, 3: 1})
+        net.send(0, 2, "hello", size_bytes=64)
+        drain(loop)
+        assert received[2] == []
+        assert failures[0] == [(2, "hello", "partitioned")]
+        assert net.failures_by_reason["partitioned"] == 1
+
+    def test_same_group_unaffected(self):
+        loop, net, received, _ = make_net()
+        net.set_partition({0: 0, 1: 0, 2: 1, 3: 1})
+        net.send(0, 1, "intra", size_bytes=64)
+        net.send(2, 3, "intra-b", size_bytes=64)
+        drain(loop)
+        assert received[1] == [(0, "intra")]
+        assert received[3] == [(2, "intra-b")]
+
+    def test_nodes_absent_from_groups_default_to_group_zero(self):
+        loop, net, received, failures = make_net()
+        net.set_partition({3: 1})  # everyone else implicitly group 0
+        net.send(0, 1, "ok", size_bytes=64)
+        net.send(0, 3, "blocked", size_bytes=64)
+        drain(loop)
+        assert received[1] == [(0, "ok")]
+        assert failures[0] == [(3, "blocked", "partitioned")]
+
+    def test_heal_restores_delivery_and_reachability(self):
+        loop, net, received, _ = make_net()
+        net.set_partition({0: 0, 2: 1})
+        assert net.partitioned(0, 2)
+        assert not net.reachable(0, 2)
+        net.heal_partition()
+        assert not net.partitioned(0, 2)
+        assert net.reachable(0, 2)
+        net.send(0, 2, "after-heal", size_bytes=64)
+        drain(loop)
+        assert received[2] == [(0, "after-heal")]
+        # All chaos cleared: the hot path drops back to the None check.
+        assert net._chaos is None
+
+
+class TestPause:
+    def test_inbound_buffered_until_resume(self):
+        loop, net, received, _ = make_net()
+        net.send(0, 1, "early", size_bytes=64)
+        drain(loop)
+        net.pause(1)
+        net.send(0, 1, "while-paused", size_bytes=64)
+        drain(loop)
+        assert received[1] == [(0, "early")]  # not yet
+        net.resume(1)
+        assert received[1] == [(0, "early"), (0, "while-paused")]
+
+    def test_outbound_buffered_until_resume(self):
+        loop, net, received, _ = make_net()
+        net.pause(0)
+        net.send(0, 1, "queued", size_bytes=64)
+        drain(loop)
+        assert received[1] == []
+        net.resume(0)
+        drain(loop)
+        assert received[1] == [(0, "queued")]
+
+    def test_paused_node_is_unreachable_not_failed(self):
+        loop, net, _, failures = make_net()
+        net.pause(1)
+        assert net.is_paused(1)
+        assert not net.reachable(0, 1)
+        net.send(0, 1, "buffered", size_bytes=64)
+        drain(loop)
+        # Pause buffers; it never surfaces as a delivery failure.
+        assert failures[0] == []
+        assert "paused" not in net.failures_by_reason
+
+    def test_resume_unknown_or_unpaused_is_noop(self):
+        _, net, _, _ = make_net()
+        net.resume(1)  # never paused
+        net.pause(1)
+        net.resume(1)
+        net.resume(1)  # double resume
+        assert not net.is_paused(1)
+        assert net._chaos is None
+
+    def test_pause_unknown_node_raises(self):
+        _, net, _, _ = make_net()
+        with pytest.raises(KeyError):
+            net.pause(99)
+
+
+class TestDelayAndDrop:
+    def test_extra_delay_defers_delivery(self):
+        loop, net, received, _ = make_net()
+        net.send(0, 1, "fast", size_bytes=64)
+        drain(loop)
+        baseline_t = loop.now
+
+        net.set_extra_delay(5.0)
+        net.send(0, 1, "slow", size_bytes=64)
+        loop.run_until(baseline_t + 4.0)
+        assert len(received[1]) == 1  # still in flight
+        loop.run_until(baseline_t + 3600.0)
+        assert received[1] == [(0, "fast"), (0, "slow")]
+        net.set_extra_delay(0.0)
+        assert net._chaos is None
+
+    def test_drop_is_seeded_and_replayable(self):
+        losses = []
+        for _ in range(2):
+            loop, net, received, _ = make_net()
+            net.set_drop(0.5, seed=13)
+            for i in range(40):
+                net.send(0, 1, i, size_bytes=64)
+            drain(loop)
+            losses.append([m for _, m in received[1]])
+        assert losses[0] == losses[1]
+        assert 0 < len(losses[0]) < 40
+
+    def test_drop_counts_but_never_notifies_sender(self):
+        loop, net, received, failures = make_net()
+        net.set_drop(1.0, seed=1)
+        net.send(0, 1, "gone", size_bytes=64)
+        drain(loop)
+        assert received[1] == []
+        assert failures[0] == []  # silent loss, like the real network
+        assert net.failures_by_reason["chaos-drop"] == 1
+        net.set_drop(0.0)
+        assert net._chaos is None
+
+    def test_validation(self):
+        _, net, _, _ = make_net()
+        with pytest.raises(ValueError):
+            net.set_extra_delay(-1.0)
+        with pytest.raises(ValueError):
+            net.set_drop(1.5)
+
+
+class TestReachable:
+    def test_offline_beats_chaos(self):
+        _, net, _, _ = make_net()
+        net.set_online(1, False)
+        assert not net.reachable(0, 1)
+        assert net.reachable(0, 2)
+
+    def test_combined_faults_compose(self):
+        _, net, _, _ = make_net()
+        net.set_partition({0: 0, 1: 1})
+        net.pause(2)
+        assert not net.reachable(0, 1)  # partitioned
+        assert not net.reachable(0, 2)  # peer paused
+        assert not net.reachable(2, 3)  # self paused
+        net.heal_partition()
+        assert net.reachable(0, 1)
+        net.resume(2)
+        assert net.reachable(0, 2)
+        assert net._chaos is None

@@ -126,6 +126,9 @@ class TestValidateEvent:
                 task="t0001", key="ab12", status="ok", seconds=1.25,
                 done=3, total=5,
             ),
+            "sweep_interrupted": dict(
+                done=3, total=5, running=2, reason="signal"
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMAS)
         for event, fields in samples.items():
