@@ -81,6 +81,56 @@ def test_disabled_hooks_under_five_percent_of_selection():
     )
 
 
+def test_disabled_live_observer_under_five_percent_of_message_cost():
+    """The live transport's observability hooks, when no plane is
+    attached, are three ``is None`` attribute checks per message (send,
+    transmit, dispatch).  Guard: that costs <5 % of the cheapest
+    unavoidable per-message work — pickling a ~2 KB wire frame."""
+    import pickle
+
+    from repro.deploy.live.transport import LiveTransport
+
+    # The attribute-lookup cost is a property of the class layout; build
+    # an instance without the event-loop plumbing the real ctor needs.
+    transport = LiveTransport.__new__(LiveTransport)
+    transport.observer = None
+
+    def disabled_guards():
+        if transport.observer is not None:  # send()
+            raise AssertionError
+        if transport.observer is not None:  # _transmit()
+            raise AssertionError
+        if transport.observer is not None:  # _dispatch()
+            raise AssertionError
+
+    def noop():
+        pass
+
+    frame = (123456789, 2048, ("Envelope", 42, b"x" * 2048))
+    wire = pickle.dumps(frame)
+
+    def message_lifecycle():
+        # The unavoidable per-message floor the guards amortize against:
+        # the sender pickles the frame, the receiver unpickles it.
+        pickle.loads(pickle.dumps(frame))
+
+    # Net guard cost: the checks themselves, minus the call overhead the
+    # measuring harness adds (inline in the real transport).
+    guard_cost = max(0.0, _per_call_s(disabled_guards) - _per_call_s(noop))
+    message_cost = _per_call_s(message_lifecycle, iterations=20_000)
+    overhead = guard_cost / message_cost
+    print(
+        f"\nguards={guard_cost * 1e9:.0f}ns "
+        f"pickle+unpickle({len(wire)}B)={message_cost * 1e9:.0f}ns "
+        f"overhead={overhead:.3%}"
+    )
+    assert overhead < 0.05, (
+        f"disabled live-observer guards cost {overhead:.1%} of one message's "
+        f"serialize/deserialize ({guard_cost * 1e9:.0f}ns vs "
+        f"{message_cost * 1e9:.0f}ns)"
+    )
+
+
 def test_disabled_span_is_allocation_free():
     profiler = Profiler()
     assert profiler.span("a") is profiler.span("b") is _NULL_SPAN

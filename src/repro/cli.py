@@ -777,6 +777,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the soup-resilience/v1 report JSON here")
     prs.add_argument("--json", action="store_true",
                      help="print the full report JSON to stdout")
+    prs.add_argument("--obs-dir", default=None, metavar="DIR",
+                     help="enable the live observability plane: per-node "
+                          "flight recorders, merged trace analysis, and a "
+                          "heartbeat.json for `soup live top`")
+    prs.add_argument("--bundle", default=None, metavar="DIR",
+                     help="after the run (and gate evaluation), assemble a "
+                          "content-keyed post-mortem bundle under DIR "
+                          "(requires --obs-dir); analyze it with "
+                          "`soup postmortem`")
+
+    ppm = sub.add_parser(
+        "postmortem",
+        help="analyze a post-mortem bundle: verify hashes, merge the flight "
+             "recorders into one causal trace, and reconstruct "
+             "kill -> consequence chains (see docs/OBSERVABILITY.md)",
+    )
+    ppm.add_argument("bundle", help="bundle directory (bundle-<key>)")
+    ppm.add_argument("--json", action="store_true",
+                     help="emit the full post-mortem as JSON")
+    ppm.add_argument("--max-links", type=int, default=8, metavar="N",
+                     help="evidence links shown per causal chain (default: 8)")
+    ppm.add_argument("--require-chain", action="store_true",
+                     help="exit 3 unless at least one cross-node causal chain "
+                          "was reconstructed (CI guard)")
+
+    pl = sub.add_parser(
+        "live", help="watch a live resilience run's streaming telemetry"
+    )
+    lsub = pl.add_subparsers(dest="live_command", required=True)
+    plt = lsub.add_parser(
+        "top",
+        help="poll a run's heartbeat.json: epoch progress, per-node Lamport "
+             "clocks, merged live metrics",
+    )
+    plt.add_argument("--dir", required=True, metavar="DIR",
+                     help="the run's --obs-dir")
+    plt.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="poll interval (default: 2.0)")
+    plt.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit "
+                          "(exit 3 if the run has not finished)")
 
     pr = sub.add_parser("replay", help="replay a soup-repro/v1 violation line")
     pr.add_argument("line", help="one-line repro string from an InvariantViolation")
@@ -911,6 +952,9 @@ def _cmd_resilience(args) -> int:
     from repro.deploy.gates import evaluate_gates, load_gates
     from repro.deploy.live import ResilienceConfig, ResilienceHarness
 
+    if args.bundle and not args.obs_dir:
+        print("resilience: --bundle requires --obs-dir", file=sys.stderr)
+        return 2
     config = ResilienceConfig(
         n_nodes=args.nodes,
         seed=args.seed,
@@ -919,6 +963,7 @@ def _cmd_resilience(args) -> int:
         epochs=args.epochs,
         epoch_s=args.epoch_s,
         load_rps=args.rps,
+        obs_dir=args.obs_dir or "",
     )
     print(
         f"resilience: backend={config.backend} nodes={config.n_nodes} "
@@ -969,11 +1014,124 @@ def _cmd_resilience(args) -> int:
             f"gate {status} {result['name']}: {result['metric']} "
             f"{result['op']} {result['value']} (actual {result['actual']})"
         )
+    obs = report.get("obs")
+    if obs:
+        print(
+            f"obs: {obs['trace_events']} trace events across "
+            f"{obs['flight_files']} flight recorder(s), "
+            f"{obs['chaos_actions']} chaos action(s), "
+            f"{obs['anomalies']['total']} anomaly finding(s) -> {obs['dir']}",
+            file=sys.stderr,
+        )
+    if args.bundle:
+        # Assembled after gate evaluation so the bundle records the verdict.
+        from repro.deploy.postmortem import assemble_bundle
+
+        bundle_dir = assemble_bundle(args.obs_dir, args.bundle, report=report)
+        print(f"bundle: {bundle_dir}", file=sys.stderr)
     if gates and not outcome["passed"]:
         names = ", ".join(outcome["violated"])
         print(f"resilience gates violated: {names}", file=sys.stderr)
         return 5
     return 0
+
+
+def _cmd_postmortem(args) -> int:
+    from repro.deploy.postmortem import (
+        BundleError,
+        correlate,
+        load_bundle,
+        render_postmortem,
+    )
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"postmortem: {exc}", file=sys.stderr)
+        return 2
+    result = correlate(bundle)
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        for line in render_postmortem(result, max_links=args.max_links):
+            print(line)
+    if args.require_chain and not result.cross_node_chains:
+        print(
+            "postmortem: no cross-node causal chain reconstructed",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _render_live_top(heartbeat) -> List[str]:
+    """One `soup live top` frame from a heartbeat document."""
+    epoch = heartbeat.get("epoch", 0)
+    total = heartbeat.get("epochs", 0)
+    state = "done" if heartbeat.get("done") else "running"
+    lines = [f"live run: epoch {epoch}/{total} [{state}]"]
+    nodes = heartbeat.get("nodes") or {}
+    if nodes:
+        lamports = [int(n.get("lamport", 0)) for n in nodes.values()]
+        events = sum(int(n.get("events", 0)) for n in nodes.values())
+        lines.append(
+            f"  nodes: {len(nodes)}  events: {events}  "
+            f"lamport frontier: {max(lamports)} (min {min(lamports)})"
+        )
+    metrics = heartbeat.get("metrics") or {}
+    sent = metrics.get("live.msgs.sent")
+    recv = metrics.get("live.msgs.recv")
+    if sent is not None or recv is not None:
+        sent_bytes = metrics.get("live.bytes.sent", 0)
+        lines.append(
+            f"  messages: sent={int(sent or 0)} recv={int(recv or 0)} "
+            f"bytes={int(sent_bytes)}"
+        )
+    latency = metrics.get("live.msg.latency_s")
+    if isinstance(latency, dict) and latency.get("count"):
+        lines.append(
+            f"  latency: mean={latency['mean'] * 1000:.1f}ms "
+            f"p50={latency['p50'] * 1000:.1f}ms "
+            f"p90={latency['p90'] * 1000:.1f}ms "
+            f"({int(latency['count'])} msgs)"
+        )
+    return lines
+
+
+def _cmd_live_top(args) -> int:
+    """Poll an obs dir's heartbeat until the run completes (PR 5's sweep
+    ``--watch`` loop, pointed at the resilience harness's heartbeat)."""
+    import os
+    import time as _time
+
+    path = os.path.join(args.dir, "heartbeat.json")
+    while True:
+        heartbeat = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                heartbeat = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            pass
+        if heartbeat is None or heartbeat.get("schema") != "soup-live-heartbeat/v1":
+            if args.once:
+                print(f"{args.dir}: no live heartbeat", file=sys.stderr)
+                return 3
+            print(f"{args.dir}: waiting for live heartbeat...", file=sys.stderr)
+            _time.sleep(args.interval)
+            continue
+        for line in _render_live_top(heartbeat):
+            print(line)
+        if heartbeat.get("done"):
+            return 0
+        if args.once:
+            return 3
+        _time.sleep(args.interval)
+
+
+def _cmd_live(args) -> int:
+    if args.live_command == "top":
+        return _cmd_live_top(args)
+    raise AssertionError(f"unhandled live command {args.live_command}")
 
 
 def _cmd_replay(args) -> int:
@@ -1040,6 +1198,10 @@ def _dispatch(args) -> int:
         return _cmd_sweep(args)
     if command == "resilience":
         return _cmd_resilience(args)
+    if command == "postmortem":
+        return _cmd_postmortem(args)
+    if command == "live":
+        return _cmd_live(args)
     if command == "replay":
         return _cmd_replay(args)
     if command == "bench":

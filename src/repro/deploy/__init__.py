@@ -13,17 +13,40 @@ measurements.  We reproduce that deployment over the simulated network:
 * :mod:`repro.deploy.traffic` — the Fig. 15 mirror-load model: one mirror
   hosting 20 real-size profiles (206 MB, 2035 items) serving 1/10/20
   requests per second through a finite uplink.
+* :mod:`repro.deploy.live` — the live TCP deployment backend: resilience
+  harness, chaos controller, asyncio transport.
+* :mod:`repro.deploy.gates` — declarative pass/fail gates over reports.
+* :mod:`repro.deploy.postmortem` — content-keyed post-mortem bundles and
+  the kill→consequence causal-chain correlator (``soup postmortem``).
 """
 
 from repro.deploy.emulation import Deployment, DeploymentReport
+from repro.deploy.postmortem import (
+    Bundle,
+    BundleError,
+    CausalChain,
+    Postmortem,
+    assemble_bundle,
+    correlate,
+    load_bundle,
+    render_postmortem,
+)
 from repro.deploy.traffic import MirrorLoadModel, MirrorLoadResult
 from repro.deploy.workload import WorkloadEvent, build_workload
 
 __all__ = [
+    "Bundle",
+    "BundleError",
+    "CausalChain",
     "Deployment",
     "DeploymentReport",
     "MirrorLoadModel",
     "MirrorLoadResult",
+    "Postmortem",
     "WorkloadEvent",
+    "assemble_bundle",
     "build_workload",
+    "correlate",
+    "load_bundle",
+    "render_postmortem",
 ]

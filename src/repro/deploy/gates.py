@@ -10,9 +10,12 @@ A gate file is TOML, one ``[[gate]]`` table per assertion::
     description = "kills + partition must not sink serving below 85%"
 
 ``metric`` is resolved with dot-notation against the report dict; a
-missing or null metric **fails** the gate (a run that could not measure
-recovery did not demonstrate recovery).  ``op`` is one of ``<=``, ``>=``,
-``<``, ``>``, ``==``, ``!=``.
+numeric hop indexes into a list (``availability.samples.0.availability``
+is the first sample's value, ``samples.-1...`` the last), so gates can
+pin per-epoch series entries, not just scalar summaries.  A missing or
+null metric **fails** the gate (a run that could not measure recovery
+did not demonstrate recovery).  ``op`` is one of ``<=``, ``>=``, ``<``,
+``>``, ``==``, ``!=``.
 
 Evaluation is pure data-in/data-out: :func:`evaluate_gates` returns a
 verdict dict that the ``soup resilience`` CLI embeds into the report
@@ -62,12 +65,28 @@ class Gate:
 
 
 def resolve_metric(report: dict, path: str):
-    """Walk a dotted path into the report; None if any hop is missing."""
+    """Walk a dotted path into the report; None if any hop is missing.
+
+    Dict hops are key lookups; a hop that parses as an integer indexes
+    into a list (negative indices count from the end), so paths like
+    ``availability.samples.-1.availability`` reach into per-epoch series.
+    """
     value = report
     for hop in path.split("."):
-        if not isinstance(value, dict) or hop not in value:
+        if isinstance(value, dict):
+            if hop not in value:
+                return None
+            value = value[hop]
+        elif isinstance(value, list):
+            try:
+                index = int(hop)
+            except ValueError:
+                return None
+            if not -len(value) <= index < len(value):
+                return None
+            value = value[index]
+        else:
             return None
-        value = value[hop]
     return value
 
 

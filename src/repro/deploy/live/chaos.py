@@ -30,6 +30,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.network.transport import Transport
+from repro.obs import get_tracer
 from repro.sim.faults import FaultSpec
 
 #: Spec kinds this controller executes (others — e.g. ``reorder`` — are
@@ -90,10 +91,26 @@ class ChaosController:
         return ";".join(spec.to_string() for spec in self.specs)
 
     # ------------------------------------------------------------------
-    def _record(self, epoch: int, kind: str, **detail) -> None:
+    def _record(
+        self, epoch: int, kind: str, scheduled_epoch: Optional[int] = None, **detail
+    ) -> None:
         self.events.append(
             {"epoch": epoch, "t": round(self.transport.loop.now, 3), "kind": kind, **detail}
         )
+        # Mirror every action into the trace as a typed chaos_action event
+        # (no-op without a tracer), carrying both the epoch the spec
+        # scheduled it for and the boundary it actually ran at — the
+        # post-mortem correlator anchors causal chains on these.
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                "chaos_action",
+                kind=kind,
+                epoch=epoch,
+                scheduled_epoch=scheduled_epoch if scheduled_epoch is not None else epoch,
+                t=self.transport.loop.now,
+                **detail,
+            )
 
     def _sample_victims(
         self, rng: random.Random, count: int, node_param: Optional[object]
@@ -131,6 +148,7 @@ class ChaosController:
         if spec.get("epoch") != epoch:
             return
         victims = self._sample_victims(rng, int(spec.get("count", 1)), spec.get("node"))
+        tracer = get_tracer()
         for victim in victims:
             node = self.nodes.get(victim)
             if node is not None:
@@ -138,7 +156,14 @@ class ChaosController:
             else:
                 self.transport.set_online(victim, False)
             self.killed.add(victim)
-        self._record(epoch, "kill", nodes=sorted(victims))
+            if tracer.enabled:
+                tracer.emit(
+                    "node_lifecycle", node=victim, state="killed",
+                    epoch=epoch, reason="chaos-kill",
+                    t=self.transport.loop.now,
+                )
+        self._record(epoch, "kill", scheduled_epoch=spec.get("epoch"),
+                     nodes=sorted(victims))
 
     def _apply_pause(
         self, index: int, epoch: int, spec: FaultSpec, rng: random.Random
@@ -150,13 +175,15 @@ class ChaosController:
             for victim in victims:
                 self.transport.pause(victim)
             self._paused_victims[index] = victims
-            self._record(epoch, "pause", nodes=sorted(victims))
+            self._record(epoch, "pause", scheduled_epoch=spec.get("epoch"),
+                         nodes=sorted(victims))
         resume_epoch = spec.get("resume", spec.get("epoch", 0) + 1)
         if resume_epoch == epoch and index in self._paused_victims:
             victims = self._paused_victims.pop(index)
             for victim in victims:
                 self.transport.resume(victim)
-            self._record(epoch, "resume", nodes=sorted(victims))
+            self._record(epoch, "resume", scheduled_epoch=resume_epoch,
+                         nodes=sorted(victims))
 
     def _apply_partition(
         self, index: int, epoch: int, spec: FaultSpec, rng: random.Random
@@ -171,33 +198,36 @@ class ChaosController:
             self.transport.set_partition(groups)
             self._partition_up.add(index)
             sizes = [sum(1 for g in groups.values() if g == i) for i in range(n_groups)]
-            self._record(epoch, "partition", groups=n_groups, sizes=sizes)
+            self._record(epoch, "partition", scheduled_epoch=spec.get("epoch"),
+                         groups=n_groups, sizes=sizes)
         if spec.get("heal") == epoch and index in self._partition_up:
             self.transport.heal_partition()
             self._partition_up.discard(index)
-            self._record(epoch, "partition_heal")
+            self._record(epoch, "partition_heal", scheduled_epoch=spec.get("heal"))
 
     def _apply_delay(self, index: int, epoch: int, spec: FaultSpec) -> None:
         if spec.in_window(epoch) and index not in self._delay_active:
             seconds = float(spec.get("seconds", 0.25))
             self.transport.set_extra_delay(seconds)
             self._delay_active.add(index)
-            self._record(epoch, "delay_on", seconds=seconds)
+            self._record(epoch, "delay_on", scheduled_epoch=spec.get("from_epoch"),
+                         seconds=seconds)
         elif not spec.in_window(epoch) and index in self._delay_active:
             self.transport.set_extra_delay(0.0)
             self._delay_active.discard(index)
-            self._record(epoch, "delay_off")
+            self._record(epoch, "delay_off", scheduled_epoch=spec.get("to_epoch"))
 
     def _apply_drop(self, index: int, epoch: int, spec: FaultSpec) -> None:
         if spec.in_window(epoch) and index not in self._drop_active:
             rate = float(spec.get("rate", 0.1))
             self.transport.set_drop(rate, seed=f"{self.base_seed}/{index}")
             self._drop_active.add(index)
-            self._record(epoch, "drop_on", rate=rate)
+            self._record(epoch, "drop_on", scheduled_epoch=spec.get("from_epoch"),
+                         rate=rate)
         elif not spec.in_window(epoch) and index in self._drop_active:
             self.transport.set_drop(0.0)
             self._drop_active.discard(index)
-            self._record(epoch, "drop_off")
+            self._record(epoch, "drop_off", scheduled_epoch=spec.get("to_epoch"))
 
     # ------------------------------------------------------------------
     def partition_heal_events(self) -> List[dict]:

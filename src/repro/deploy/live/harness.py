@@ -34,8 +34,9 @@ from __future__ import annotations
 import asyncio
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, fields
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import SoupConfig
 from repro.deploy.live.chaos import ChaosController
@@ -49,7 +50,14 @@ from repro.network.simnet import SimNetwork
 from repro.network.transport import DESKTOP_LINK, SERVER_LINK, Transport
 from repro.node.middleware import SoupNode
 from repro.node.profile import DataItem
-from repro.obs import get_registry, pop_registry, push_registry
+from repro.obs import (
+    LiveObservability,
+    Tracer,
+    get_registry,
+    pop_registry,
+    push_registry,
+    set_tracer,
+)
 
 #: Report schema identifier (bump on breaking changes).
 REPORT_SCHEMA = "soup-resilience/v1"
@@ -77,6 +85,9 @@ class ResilienceConfig:
     crypto_mode: str = "by_id"
     #: Live backend only: wall seconds for sockets to settle after setup.
     settle_s: float = 0.25
+    #: Observability plane output directory (flight recorders, heartbeat).
+    #: Empty = plane disabled; the run is telemetry-blind, as before PR 8.
+    obs_dir: str = ""
 
     def validate(self) -> None:
         if self.backend not in ("sim", "live"):
@@ -116,6 +127,8 @@ class ResilienceHarness:
         self._counts: Dict[str, int] = {}
         self._read_attempts = 0
         self._read_successes = 0
+        self.obs: Optional[LiveObservability] = None
+        self._saved_tracer: Optional[Tracer] = None
 
     # ------------------------------------------------------------------
     def run(self) -> dict:
@@ -123,9 +136,18 @@ class ResilienceHarness:
         push_registry()
         try:
             if self.config.backend == "live":
-                return asyncio.run(self._run_live())
-            return self._run_sim()
+                report = asyncio.run(self._run_live())
+            else:
+                report = self._run_sim()
+            if self.obs is not None:
+                self._obs_finalize(report)
+            return report
         finally:
+            if self._saved_tracer is not None:
+                set_tracer(self._saved_tracer)
+                self._saved_tracer = None
+            if self.obs is not None:
+                self.obs.close()
             pop_registry()
 
     # --- cluster construction (shared) --------------------------------
@@ -190,6 +212,129 @@ class ResilienceHarness:
         for node_id in self.order:
             self.nodes[node_id].run_selection_round()
 
+    # --- observability plane -------------------------------------------
+    def _obs_setup(self) -> None:
+        """Attach the live observability plane (no-op without ``obs_dir``):
+        per-node flight recorders, the routing tracer installed
+        process-wide, and transport send/receive hooks on the live
+        backend."""
+        if not self.config.obs_dir:
+            return
+        self.obs = LiveObservability(
+            self.config.obs_dir, self.order, latency_buckets=LATENCY_BUCKETS
+        )
+        if isinstance(self.network, LiveTransport):
+            self.network.observer = self.obs
+        self._saved_tracer = set_tracer(self.obs.tracer)
+        self.obs.heartbeat(0, self.config.epochs, extra=self._heartbeat_extra())
+
+    def _scoped(self, node_id: int):
+        """Attribute events emitted inside the block to ``node_id``'s
+        flight recorder (pass-through when the plane is off)."""
+        return self.obs.scope(node_id) if self.obs is not None else nullcontext()
+
+    def _owner_availability(self) -> Tuple[int, int, List[int]]:
+        """Owner-level availability for the trace's ``availability_sample``
+        events: an owner counts as unavailable when it is down (or paused)
+        and no online, unpaused mirror actually serves its replica."""
+        net = self.network
+        unavailable: List[int] = []
+        for owner_id in self.order:
+            if net.is_online(owner_id) and not net.is_paused(owner_id):
+                continue
+            served = any(
+                net.is_online(mirror_id)
+                and not net.is_paused(mirror_id)
+                and self.nodes[mirror_id].mirror_manager.store.stores_for(owner_id)
+                for mirror_id in self.nodes[owner_id].mirror_manager.announced_mirrors
+            )
+            if not served:
+                unavailable.append(owner_id)
+        population = len(self.order)
+        return population, population - len(unavailable), unavailable
+
+    def _heartbeat_extra(self) -> dict:
+        extra = {"backend": self.config.backend, "n_nodes": self.config.n_nodes}
+        if self.samples:
+            extra["availability"] = self.samples[-1]["availability"]
+            extra["online"] = self.samples[-1]["online"]
+        return extra
+
+    def _obs_epoch(self, epoch: int) -> None:
+        """Epoch boundary: sync Lamport clocks through the harness, emit
+        the availability ground truth, refresh the streaming heartbeat."""
+        if self.obs is None:
+            return
+        self.obs.epoch_sync(epoch)
+        population, available, unavailable = self._owner_availability()
+        self.obs.harness.emit(
+            "availability_sample",
+            epoch=epoch,
+            population=population,
+            available=available,
+            unavailable=unavailable,
+        )
+        self.obs.heartbeat(
+            epoch + 1, self.config.epochs, extra=self._heartbeat_extra()
+        )
+
+    def _obs_finalize(self, report: dict) -> None:
+        """Close the recorders, re-analyze the merged live trace with the
+        sim-side analyzer, and publish an ``obs`` report section gates can
+        assert on."""
+        from repro.obs.analysis import (
+            TraceReadReport,
+            analyze_events,
+            merge_trace_files,
+        )
+
+        obs = self.obs
+        obs.heartbeat(
+            self.config.epochs, self.config.epochs,
+            extra=self._heartbeat_extra(), done=True,
+        )
+        merged_metrics = obs.merged_registry()
+        obs.close()
+        read_report = TraceReadReport()
+        analysis = analyze_events(
+            merge_trace_files(obs.trace_paths(), report=read_report),
+            report=read_report,
+        )
+        findings_by_rule: Dict[str, int] = {}
+        for finding in analysis.findings:
+            findings_by_rule[finding.rule] = (
+                findings_by_rule.get(finding.rule, 0) + 1
+            )
+        snapshot = merged_metrics.snapshot_scalars()
+        latency = merged_metrics.histogram(
+            "live.msg.latency_s", buckets=LATENCY_BUCKETS
+        )
+        report["obs"] = {
+            "dir": self.config.obs_dir,
+            "flight_files": len(obs.trace_paths()),
+            "trace_events": analysis.report.events,
+            "trace_errors": len(analysis.report.errors),
+            "events_by_type": dict(sorted(analysis.events_by_type.items())),
+            "chaos_actions": len(analysis.chaos_actions),
+            "unavailable_owner_epochs": analysis.total_unavailable_epochs,
+            "anomalies": {
+                "total": len(analysis.findings),
+                "by_rule": dict(sorted(findings_by_rule.items())),
+            },
+            "live_msgs": {
+                "sent": int(snapshot.get("live.msgs.sent", 0.0)),
+                "recv": int(snapshot.get("live.msgs.recv", 0.0)),
+                "bytes_sent": int(snapshot.get("live.bytes.sent", 0.0)),
+            },
+            "msg_latency": {
+                "count": latency.count,
+                "mean_s": round(latency.mean, 6),
+                "p50_s": round(latency.quantile(0.5), 6),
+                "p95_s": round(latency.quantile(0.95), 6),
+                "p99_s": round(latency.quantile(0.99), 6),
+            },
+        }
+
     # --- workload ------------------------------------------------------
     def _ack_cb(self, owner_id: int) -> Callable[[int, object], None]:
         def on_ack(dest: int, payload: object) -> None:
@@ -214,15 +359,16 @@ class ResilienceHarness:
             return
         node = self.nodes[actor_id]
         started = time.perf_counter()
-        if op.kind == "read":
-            ok = bool(node.request_profile(target_id))
-            self._read_attempts += 1
-            self._read_successes += int(ok)
-        elif op.kind == "post":
-            self._post(actor_id)
-            ok = True
-        else:
-            ok = bool(node.send_message(target_id, "resilience-probe"))
+        with self._scoped(actor_id):
+            if op.kind == "read":
+                ok = bool(node.request_profile(target_id))
+                self._read_attempts += 1
+                self._read_successes += int(ok)
+            elif op.kind == "post":
+                self._post(actor_id)
+                ok = True
+            else:
+                ok = bool(node.send_message(target_id, "resilience-probe"))
         elapsed = time.perf_counter() - started
         get_registry().histogram(
             f"resilience.latency.{op.kind}_s", buckets=LATENCY_BUCKETS
@@ -235,8 +381,9 @@ class ResilienceHarness:
             if not net.is_online(node_id) or net.is_paused(node_id):
                 continue
             node = self.nodes[node_id]
-            node.run_selection_round()
-            node.exchange_experience_sets()
+            with self._scoped(node_id):
+                node.run_selection_round()
+                node.exchange_experience_sets()
 
     # --- measurement ---------------------------------------------------
     def _compute_availability(self) -> float:
@@ -408,6 +555,7 @@ class ResilienceHarness:
         loop = EventLoop()
         network = SimNetwork(loop)
         self._build(network)
+        self._obs_setup()
         self._join_all()
         loop.run_until(loop.now + 1.0)
         self._setup_social()
@@ -431,6 +579,7 @@ class ResilienceHarness:
             loop.run_until(t_base + horizon)
             self._maintenance(epoch)
             self._sample(epoch)
+            self._obs_epoch(epoch)
         loop.run_until(loop.now + 2.0)
         return self._report()
 
@@ -440,6 +589,7 @@ class ResilienceHarness:
         network = LiveTransport(clock)
         try:
             self._build(network)
+            self._obs_setup()
             await network.start()
             self._join_all()
             self._setup_social()
@@ -466,6 +616,7 @@ class ResilienceHarness:
                     await asyncio.sleep(wait)
                 self._maintenance(epoch)
                 self._sample(epoch)
+                self._obs_epoch(epoch)
             await network.drain(cfg.settle_s)
             return self._report()
         finally:

@@ -35,6 +35,25 @@ logger = logging.getLogger("repro.deploy.live.transport")
 _HEADER = struct.Struct(">I")
 
 
+def _msg_kind(message: Any) -> str:
+    """A compact label for the message type carried in trace events:
+    the tag of ``("tag", ...)`` tuples, else the payload's class name."""
+    if isinstance(message, tuple) and message and isinstance(message[0], str):
+        return message[0]
+    return type(message).__name__
+
+
+class _PausedFrame:
+    """Wrapper keeping a frame's trace context attached while it sits in
+    the paused-inbox buffer (the shared buffer stores messages opaquely)."""
+
+    __slots__ = ("message", "ctx")
+
+    def __init__(self, message: Any, ctx: Optional[tuple]) -> None:
+        self.message = message
+        self.ctx = ctx
+
+
 class AsyncClock:
     """Wallclock :class:`~repro.network.transport.Clock` over asyncio.
 
@@ -82,12 +101,20 @@ class AsyncClock:
 
 
 class LiveTransport(Transport):
-    """Message delivery over real TCP loopback sockets."""
+    """Message delivery over real TCP loopback sockets.
+
+    When an observability plane is attached (``observer`` set to a
+    :class:`repro.obs.flight.LiveObservability`), every send stamps a
+    compact trace context ``(msg_id, lamport, t_send)`` into the wire
+    envelope and every delivery folds it back into the receiver's
+    Lamport clock — the disabled path costs a single ``is None`` check.
+    """
 
     def __init__(self, clock: AsyncClock) -> None:
         super().__init__(clock)
         self._aio = clock.aioloop
         self._clock = clock
+        self.observer = None  # Optional[repro.obs.flight.LiveObservability]
         self._servers: Dict[int, asyncio.base_events.Server] = {}
         self._ports: Dict[int, int] = {}
         #: One cached outbound connection per (sender, receiver) pair.
@@ -153,15 +180,24 @@ class LiveTransport(Transport):
                 header = await reader.readexactly(_HEADER.size)
                 (length,) = _HEADER.unpack(header)
                 payload = await reader.readexactly(length)
-                sender, size_bytes, message = pickle.loads(payload)
-                self._dispatch(sender, node_id, message, size_bytes)
+                # Frames are (sender, size, message) or, when an observer
+                # was attached at send time, (sender, size, message, ctx).
+                parts = pickle.loads(payload)
+                sender, size_bytes, message = parts[0], parts[1], parts[2]
+                ctx = parts[3] if len(parts) > 3 else None
+                self._dispatch(sender, node_id, message, size_bytes, ctx)
         except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
             pass
         finally:
             writer.close()
 
     def _dispatch(
-        self, sender: int, receiver: int, message: Any, size_bytes: int
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        ctx: Optional[tuple] = None,
     ) -> None:
         if self._closed:
             return
@@ -170,7 +206,9 @@ class LiveTransport(Transport):
             self._count_failure("lost-in-flight")
             return
         if self._chaos is not None and receiver in self._chaos.paused:
-            self._buffer_inbound(sender, receiver, message, size_bytes, 0.0)
+            self._buffer_inbound(
+                sender, receiver, _PausedFrame(message, ctx), size_bytes, 0.0
+            )
             return
         link = self._links.get(receiver)
         if link is None:
@@ -182,11 +220,25 @@ class LiveTransport(Transport):
         self.messages_delivered += 1
         get_registry().counter("net.delivered").inc()
         handler = self._handlers.get(receiver)
+        observer = self.observer
+        if observer is None:
+            if handler is not None:
+                try:
+                    handler(sender, message)
+                except Exception:  # noqa: BLE001 — one bad frame must not kill the server
+                    logger.exception("handler for node %d failed", receiver)
+            return
+        if ctx is not None:
+            observer.on_receive(receiver, sender, ctx, _msg_kind(message))
         if handler is not None:
-            try:
-                handler(sender, message)
-            except Exception:  # noqa: BLE001 — one bad frame must not kill the server
-                logger.exception("handler for node %d failed", receiver)
+            # Scope the handler to the receiving node so every protocol
+            # event it emits (repair_round, failure_declared, acks...)
+            # lands in that node's flight recorder.
+            with observer.scope(receiver):
+                try:
+                    handler(sender, message)
+                except Exception:  # noqa: BLE001 — one bad frame must not kill the server
+                    logger.exception("handler for node %d failed", receiver)
 
     def _flush_inbound(
         self,
@@ -196,7 +248,10 @@ class LiveTransport(Transport):
         size_bytes: int,
         receive_duration: float,
     ) -> None:
-        self._dispatch(sender, receiver, message, size_bytes)
+        ctx = None
+        if isinstance(message, _PausedFrame):
+            message, ctx = message.message, message.ctx
+        self._dispatch(sender, receiver, message, size_bytes, ctx)
 
     # --- outbound ---------------------------------------------------------
     def _schedule_failure(
@@ -236,27 +291,44 @@ class LiveTransport(Transport):
                 return
         send_duration = size_bytes / self._links[sender].upstream_bytes_per_s
         self.meters[sender].record_sent(self.loop.now, size_bytes, send_duration)
+        # Trace context is minted after the chaos checks (a resumed,
+        # re-sent frame records once per actual wire attempt) but before
+        # the receiver-online check: a send into a dead node is exactly
+        # the unmatched live_msg_send a post-mortem wants to see.
+        ctx = None
+        if self.observer is not None:
+            ctx = self.observer.on_send(
+                sender, receiver, _msg_kind(message), size_bytes
+            )
         if receiver not in self._links or not self._online.get(receiver, False):
             self._count_failure("unreachable")
             delay = self._links[sender].latency_s * 2 + 0.5
             self._schedule_failure(delay, sender, receiver, message, "unreachable")
             return
         task = self._aio.create_task(
-            self._transmit(sender, receiver, message, size_bytes)
+            self._transmit(sender, receiver, message, size_bytes, ctx)
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
     async def _transmit(
-        self, sender: int, receiver: int, message: Any, size_bytes: int
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        ctx: Optional[tuple] = None,
     ) -> None:
         extra = self._chaos_extra_delay()
         if extra:
             await asyncio.sleep(extra)
+        envelope = (
+            (sender, size_bytes, message)
+            if ctx is None
+            else (sender, size_bytes, message, ctx)
+        )
         try:
-            payload = pickle.dumps(
-                (sender, size_bytes, message), protocol=pickle.HIGHEST_PROTOCOL
-            )
+            payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:  # noqa: BLE001 — report, don't crash the runtime
             logger.exception("unpicklable message from %d to %d", sender, receiver)
             self._count_failure("unreachable")

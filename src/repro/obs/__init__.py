@@ -22,14 +22,24 @@ from repro.obs.analysis import (
     AnomalyConfig,
     Finding,
     TraceAnalysis,
+    TraceMergeError,
     TraceReadReport,
+    analyze_events,
     analyze_trace,
     detect_churn_storms,
     detect_mirror_flapping,
     detect_repair_loops,
     iter_trace,
+    merge_trace_files,
     open_trace,
     owner_timeline,
+)
+from repro.obs.flight import (
+    HARNESS_NODE_ID,
+    FlightRecorder,
+    LamportClock,
+    LiveObservability,
+    RouterTracer,
 )
 from repro.obs.profiling import PROFILER, Profiler
 from repro.obs.registry import (
@@ -57,11 +67,19 @@ from repro.obs.trace import (
 __all__ = [
     "AnomalyConfig",
     "Finding",
+    "FlightRecorder",
+    "HARNESS_NODE_ID",
+    "LamportClock",
+    "LiveObservability",
     "PROFILER",
     "Profiler",
+    "RouterTracer",
     "TraceAnalysis",
+    "TraceMergeError",
     "TraceReadReport",
+    "analyze_events",
     "analyze_trace",
+    "merge_trace_files",
     "detect_churn_storms",
     "detect_mirror_flapping",
     "detect_repair_loops",

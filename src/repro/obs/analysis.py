@@ -31,6 +31,7 @@ drive everything from the CLI.
 from __future__ import annotations
 
 import gzip
+import heapq
 import json
 from collections import deque
 from dataclasses import dataclass, field
@@ -158,6 +159,88 @@ def iter_trace(
     finally:
         if owns:
             handle.close()
+
+
+# ----------------------------------------------------------------------
+# merging per-node flight-recorder files
+# ----------------------------------------------------------------------
+class TraceMergeError(ValueError):
+    """Raised when a set of per-node trace files cannot be merged —
+    e.g. two files both claim to be the same node's flight recorder."""
+
+
+def _merge_key(obj: Dict[str, Any]) -> Tuple[int, int, int]:
+    lamport = obj.get("lamport")
+    node = obj.get("node")
+    seq = obj.get("seq")
+    return (
+        lamport if isinstance(lamport, int) else 0,
+        node if isinstance(node, int) else -1,
+        seq if isinstance(seq, int) else 0,
+    )
+
+
+def _claimed_node(first: Dict[str, Any], path: str) -> object:
+    """Which node a flight file claims to belong to.
+
+    Flight recorders open every file with a ``node_lifecycle``
+    ``state="recorder_opened"`` header naming their node.  Files without
+    the header (hand-built or sim traces) make no claim and are keyed by
+    path, so they never collide.
+    """
+    if (
+        first.get("event") == "node_lifecycle"
+        and first.get("state") == "recorder_opened"
+        and isinstance(first.get("node"), int)
+    ):
+        return first["node"]
+    return f"path:{path}"
+
+
+def merge_trace_files(
+    paths: Sequence[str],
+    validate: bool = False,
+    report: Optional[TraceReadReport] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Stream the union of per-node trace files in causal order.
+
+    Each file must be internally ordered by its node's Lamport clock
+    (flight recorders are, by construction: every emit ticks the clock).
+    The global order is a k-way heap merge by ``(lamport, node, seq)``
+    — a valid linear extension of happened-before, since a message's
+    receive event always carries a larger Lamport timestamp than its
+    send.  Memory is bounded by the number of files, not trace length.
+
+    Two files claiming the same node id (duplicate flight recorders —
+    a run directory mixing two runs, or a copy-paste accident) raise
+    :class:`TraceMergeError` up front rather than silently interleaving
+    one node's history with an impostor's.
+    """
+    if report is None:
+        report = TraceReadReport()
+    streams: List[Iterator[Dict[str, Any]]] = []
+    claims: Dict[object, str] = {}
+    for path in paths:
+        stream = iter_trace(path, validate=validate, report=report)
+        first = next(stream, None)
+        if first is None:
+            continue
+        claim = _claimed_node(first, path)
+        if claim in claims:
+            raise TraceMergeError(
+                f"trace files {claims[claim]!r} and {path!r} both claim "
+                f"node id {claim}: refusing to merge two flight recorders "
+                f"for the same node"
+            )
+        claims[claim] = path
+
+        def chain(head: Dict[str, Any], tail: Iterator[Dict[str, Any]]
+                  ) -> Iterator[Dict[str, Any]]:
+            yield head
+            yield from tail
+
+        streams.append(chain(first, stream))
+    return heapq.merge(*streams, key=_merge_key)
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +534,8 @@ class TraceAnalysis:
     retries_by_target: Dict[int, int] = field(default_factory=dict)
     circuit_opens_by_dest: Dict[int, int] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
+    #: Raw ``chaos_action`` events in stream order (live/chaos traces only).
+    chaos_actions: List[Dict[str, Any]] = field(default_factory=list)
     first_epoch: Optional[int] = None
     last_epoch: Optional[int] = None
 
@@ -546,6 +631,7 @@ class TraceAnalysis:
                 for dest, n in sorted(self.circuit_opens_by_dest.items())
             },
             "findings": [finding.to_json_dict() for finding in self.findings],
+            "chaos_actions": len(self.chaos_actions),
         }
 
 
@@ -560,7 +646,36 @@ def analyze_trace(
     event may lie and still be blamed for it.
     """
     analysis = TraceAnalysis(path=source if isinstance(source, str) else None)
+    return _analyze_into(
+        analysis, iter_trace(source, report=analysis.report), config, lookback
+    )
 
+
+def analyze_events(
+    events: Iterable[Dict[str, Any]],
+    config: AnomalyConfig = AnomalyConfig(),
+    lookback: int = 24,
+    report: Optional[TraceReadReport] = None,
+) -> TraceAnalysis:
+    """Run the same single-pass analyzer over already-decoded events.
+
+    This is how the sim-side analytics run unchanged over a *live*
+    cluster's telemetry: feed it :func:`merge_trace_files` over the
+    per-node flight-recorder files (passing the merge's
+    :class:`TraceReadReport` through so line/error counts survive).
+    """
+    analysis = TraceAnalysis()
+    if report is not None:
+        analysis.report = report
+    return _analyze_into(analysis, events, config, lookback)
+
+
+def _analyze_into(
+    analysis: TraceAnalysis,
+    events: Iterable[Dict[str, Any]],
+    config: AnomalyConfig,
+    lookback: int,
+) -> TraceAnalysis:
     # Streaming state, all bounded by population size (not trace length).
     recent_causes: Dict[int, Deque[CausalEvent]] = {}
     owners_selected: set = set()
@@ -584,7 +699,7 @@ def analyze_trace(
             buffer = recent_causes[owner] = deque(maxlen=_CAUSE_BUFFER)
         buffer.append(CausalEvent(event, epoch, detail))
 
-    for obj in iter_trace(source, report=analysis.report):
+    for obj in events:
         event = obj.get("event")
         if not isinstance(event, str):
             continue
@@ -654,6 +769,20 @@ def analyze_trace(
                 analysis.circuit_opens_by_dest[dest] = (
                     analysis.circuit_opens_by_dest.get(dest, 0) + 1
                 )
+        elif event == "chaos_action":
+            analysis.chaos_actions.append(obj)
+            # A kill is a first-class cause: the victims' subsequent
+            # unavailability windows should point at the chaos action,
+            # not fall back to "mirrors_offline".
+            if obj.get("kind") == "kill":
+                for victim in obj.get("nodes") or ():
+                    if isinstance(victim, int):
+                        note_cause(victim, event, epoch, "kill")
+        elif event == "node_lifecycle":
+            node = obj.get("node")
+            state = obj.get("state")
+            if isinstance(node, int) and state == "killed":
+                note_cause(node, event, epoch, "killed")
         elif event == "availability_sample":
             sample_epoch = obj.get("epoch")
             if not isinstance(sample_epoch, int):

@@ -16,7 +16,7 @@ Naming convention (see docs/OBSERVABILITY.md): dot-separated
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 
 class Counter:
@@ -257,6 +257,21 @@ class MetricsRegistry:
             self.histogram(name, buckets=hist_state["buckets"]).merge_state(
                 hist_state
             )
+
+    @classmethod
+    def merged(cls, states: Iterable[Dict[str, object]]) -> "MetricsRegistry":
+        """A fresh registry holding the fold of many :meth:`state_dict`\\ s.
+
+        This is the streaming-aggregation primitive of the live
+        observability plane: each node keeps its own registry, the harness
+        re-merges the per-node states every epoch.  Counter and histogram
+        merges are exact (sums and bucket-wise adds), so the merge order
+        does not affect the result.
+        """
+        registry = cls()
+        for state in states:
+            registry.merge_state(state)
+        return registry
 
 
 #: Registry stack: the default process registry at the bottom; simulation

@@ -102,6 +102,44 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Dict[str, tuple]]] = {
         "required": {"done": (int,), "total": (int,)},
         "optional": {"running": (int,), "reason": (str,)},
     },
+    # Live-cluster observability (repro.obs.flight + repro.deploy.live):
+    # one send/recv pair per LiveTransport message.  ``msg_id`` is the
+    # trace-context id carried in the wire envelope; ``lamport`` is the
+    # emitting node's Lamport clock, which is what lets the analyzer merge
+    # per-node flight-recorder files into one causally ordered trace.
+    "live_msg_send": {
+        "required": {"peer": (int,), "msg_id": (str,)},
+        "optional": {
+            "node": (int,), "lamport": (int,), "kind": (str,),
+            "bytes": (int,), "t": _NUM,
+        },
+    },
+    "live_msg_recv": {
+        "required": {"peer": (int,), "msg_id": (str,)},
+        "optional": {
+            "node": (int,), "lamport": (int,), "latency_s": _NUM,
+            "kind": (str,), "t": _NUM,
+        },
+    },
+    # One per executed FaultPlan step: what the chaos controller actually
+    # did, to whom, and when — both the epoch it was scheduled for and the
+    # wall-clock moment it ran, so resilience failures are attributable
+    # without log archaeology.
+    "chaos_action": {
+        "required": {"kind": (str,), "epoch": (int,)},
+        "optional": {
+            "nodes": (list,), "t": _NUM, "scheduled_epoch": (int,),
+            "seconds": _NUM, "rate": _NUM, "groups": (int,), "sizes": (list,),
+        },
+    },
+    # Node state transitions on the live cluster (started/killed/paused/
+    # resumed/stopped) as seen by the harness or the chaos controller.
+    "node_lifecycle": {
+        "required": {"node": (int,), "state": (str,)},
+        "optional": {
+            "epoch": (int,), "t": _NUM, "reason": (str,), "lamport": (int,),
+        },
+    },
 }
 
 #: Fields present on every trace line, added by the tracer itself.

@@ -33,6 +33,23 @@ class TestResolveMetric:
         assert resolve_metric(REPORT, "nope") is None
         assert resolve_metric(REPORT, "availability.mean.deeper") is None
 
+    def test_numeric_hops_index_lists(self):
+        report = {"availability": {"samples": [
+            {"epoch": 0, "availability": 1.0},
+            {"epoch": 1, "availability": 0.9},
+            {"epoch": 2, "availability": 0.95},
+        ]}}
+        assert resolve_metric(report, "availability.samples.0.availability") == 1.0
+        assert resolve_metric(report, "availability.samples.-1.availability") == 0.95
+        assert resolve_metric(report, "availability.samples.1.epoch") == 1
+
+    def test_list_indexing_failure_modes_return_none(self):
+        report = {"samples": [{"v": 1.0}]}
+        assert resolve_metric(report, "samples.3.v") is None  # out of range
+        assert resolve_metric(report, "samples.-2.v") is None
+        assert resolve_metric(report, "samples.first.v") is None  # not an int
+        assert resolve_metric(report, "samples.0.v.deeper") is None
+
 
 class TestEvaluate:
     def test_all_ops(self):

@@ -1,0 +1,87 @@
+"""Property: metric-snapshot merging is order-independent.
+
+The live observability plane keeps one registry per node and folds the
+per-node ``state_dict()`` snapshots into the cluster view at heartbeat
+time (satellite #4).  Nodes report in arbitrary order — so the merge must
+be a commutative monoid fold: any permutation of the same snapshots
+yields identical bucket counts, totals, extrema, and therefore identical
+percentiles.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+samples_per_node = st.lists(
+    st.floats(min_value=0.0, max_value=500.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=30,
+)
+node_samples = st.lists(samples_per_node, min_size=1, max_size=6)
+
+
+def _registry_for(samples):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("live.msg.latency_s", buckets=BUCKETS)
+    for value in samples:
+        histogram.observe(value)
+        registry.counter("live.msgs.recv").inc()
+    return registry
+
+
+def assert_states_equal(actual, expected):
+    """Structural equality of two registry ``state_dict``s, except that a
+    histogram's ``total`` (a float sum, whose rounding depends on addition
+    order) only needs ulp-level agreement.  Everything quantiles are
+    computed from — bucket counts, count, min, max — must match exactly."""
+    assert actual["counters"] == expected["counters"]
+    assert actual["gauges"] == expected["gauges"]
+    assert actual["histograms"].keys() == expected["histograms"].keys()
+    for name, histogram in actual["histograms"].items():
+        reference = expected["histograms"][name]
+        for key in ("buckets", "bucket_counts", "count", "min", "max"):
+            assert histogram[key] == reference[key], (name, key)
+        assert histogram["total"] == pytest.approx(
+            reference["total"], rel=1e-12, abs=1e-12
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(per_node=node_samples, seed=st.integers(0, 2**32 - 1))
+def test_merge_is_order_independent(per_node, seed):
+    states = [_registry_for(samples).state_dict() for samples in per_node]
+    shuffled = list(states)
+    random.Random(seed).shuffle(shuffled)
+
+    forward = MetricsRegistry.merged(states)
+    backward = MetricsRegistry.merged(reversed(states))
+    permuted = MetricsRegistry.merged(shuffled)
+
+    # The full internal state — bucket counts included — is identical, so
+    # *every* derived statistic is too, not just the ones sampled below.
+    assert_states_equal(backward.state_dict(), forward.state_dict())
+    assert_states_equal(permuted.state_dict(), forward.state_dict())
+
+    reference = forward.histogram("live.msg.latency_s", buckets=BUCKETS)
+    for other in (backward, permuted):
+        histogram = other.histogram("live.msg.latency_s", buckets=BUCKETS)
+        assert histogram.bucket_counts == reference.bucket_counts
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert histogram.quantile(q) == reference.quantile(q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(per_node=node_samples)
+def test_merge_equals_single_registry_over_union(per_node):
+    # Merging per-node snapshots is exact: the same result as observing
+    # every sample in one registry (no approximation introduced by the
+    # per-node split).
+    states = [_registry_for(samples).state_dict() for samples in per_node]
+    merged = MetricsRegistry.merged(states)
+    union = _registry_for([v for samples in per_node for v in samples])
+    assert_states_equal(merged.state_dict(), union.state_dict())

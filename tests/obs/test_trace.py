@@ -129,6 +129,20 @@ class TestValidateEvent:
             "sweep_interrupted": dict(
                 done=3, total=5, running=2, reason="signal"
             ),
+            "live_msg_send": dict(
+                peer=2, msg_id="m0001", node=1, lamport=4, kind="put",
+                bytes=128, t=0.5,
+            ),
+            "live_msg_recv": dict(
+                peer=1, msg_id="m0001", node=2, lamport=5, latency_s=0.002,
+                kind="put", t=0.502,
+            ),
+            "chaos_action": dict(
+                kind="kill", epoch=3, nodes=[4, 7], scheduled_epoch=3, t=1.2
+            ),
+            "node_lifecycle": dict(
+                node=4, state="killed", epoch=3, reason="chaos", lamport=9
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMAS)
         for event, fields in samples.items():

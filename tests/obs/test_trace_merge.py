@@ -1,0 +1,96 @@
+"""Merging per-node flight-recorder files into one causal trace.
+
+Satellite #2's contract: the reader merges interleaved per-node files
+into a single stream ordered by ``(lamport, node)``, every receive lands
+after its matching send, and two files claiming the same node id are
+rejected with a clear error rather than silently interleaved.
+"""
+
+import shutil
+
+import pytest
+
+from repro.obs import FlightRecorder, LiveObservability, TraceMergeError
+from repro.obs.analysis import TraceReadReport, merge_trace_files
+
+
+def _merged(paths, **kwargs):
+    return list(merge_trace_files(paths, **kwargs))
+
+
+class TestCausalMergeOrder:
+    def test_merge_is_sorted_by_lamport_then_node(self, tmp_path):
+        plane = LiveObservability(str(tmp_path), [1, 2, 3])
+        # Interleave: 1 -> 2 -> 3 -> 1 message chain plus local chatter.
+        ctx = plane.on_send(1, 2, kind="A", size=10)
+        plane.on_receive(2, 1, ctx, kind="A")
+        with plane.scope(3):
+            plane.tracer.emit("retry", kind="push")
+        ctx = plane.on_send(2, 3, kind="B", size=10)
+        plane.on_receive(3, 2, ctx, kind="B")
+        ctx = plane.on_send(3, 1, kind="C", size=10)
+        plane.on_receive(1, 3, ctx, kind="C")
+        plane.close()
+
+        events = _merged(plane.trace_paths())
+        keys = [(event["lamport"], event["node"]) for event in events]
+        assert keys == sorted(keys)
+
+    def test_every_receive_follows_its_send(self, tmp_path):
+        plane = LiveObservability(str(tmp_path), [1, 2])
+        for i in range(10):
+            sender, receiver = (1, 2) if i % 2 == 0 else (2, 1)
+            ctx = plane.on_send(sender, receiver, kind="ping", size=8)
+            plane.on_receive(receiver, sender, ctx, kind="ping")
+        plane.close()
+
+        position = {}
+        for index, event in enumerate(_merged(plane.trace_paths())):
+            if event["event"] in ("live_msg_send", "live_msg_recv"):
+                position.setdefault(event["msg_id"], {})[event["event"]] = index
+        assert len(position) == 10
+        for msg_id, spots in position.items():
+            assert spots["live_msg_send"] < spots["live_msg_recv"], msg_id
+
+    def test_merge_validates_and_shares_read_report(self, tmp_path):
+        plane = LiveObservability(str(tmp_path), [1])
+        plane.on_send(1, 9, kind="x", size=1)
+        plane.close()
+        report = TraceReadReport()
+        events = _merged(plane.trace_paths(), validate=True, report=report)
+        assert report.events == len(events)
+        assert report.errors == []
+
+
+class TestDuplicateNodeClaims:
+    def test_two_files_claiming_one_node_are_rejected(self, tmp_path):
+        recorder = FlightRecorder(7, str(tmp_path / "a.jsonl"))
+        recorder.emit("retry", kind="push")
+        recorder.close()
+        shutil.copyfile(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+
+        with pytest.raises(TraceMergeError) as excinfo:
+            _merged([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")])
+        message = str(excinfo.value)
+        assert "node id 7" in message
+        assert "a.jsonl" in message and "b.jsonl" in message
+
+    def test_headerless_files_never_collide(self, tmp_path):
+        # Hand-built / sim traces carry no recorder header: they make no
+        # node claim and merge fine even when byte-identical.
+        line = '{"v": 1, "seq": 0, "event": "retry", "kind": "push"}\n'
+        for name in ("x.jsonl", "y.jsonl"):
+            (tmp_path / name).write_text(line, encoding="utf-8")
+        events = _merged(
+            [str(tmp_path / "x.jsonl"), str(tmp_path / "y.jsonl")]
+        )
+        assert len(events) == 2
+
+    def test_empty_files_are_skipped(self, tmp_path):
+        recorder = FlightRecorder(1, str(tmp_path / "a.jsonl"))
+        recorder.close()
+        (tmp_path / "empty.jsonl").write_text("", encoding="utf-8")
+        events = _merged(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "empty.jsonl")]
+        )
+        assert [event["node"] for event in events] == [1]
