@@ -1,0 +1,292 @@
+"""Strategy interfaces for pluggable DOSN architectures.
+
+SOUP's evaluation (Sec. 5.3) compares against PeerSoN, Safebook and
+Cachet only through analytic replication models — the alternatives never
+run through the same engine, overlay, and churn machinery.  This module
+extracts the hard-wired seams into explicit strategy interfaces so
+alternative architectures become *executable* baselines:
+
+* :class:`MirrorSelectionStrategy` — wraps the Eq. (1) ranking +
+  Algorithm 1 seam (``SoupSimulation._select_and_place`` /
+  ``MirrorManager.run_selection``).
+* :class:`PlacementStrategy` — remaps the key under which a directory
+  entry is published/looked up (``PastryOverlay.publish/lookup``).
+* :class:`RoutingPolicy` — offers extra next-hop candidates to Pastry's
+  prefix routing (``PastryOverlay._next_hop``), subject to the overlay's
+  monotone-progress rule so termination is preserved.
+* :class:`ReadPathStrategy` — intercepts profile reads before they hit
+  the mirrors (``SoupSimulation._request_profile`` /
+  ``SoupNode.request_profile``).
+
+An :class:`Architecture` bundles one (or none) of each.  The default
+``"soup"`` architecture binds *no* strategies: the engine takes zero
+extra branches, keeping the paper-faithful path byte-identical under
+``tests/sim/test_equivalence.py``.
+
+Strategies are deliberately **RNG-free**: all randomness stays inside
+Algorithm 1 (:func:`repro.core.selection.select_mirrors`), driven by the
+engine's own ``random.Random`` stream.  That keeps columnar-vs-reference
+runs byte-identical even for non-default architectures, and makes every
+head-to-head comparison replayable from ``(config, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SoupConfig
+from repro.core.selection import SelectionResult, select_mirrors
+
+#: Architecture names accepted by ``ScenarioConfig.architecture`` (and the
+#: ``soup compare`` CLI).  Registration order is the comparison-table order.
+ARCHITECTURES: Dict[str, Callable[..., "Architecture"]] = {}
+
+
+def register_architecture(name: str):
+    """Class/function decorator adding a factory to :data:`ARCHITECTURES`."""
+
+    def wrap(factory):
+        ARCHITECTURES[name] = factory
+        return factory
+
+    return wrap
+
+
+def architecture_names() -> List[str]:
+    return list(ARCHITECTURES)
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative load distribution.
+
+    0 = every node carries the same load, →1 = one node carries it all.
+    The storage-share fairness number in the comparison table: SOUP's own
+    claim is that the *upper half* by online time carries >90 % of the
+    replicas (Sec. 5.2.2), so a useful baseline comparison needs the whole
+    distribution summarized, not just that one split.
+    """
+    values = np.sort(np.asarray(counts, dtype=float))
+    n = len(values)
+    total = values.sum()
+    if n == 0 or total <= 0.0:
+        return 0.0
+    # Standard rank formulation: G = (2 Σ i·x_i)/(n Σ x) - (n+1)/n.
+    ranks = np.arange(1, n + 1)
+    return float(2.0 * (ranks * values).sum() / (n * total) - (n + 1) / n)
+
+
+# ----------------------------------------------------------------------
+# strategy interfaces
+# ----------------------------------------------------------------------
+class MirrorSelectionStrategy:
+    """Chooses a node's mirror set each selection opportunity.
+
+    The engine (or ``MirrorManager``) supplies the same inputs Algorithm 1
+    consumes; a strategy may rewrite the candidate ranking, delegate to
+    :func:`select_mirrors`, or replace the algorithm outright.  The
+    K-replication contract every implementation must honour (enforced by
+    ``tests/property/test_arch_properties.py``): never more than
+    ``config.max_mirrors`` mirrors, never a node from ``exclude``
+    (owner, blacklisting/rejecting peers, offline candidates), and no
+    duplicates.
+    """
+
+    name = "strategy"
+
+    def begin_round(self, view, epoch: int) -> None:
+        """Called once per selection round before any :meth:`select`.
+
+        ``view`` is the engine (duck-typed): strategies may read uptime
+        (``observed_uptime``), capacities, departure flags and replica
+        locations — but must not mutate engine state or draw RNG.
+        """
+
+    def select(
+        self,
+        owner: int,
+        ranking: Sequence[Tuple[int, float]],
+        friends: Iterable[int],
+        config: SoupConfig,
+        rng: random.Random,
+        exploration_pool: Iterable[int] = (),
+        exclude: Iterable[int] = (),
+    ) -> SelectionResult:
+        raise NotImplementedError
+
+    def on_commit(self, owner: int, accepted: List[int], epoch: int) -> None:
+        """The mirror set that actually accepted (capacity accounting)."""
+
+    def metrics(self) -> Dict[str, float]:
+        return {}
+
+
+class PlacementStrategy:
+    """Remaps directory keys before the overlay routes them.
+
+    ``map_key`` must be a pure function of the key and registered state —
+    publish and lookup both call it, so both sides agree on where an
+    entry lives without any extra coordination traffic.
+    """
+
+    name = "placement"
+
+    def bind_social_graph(self, friends_of, dht_id_of) -> None:
+        """Offer the friendship adjacency + node→DHT-id mapping.
+
+        Called once after population build (engine) or friendship setup
+        (deployment); socially-aware strategies derive their anchors and
+        shortcuts here.  Default: ignore it.
+        """
+
+    def map_key(self, key: int) -> int:
+        return key
+
+    def metrics(self) -> Dict[str, float]:
+        return {}
+
+
+class RoutingPolicy:
+    """Offers additional next-hop candidates to Pastry prefix routing.
+
+    The overlay filters every offered candidate through its monotone
+    ``(ring_distance, node_id)`` progress rule, so a policy can only
+    *shorten* routes, never create loops or change the responsible node.
+    """
+
+    name = "routing"
+
+    def bind_social_graph(self, friends_of, dht_id_of) -> None:
+        """Same contract as :meth:`PlacementStrategy.bind_social_graph`."""
+
+    def extra_candidates(self, node_id: int, key: int) -> Iterable[int]:
+        return ()
+
+    def metrics(self) -> Dict[str, float]:
+        return {}
+
+
+class ReadPathStrategy:
+    """Intercepts profile reads before they reach the owner's mirrors."""
+
+    name = "read_path"
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Epoch boundary (TTL bookkeeping)."""
+
+    def try_serve(self, reader: int, owner: int, epoch: int) -> bool:
+        """True when the read was served locally (mirrors untouched)."""
+        return False
+
+    def on_fetch(
+        self, reader: int, owner: int, epoch: int, success: bool
+    ) -> None:
+        """A mirror-path fetch completed (populate on success)."""
+
+    def invalidate(self, owner: int) -> None:
+        """Owner's data changed or departed — drop cached copies."""
+
+    def fresh_readers(self, owner: int) -> Iterable[int]:
+        """Readers currently holding a live cached copy of ``owner``."""
+        return ()
+
+    def available_owners(self, online_now: np.ndarray, epoch: int) -> Iterable[int]:
+        """Owners reachable through the cache tier this epoch."""
+        return ()
+
+    def metrics(self) -> Dict[str, float]:
+        return {}
+
+
+# ----------------------------------------------------------------------
+# the default architecture: plain SOUP
+# ----------------------------------------------------------------------
+class SoupSelectionStrategy(MirrorSelectionStrategy):
+    """Paper-faithful Algorithm 1, unchanged — the identity strategy."""
+
+    name = "soup"
+
+    def select(
+        self,
+        owner: int,
+        ranking: Sequence[Tuple[int, float]],
+        friends: Iterable[int],
+        config: SoupConfig,
+        rng: random.Random,
+        exploration_pool: Iterable[int] = (),
+        exclude: Iterable[int] = (),
+    ) -> SelectionResult:
+        return select_mirrors(
+            ranking=ranking,
+            friends=friends,
+            config=config,
+            rng=rng,
+            exploration_pool=exploration_pool,
+            exclude=exclude,
+        )
+
+
+@dataclass
+class Architecture:
+    """One architecture = a named bundle of (optional) strategies.
+
+    ``None`` means "keep the hard-wired SOUP behaviour at that seam" —
+    the engine takes the exact pre-refactor code path, so an architecture
+    only pays for the seams it actually overrides.
+    """
+
+    name: str
+    selection: Optional[MirrorSelectionStrategy] = None
+    placement: Optional[PlacementStrategy] = None
+    routing: Optional[RoutingPolicy] = None
+    read_path: Optional[ReadPathStrategy] = None
+    #: Extra per-architecture metric groups merged into :meth:`metrics`
+    #: (the shadow-DHT probe reports through this).
+    extra_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Nested ``{component: {metric: value}}`` for the result's
+        ``arch`` section — flattened to ``arch.<component>.<metric>`` in
+        ``SimulationResult.summary()`` for sweep aggregation."""
+        groups: Dict[str, Dict[str, float]] = {}
+        for component, strategy in (
+            ("selection", self.selection),
+            ("placement", self.placement),
+            ("routing", self.routing),
+            ("cache", self.read_path),
+        ):
+            if strategy is not None:
+                numbers = strategy.metrics()
+                if numbers:
+                    groups[component] = dict(numbers)
+        for component, numbers in self.extra_metrics.items():
+            merged = groups.setdefault(component, {})
+            merged.update(numbers)
+        return groups
+
+
+@register_architecture("soup")
+def _make_soup(config=None) -> Architecture:
+    """The paper's own design: no seam overridden."""
+    return Architecture(name="soup")
+
+
+def create_architecture(name: str, config=None) -> Architecture:
+    """Instantiate a registered architecture.
+
+    ``config`` is the :class:`~repro.sim.scenario.ScenarioConfig` (or any
+    object carrying the flat ``arch_*`` knobs); factories read their
+    parameters from it and fall back to defaults when absent.
+    """
+    # Import for side effects: the baseline modules self-register.
+    from repro.arch import cache, social, superpeer  # noqa: F401
+
+    factory = ARCHITECTURES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown architecture {name!r} (known: {sorted(ARCHITECTURES)})"
+        )
+    return factory(config)

@@ -1,0 +1,189 @@
+"""Shadow DHT probe: an observational Pastry ring beside the simulator.
+
+The epoch simulator (:mod:`repro.sim.engine`) models directory state as
+plain attributes — it never routes through :class:`PastryOverlay`, so it
+cannot answer the questions the head-to-head comparison asks: *how many
+hops does a lookup take under this architecture, and how much control
+traffic does churn cost?*
+
+The probe mirrors the simulation's membership and directory events into
+a real Pastry ring and measures them there, **without feeding anything
+back**: the simulated protocol behaviour (selection, availability,
+replica placement) is untouched, and the overlay itself draws no RNG,
+so enabling the probe cannot perturb the run.  Event mapping:
+
+========================  =============================================
+simulator event            probe action
+========================  =============================================
+node joins the OSN         ``overlay.join`` (join-route hops counted)
+node departs/crashes       ``overlay.fail`` (entries lost — honest
+                           churn cost; owners republish next round)
+mirror set committed       ``overlay.publish`` of the directory entry
+profile requested          ``overlay.lookup`` from the reader
+========================  =============================================
+
+Control traffic = join-route hops + publish-route hops + every entry
+shifted by churn repair (the overlay's ``transfer_log``).  Architecture
+strategies plug in through the overlay's placement/routing hooks, so
+the same probe measures plain Pastry and the socially-aware variant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.base import Architecture
+from repro.dht.pastry import DhtError, PastryOverlay
+from repro.dht.storage import DirectoryEntry
+
+
+def derive_dht_id(node_id: int) -> int:
+    """Deterministic 64-bit DHT id for a simulator node id.
+
+    SOUP IDs are hashes of the owner's public key (Sec. 3.1); the
+    simulator has no keys, so the id is a hash of the node id — uniform
+    over the ring, stable across runs and engine modes.
+    """
+    digest = hashlib.blake2b(
+        node_id.to_bytes(8, "big"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class DhtProbe:
+    """Observational Pastry ring mirroring the simulation's membership."""
+
+    def __init__(self, architecture: Architecture) -> None:
+        self.architecture = architecture
+        self.overlay = PastryOverlay()
+        if architecture.placement is not None:
+            self.overlay.set_placement(architecture.placement)
+        if architecture.routing is not None:
+            self.overlay.set_routing_policy(architecture.routing)
+        self.overlay.set_liveness(self._member_online)
+
+        #: node id -> DHT id (collisions resolved by deterministic probing).
+        self._ids: Dict[int, int] = {}
+        self._claimed: Dict[int, int] = {}
+        self._versions: Dict[int, int] = {}
+        self._online: Optional[np.ndarray] = None
+
+        self.joins = 0
+        self.departures = 0
+        self.publishes = 0
+        self.publish_failures = 0
+        self.lookups = 0
+        self.lookup_failures = 0
+        self._lookup_hops_sum = 0
+        self._route_control_messages = 0
+        self._node_epochs = 0
+
+    # ------------------------------------------------------------------
+    def dht_id(self, node_id: int) -> int:
+        known = self._ids.get(node_id)
+        if known is not None:
+            return known
+        candidate = derive_dht_id(node_id)
+        while self._claimed.get(candidate, node_id) != node_id:
+            candidate = (candidate + 1) % (1 << 64)
+        self._ids[node_id] = candidate
+        self._claimed[candidate] = node_id
+        return candidate
+
+    def _member_online(self, dht_id: int) -> bool:
+        node_id = self._claimed.get(dht_id)
+        if node_id is None or self._online is None:
+            return True
+        return bool(self._online[node_id])
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def begin_epoch(self, epoch: int, online_now: np.ndarray) -> None:
+        self._online = online_now
+        self._node_epochs += len(self.overlay)
+
+    def on_join(self, node_id: int) -> None:
+        dht_id = self.dht_id(node_id)
+        if dht_id in self.overlay:
+            return
+        bootstrap = None
+        if len(self.overlay):
+            # Deterministic bootstrap: the lowest-id current member.
+            bootstrap = min(self.overlay.node_ids())
+        route = self.overlay.join(dht_id, bootstrap_id=bootstrap)
+        self.joins += 1
+        self._route_control_messages += route.hops
+
+    def on_depart(self, node_id: int) -> None:
+        dht_id = self._ids.get(node_id)
+        if dht_id is None or dht_id not in self.overlay:
+            return
+        # Abrupt failure: entries vanish with the node.  Owners republish
+        # at their next selection commit — the honest churn cost.
+        self.overlay.fail(dht_id)
+        self.departures += 1
+
+    def on_publish(self, owner: int, mirrors: List[int], epoch: int) -> None:
+        dht_id = self.dht_id(owner)
+        if dht_id not in self.overlay:
+            return
+        version = self._versions.get(owner, -1) + 1
+        self._versions[owner] = version
+        entry = DirectoryEntry(
+            soup_id=dht_id,
+            name=str(owner),
+            mirror_ids=tuple(self.dht_id(m) for m in mirrors),
+            version=version,
+        )
+        try:
+            route = self.overlay.publish(dht_id, dht_id, entry)
+        except DhtError:
+            self.publish_failures += 1
+            return
+        self.publishes += 1
+        self._route_control_messages += route.hops
+        if not route.delivered:
+            self.publish_failures += 1
+
+    def on_lookup(self, reader: int, owner: int) -> None:
+        from_id = self.dht_id(reader)
+        if from_id not in self.overlay:
+            return
+        key = self.dht_id(owner)
+        try:
+            entry, route = self.overlay.lookup(from_id, key)
+        except DhtError:
+            self.lookup_failures += 1
+            return
+        self.lookups += 1
+        self._lookup_hops_sum += route.hops
+        if entry is None:
+            self.lookup_failures += 1
+
+    # ------------------------------------------------------------------
+    def control_messages(self) -> int:
+        """Join + publish route hops plus churn-shifted entries."""
+        return self._route_control_messages + len(self.overlay.transfer_log)
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "joins": float(self.joins),
+            "departures": float(self.departures),
+            "publishes": float(self.publishes),
+            "publish_failures": float(self.publish_failures),
+            "lookups": float(self.lookups),
+            "lookup_failures": float(self.lookup_failures),
+            "mean_lookup_hops": (
+                self._lookup_hops_sum / self.lookups if self.lookups else 0.0
+            ),
+            "control_messages": float(self.control_messages()),
+            "control_per_node_epoch": (
+                self.control_messages() / self._node_epochs
+                if self._node_epochs
+                else 0.0
+            ),
+        }

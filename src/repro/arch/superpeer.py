@@ -1,0 +1,192 @@
+"""Super-peer mirror economy (SuperNova-style baseline).
+
+Sharma & Datta's SuperNova organizes a DOSN around *super-peers*: nodes
+with high availability and spare capacity volunteer to host data for
+"weak" nodes that cannot assemble a good mirror set from their own
+social neighbourhood.  This baseline reproduces that economy on top of
+SOUP's machinery:
+
+* **Election.**  Each selection round, joined benign nodes with observed
+  uptime ≥ ``arch_superpeer_min_uptime`` are ranked by (uptime,
+  capacity) and the top ``arch_superpeer_fraction`` of the population
+  volunteer as super-peers.  Departed or churned-out super-peers are
+  demoted and replaced — re-election on churn.
+* **Capacity accounting.**  Every super-peer advertises a bounded number
+  of hosting *slots* derived from its storage capacity (or the
+  ``arch_superpeer_slots`` override).  Commitments decrement the free
+  slots; a full super-peer stops being offered.
+* **Selection.**  Weak owners (observed uptime below the election bar)
+  get available super-peers spliced into their candidate ranking at a
+  high trust rank, so Algorithm 1 greedily picks them first; strong
+  owners keep the plain SOUP ranking.  Algorithm 1 itself — the ε
+  target, the social filter, exploration — runs unchanged, so the
+  K-replication invariant holds by construction.
+
+The strategy draws no RNG and mutates no engine state: elections are a
+pure function of the engine view, so columnar and reference runs stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.base import (
+    Architecture,
+    MirrorSelectionStrategy,
+    register_architecture,
+)
+from repro.core.config import SoupConfig
+from repro.core.selection import SelectionResult, select_mirrors
+
+#: Rank assigned to an offered super-peer slot.  Just below a perfect
+#: 1.0 experience so first-hand evidence of a *better* mirror still
+#: wins, but above every bootstrap-prior candidate.
+SUPERPEER_RANK = 0.95
+
+
+class SuperPeerEconomy(MirrorSelectionStrategy):
+    """Elected super-peers host mirrors for weak nodes."""
+
+    name = "superpeer"
+
+    def __init__(
+        self,
+        fraction: float = 0.05,
+        min_uptime: float = 0.6,
+        slots_override: Optional[int] = None,
+    ) -> None:
+        self.fraction = fraction
+        self.min_uptime = min_uptime
+        self.slots_override = slots_override
+
+        #: super-peer id -> free hosting slots this round.
+        self.free_slots: Dict[int, int] = {}
+        #: Current super-peer set, in election (quality) order.
+        self.superpeers: List[int] = []
+        self._uptime: Dict[int, float] = {}
+
+        # Counters for the `arch.selection.*` metric group.
+        self.elections = 0
+        self.demotions = 0
+        self.weak_owners_boosted = 0
+        self.slots_committed = 0
+        self._slots_total_last = 0
+
+    # ------------------------------------------------------------------
+    def begin_round(self, view, epoch: int) -> None:
+        """Re-elect the super-peer roster from the engine view.
+
+        Deterministic: candidates are ranked by (uptime, capacity,
+        node id) — no RNG, no dependence on dict iteration order.
+        """
+        previous = set(self.superpeers)
+        uptime = view.observed_uptime(epoch)
+        capacities = view.capacities
+        # The engine view hands dense arrays indexed by node id; the
+        # deployment view hands dicts keyed by (sparse) SOUP ids.
+        if hasattr(capacities, "keys"):
+            population = sorted(capacities.keys())
+        else:
+            population = range(len(capacities))
+        n_total = len(population)
+        candidates = [
+            node_id
+            for node_id in population
+            if view.is_electable(node_id) and uptime[node_id] >= self.min_uptime
+        ]
+        candidates.sort(
+            key=lambda nid: (-uptime[nid], -capacities[nid], nid)
+        )
+        quota = max(1, int(round(n_total * self.fraction)))
+        elected = candidates[:quota]
+
+        self.demotions += sum(1 for nid in previous if nid not in set(elected))
+        self.elections += 1
+        self.superpeers = elected
+        self._uptime = {nid: float(uptime[nid]) for nid in elected}
+        self.free_slots = {nid: self._slots_for(capacities[nid]) for nid in elected}
+        self._slots_total_last = sum(self.free_slots.values())
+        self._owner_uptime = uptime
+
+    def _slots_for(self, capacity: float) -> int:
+        if self.slots_override is not None:
+            return max(1, int(self.slots_override))
+        # A super-peer pledges half its storage capacity to the economy,
+        # keeping the rest for organically selected replicas.
+        return max(1, int(capacity // 2))
+
+    # ------------------------------------------------------------------
+    def augment_ranking(
+        self, owner: int, ranking: Sequence[Tuple[int, float]], exclude: Iterable[int]
+    ) -> List[Tuple[int, float]]:
+        """Splice open super-peers into a weak owner's candidate list."""
+        uptime = getattr(self, "_owner_uptime", None)
+        if uptime is None or uptime[owner] >= self.min_uptime:
+            return list(ranking)
+        excluded = set(exclude)
+        offers = [
+            nid
+            for nid in self.superpeers
+            if self.free_slots.get(nid, 0) > 0 and nid != owner and nid not in excluded
+        ]
+        if not offers:
+            return list(ranking)
+        self.weak_owners_boosted += 1
+        offered = set(offers)
+        kept = [(nid, rank) for nid, rank in ranking if nid not in offered]
+        return [(nid, SUPERPEER_RANK) for nid in offers] + kept
+
+    def select(
+        self,
+        owner: int,
+        ranking: Sequence[Tuple[int, float]],
+        friends: Iterable[int],
+        config: SoupConfig,
+        rng: random.Random,
+        exploration_pool: Iterable[int] = (),
+        exclude: Iterable[int] = (),
+    ) -> SelectionResult:
+        return select_mirrors(
+            ranking=self.augment_ranking(owner, ranking, exclude),
+            friends=friends,
+            config=config,
+            rng=rng,
+            exploration_pool=exploration_pool,
+            exclude=exclude,
+        )
+
+    def on_commit(self, owner: int, accepted: List[int], epoch: int) -> None:
+        for mirror_id in accepted:
+            free = self.free_slots.get(mirror_id)
+            if free is not None and free > 0:
+                self.free_slots[mirror_id] = free - 1
+                self.slots_committed += 1
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        total = self._slots_total_last
+        free = sum(self.free_slots.values())
+        return {
+            "superpeer_count": float(len(self.superpeers)),
+            "elections": float(self.elections),
+            "demotions": float(self.demotions),
+            "weak_owners_boosted": float(self.weak_owners_boosted),
+            "slots_committed": float(self.slots_committed),
+            "slot_utilization": (
+                (total - free) / total if total > 0 else 0.0
+            ),
+        }
+
+
+@register_architecture("superpeer")
+def _make_superpeer(config=None) -> Architecture:
+    return Architecture(
+        name="superpeer",
+        selection=SuperPeerEconomy(
+            fraction=getattr(config, "arch_superpeer_fraction", 0.05),
+            min_uptime=getattr(config, "arch_superpeer_min_uptime", 0.6),
+            slots_override=getattr(config, "arch_superpeer_slots", None),
+        ),
+    )

@@ -115,6 +115,13 @@ def _correctness_overrides(args) -> dict:
         overrides.setdefault("check_invariants", True)
     if getattr(args, "repair", False):
         overrides["repair"] = True
+    # Architecture flags ride along: left at the defaults they add nothing
+    # to the overrides, keeping the byte-identical soup path untouched.
+    architecture = getattr(args, "architecture", None)
+    if architecture and architecture != "soup":
+        overrides["architecture"] = architecture
+    if getattr(args, "measure_dht", False):
+        overrides["measure_dht"] = True
     return overrides
 
 
@@ -140,6 +147,12 @@ def _cmd_fig5(args) -> int:
     print(f"availability@day1={result.availability_at_day(1):.3f} "
           f"steady={result.steady_state_availability():.3f} "
           f"replicas={result.steady_state_replicas():.2f}")
+    if result.arch:
+        for component, numbers in sorted(result.arch.items()):
+            rendered = " ".join(
+                f"{key}={value:g}" for key, value in sorted(numbers.items())
+            )
+            print(f"arch.{component}: {rendered}")
     return 0
 
 
@@ -273,11 +286,18 @@ def _cmd_deploy(args) -> int:
         n_mobile=args.mobile,
         seed=args.seed,
         crypto_mode=args.crypto_mode,
+        architecture=args.architecture,
     )
     report = deployment.run(duration_s=args.duration, selection_rounds=args.rounds)
     print(f"users={report.n_users} mobile={report.n_mobile} "
           f"friendships={report.friendships} photos={report.photos_shared} "
           f"messages={report.messages_sent}")
+    if report.arch_metrics:
+        for component, numbers in sorted(report.arch_metrics.items()):
+            rendered = " ".join(
+                f"{key}={value:g}" for key, value in sorted(numbers.items())
+            )
+            print(f"arch.{component}: {rendered}")
     print(f"availability={report.availability:.4f} "
           f"({report.profile_failures}/{report.profile_requests} failed requests)")
     gateway = [kb for _, kb in report.gateway_series]
@@ -587,6 +607,128 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_compare(args) -> int:
+    """Head-to-head architecture comparison (docs/ARCHITECTURES.md).
+
+    Fans one scenario (spec file and/or ``--base`` flags) over every
+    requested architecture with ``measure_dht`` forced on, runs the grid
+    through the sweep orchestrator (checkpoint/resume and all), and
+    reduces the artifacts into one comparison table plus a
+    ``compare.json`` artifact in the run directory.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.arch import architecture_names
+    from repro.runtime import (
+        SweepSpec,
+        aggregate_run,
+        parse_base_flag,
+        parse_seeds,
+        run_sweep,
+    )
+    from repro.sim.reporting import COMPARE_TABLE_METRICS, compare_table
+
+    known = architecture_names()
+    if args.archs:
+        archs = [name.strip() for name in args.archs.split(",") if name.strip()]
+        unknown = sorted(set(archs) - set(known))
+        if unknown:
+            print(
+                f"compare: unknown architecture(s) {unknown}; "
+                f"registered: {known}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        archs = list(known)
+
+    if not args.aggregate_only:
+        try:
+            spec = SweepSpec.from_file(args.spec) if args.spec else SweepSpec()
+            for flag in args.base or ():
+                key, value = parse_base_flag(flag)
+                spec.base[key] = value
+            if args.seeds:
+                spec.seeds = parse_seeds(args.seeds)
+            spec.name = args.name or (
+                spec.name if spec.name != "sweep" else "compare"
+            )
+            # The architecture axis is the whole point: cross every row of
+            # the underlying scenario with each architecture, DHT probe on
+            # so every row reports hops/control/storage numbers.
+            rows = spec.configs or [{}]
+            spec.configs = [
+                {**row, "architecture": arch, "measure_dht": True}
+                for arch in archs
+                for row in rows
+            ]
+            tasks = spec.expand()
+        except ValueError as exc:
+            print(f"compare: invalid spec: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"compare {spec.name}: {len(archs)} architectures, "
+            f"{len(tasks)} tasks -> {args.out} (jobs={args.jobs or 'auto'})",
+            file=sys.stderr,
+        )
+
+        def progress(event, task, detail):
+            if event == "ok":
+                print(
+                    f"  [{task.task_id}] ok ({detail:.1f}s)  {task.label()}",
+                    file=sys.stderr,
+                )
+            elif event == "fail":
+                print(
+                    f"  [{task.task_id}] FAILED: {detail}  {task.label()}",
+                    file=sys.stderr,
+                )
+            elif event == "skip" and args.verbose:
+                print(f"  [{task.task_id}] cached  {task.label()}", file=sys.stderr)
+
+        outcome = run_sweep(
+            spec, args.out, jobs=args.jobs, limit=args.limit, progress=progress,
+        )
+        print(
+            f"compare {spec.name}: {len(outcome.executed)} run, "
+            f"{len(outcome.skipped)} cached, {len(outcome.failed)} failed",
+            file=sys.stderr,
+        )
+
+    cells = aggregate_run(args.out)
+    payload = {
+        "schema": "soup-compare/v1",
+        "architectures": archs,
+        "metrics": [metric for metric, _ in COMPARE_TABLE_METRICS],
+        "cells": [
+            {
+                "architecture": cell.overrides.get("architecture", "soup"),
+                "overrides": cell.overrides,
+                "seeds": cell.seeds,
+                "stats": cell.stats(),
+            }
+            for cell in cells
+        ],
+    }
+    artifact_path = Path(args.out) / "compare.json"
+    artifact_path.write_text(
+        _json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in compare_table(cells):
+            print(line)
+        print(f"compare: artifact written to {artifact_path}", file=sys.stderr)
+    if not args.aggregate_only:
+        if outcome.interrupted:
+            return 130
+        if outcome.failed:
+            return 1
+    return 0
+
+
 def _cmd_fig15(args) -> int:
     from repro.deploy.traffic import MirrorLoadModel
 
@@ -623,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the reliability layer: acknowledged "
                             "replica transfers with retries, mirror failure "
                             "detection, and proactive replica repair")
+        p.add_argument("--architecture", default="soup", metavar="NAME",
+                       help="pluggable architecture: soup (default), "
+                            "superpeer, social_dht, or cache "
+                            "(docs/ARCHITECTURES.md)")
+        p.add_argument("--measure-dht", action="store_true",
+                       help="run the shadow DHT probe and report "
+                            "arch.dht.* / arch.storage.* metrics")
         _obs_flags(p)
 
     common(sub.add_parser(
@@ -656,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table4", help="SOUP vs PeerSoN/Safebook")
 
     pd = sub.add_parser("deploy", help="31-node deployment emulation")
+    pd.add_argument("--architecture", default="soup", metavar="NAME",
+                    help="pluggable architecture: soup (default), superpeer, "
+                         "social_dht, or cache (docs/ARCHITECTURES.md)")
     pd.add_argument("--desktop", type=int, default=27)
     pd.add_argument("--mobile", type=int, default=4)
     pd.add_argument("--duration", type=float, default=1800.0)
@@ -711,6 +863,40 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--verbose", action="store_true",
                     help="also log cached (skipped) tasks")
 
+    pc = sub.add_parser(
+        "compare",
+        help="head-to-head architecture comparison: fan one scenario over "
+             "the registered architectures (soup, superpeer, social_dht, "
+             "cache) and print one table (see docs/ARCHITECTURES.md)",
+    )
+    pc.add_argument("spec", nargs="?", default=None,
+                    help="sweep spec file (TOML or JSON) with the base "
+                         "scenario; the architecture axis is injected")
+    pc.add_argument("--out", "-o", required=True, metavar="DIR",
+                    help="run directory (created if missing; re-running "
+                         "resumes; the comparison artifact lands at "
+                         "DIR/compare.json)")
+    pc.add_argument("--archs", default=None, metavar="A,B,...",
+                    help="comma-separated architectures to compare "
+                         "(default: every registered one)")
+    pc.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                    help="worker processes (default: all cores)")
+    pc.add_argument("--base", action="append", metavar="KEY=VALUE",
+                    help="override applied to every task (repeatable), "
+                         "e.g. --base scale=0.005")
+    pc.add_argument("--seeds", default=None, metavar="LIST|LO:HI",
+                    help="seeds per architecture: '0,1,5' or range '0:4'")
+    pc.add_argument("--name", default=None, help="run name for the manifest")
+    pc.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="execute at most N pending tasks, then stop")
+    pc.add_argument("--aggregate-only", action="store_true",
+                    help="skip execution; re-aggregate existing artifacts")
+    pc.add_argument("--json", action="store_true",
+                    help="print the comparison artifact JSON instead of "
+                         "the table")
+    pc.add_argument("--verbose", action="store_true",
+                    help="also log cached (skipped) tasks")
+
     pf = sub.add_parser("fig15", help="mirror under high request rates")
     pf.add_argument("--rate", type=float, default=20.0)
     pf.add_argument("--duration", type=int, default=300)
@@ -728,9 +914,11 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--list", action="store_true",
                     help="list the registered benchmarks and exit")
     pb.add_argument("--bench-profile", default="smoke", metavar="PROFILE",
-                    choices=("smoke", "full"),
-                    help="suite sizing: 'smoke' (CI, seconds) or 'full' "
-                         "(paper-scale WOSN epoch loop; minutes)")
+                    choices=("smoke", "full", "synth1m"),
+                    help="suite sizing: 'smoke' (CI, seconds), 'full' "
+                         "(paper-scale WOSN epoch loop; minutes), or "
+                         "'synth1m' (the standing million-node "
+                         "scale-free generator rung)")
     pb.add_argument("--scale", type=float, default=None,
                     help="override the profile's dataset scale")
     pb.add_argument("--seed", type=int, default=None,
@@ -1196,6 +1384,8 @@ def _dispatch(args) -> int:
         return _cmd_fig15(args)
     if command == "sweep":
         return _cmd_sweep(args)
+    if command == "compare":
+        return _cmd_compare(args)
     if command == "resilience":
         return _cmd_resilience(args)
     if command == "postmortem":

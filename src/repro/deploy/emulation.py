@@ -38,6 +38,40 @@ from repro.deploy.workload import WorkloadEvent, build_workload
 _JOIN_STATE_BYTES = 24_000
 
 
+def _identity(node_id: int) -> int:
+    """Deployment nodes join the overlay under their SOUP id directly."""
+    return node_id
+
+
+class _DeploymentView:
+    """Duck-typed engine view over a live deployment.
+
+    :meth:`SuperPeerEconomy.begin_round` reads uptime, capacities, and
+    electability; the deployment serves them as dicts keyed by (sparse)
+    SOUP ids instead of the simulator's dense arrays.
+    """
+
+    def __init__(self, deployment: "Deployment") -> None:
+        self._deployment = deployment
+        self.capacities = {
+            user.node_id: user.mirror_manager.store.capacity_profiles
+            for user in deployment.users
+        }
+
+    def observed_uptime(self, epoch: int) -> Dict[int, float]:
+        elapsed = max(self._deployment._elapsed_s, 1e-9)
+        return {
+            node_id: min(1.0, seconds / elapsed)
+            for node_id, seconds in self._deployment._online_seconds.items()
+        }
+
+    def is_electable(self, node_id: int) -> bool:
+        node = self._deployment.nodes.get(node_id)
+        return (
+            node is not None and node.joined and node.online and not node.is_mobile
+        )
+
+
 @dataclass
 class DeploymentReport:
     """Everything the emulation measured."""
@@ -59,6 +93,11 @@ class DeploymentReport:
     #: Reliability-layer counters aggregated over every node's endpoint
     #: (retries, give-ups, failure declarations, circuit transitions).
     reliability: Optional[ReliabilityMetrics] = None
+    #: Which pluggable architecture ran, and its per-component metrics
+    #: (same ``{component: {metric: value}}`` shape as the simulator's
+    #: ``SimulationResult.arch``).
+    architecture: str = "soup"
+    arch_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -78,6 +117,7 @@ class Deployment:
         config: Optional[SoupConfig] = None,
         key_bits: int = 512,
         crypto_mode: str = "full",
+        architecture: str = "soup",
     ) -> None:
         if n_desktop < 1:
             raise ValueError("need at least one desktop node (the gateway)")
@@ -99,6 +139,20 @@ class Deployment:
         self.crypto_mode = crypto_mode
         self.n_desktop = n_desktop
         self.n_mobile = n_mobile
+
+        # Pluggable architecture (repro.arch): the same strategy objects
+        # the simulator uses, installed on the *real* overlay and nodes.
+        from repro.arch import create_architecture
+
+        self.arch = create_architecture(architecture, self.config)
+        if self.arch.placement is not None:
+            self.overlay.set_placement(self.arch.placement)
+        if self.arch.routing is not None:
+            self.overlay.set_routing_policy(self.arch.routing)
+        #: Cumulative per-node online seconds (the deployment's uptime
+        #: observation for super-peer election).
+        self._online_seconds: Dict[int, float] = {}
+        self._elapsed_s = 0.0
 
     # ------------------------------------------------------------------
     def _resolve(self, node_id: int) -> Optional[SoupNode]:
@@ -124,6 +178,9 @@ class Deployment:
         )
         self.nodes[node.node_id] = node
         self.users.append(node)
+        node.mirror_manager.selection_strategy = self.arch.selection
+        node.read_cache = self.arch.read_path
+        self._online_seconds[node.node_id] = 0.0
         return node
 
     def build(self, join_spread_s: float = 45.0) -> None:
@@ -252,6 +309,7 @@ class Deployment:
 
             # Periodic selection rounds (Fig. 14c measures their variance).
             if current >= next_round:
+                self._begin_arch_round(len(report.mirror_variance_by_round))
                 diffs = []
                 for user in users:
                     user.exchange_experience_sets()
@@ -266,6 +324,10 @@ class Deployment:
                 )
                 next_round += round_interval
 
+            for user in users:
+                if user.online:
+                    self._online_seconds[user.node_id] += step
+            self._elapsed_s = current + step
             current += step
             self.loop.run_until(current)
 
@@ -287,7 +349,29 @@ class Deployment:
             busiest.node_id
         ].series_kb_per_s(0, int(duration_s))
         report.reliability = self._aggregate_reliability()
+        report.architecture = self.arch.name
+        report.arch_metrics = self.arch.metrics()
         return report
+
+    def _begin_arch_round(self, round_index: int) -> None:
+        """Architecture hooks at a selection-round boundary.
+
+        The social map is rebound so anchors track newly formed
+        friendships — every node republishes its entry in the same round,
+        so publish and lookup agree on the remapped keys again before the
+        next read.  Super-peer election sees uptime observed so far.
+        """
+        arch = self.arch
+        if arch.placement is not None or arch.routing is not None:
+            friends_of = {
+                u.node_id: sorted(u.social.friends()) for u in self.users
+            }
+            if arch.placement is not None:
+                arch.placement.bind_social_graph(friends_of, _identity)
+            if arch.routing is not None:
+                arch.routing.bind_social_graph(friends_of, _identity)
+        if arch.selection is not None:
+            arch.selection.begin_round(_DeploymentView(self), round_index)
 
     def _aggregate_reliability(self) -> ReliabilityMetrics:
         """Roll every node's endpoint counters (including circuit-breaker

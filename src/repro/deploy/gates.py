@@ -70,24 +70,38 @@ def resolve_metric(report: dict, path: str):
     Dict hops are key lookups; a hop that parses as an integer indexes
     into a list (negative indices count from the end), so paths like
     ``availability.samples.-1.availability`` reach into per-epoch series.
+
+    Flattened summaries store nested metric groups under keys that
+    *contain* literal dots (``arch.cache.hit_rate`` from
+    ``SimulationResult.summary()``), so dict hops match longest-first:
+    the longest joined run of remaining segments that is a key wins,
+    backtracking to shorter prefixes when the rest of the path dead-ends.
+    A stored ``None`` leaf is indistinguishable from a miss (gates fail
+    on both, so nothing is lost).
     """
-    value = report
-    for hop in path.split("."):
-        if isinstance(value, dict):
-            if hop not in value:
-                return None
-            value = value[hop]
-        elif isinstance(value, list):
-            try:
-                index = int(hop)
-            except ValueError:
-                return None
-            if not -len(value) <= index < len(value):
-                return None
-            value = value[index]
-        else:
+    return _resolve_segments(report, path.split("."))
+
+
+def _resolve_segments(value, segments: List[str]):
+    if not segments:
+        return value
+    if isinstance(value, dict):
+        for cut in range(len(segments), 0, -1):
+            key = ".".join(segments[:cut])
+            if key in value:
+                found = _resolve_segments(value[key], segments[cut:])
+                if found is not None:
+                    return found
+        return None
+    if isinstance(value, list):
+        try:
+            index = int(segments[0])
+        except ValueError:
             return None
-    return value
+        if not -len(value) <= index < len(value):
+            return None
+        return _resolve_segments(value[index], segments[1:])
+    return None
 
 
 def evaluate_gates(gates: List[Gate], report: dict) -> dict:

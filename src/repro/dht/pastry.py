@@ -105,11 +105,36 @@ class PastryOverlay:
         #: changes (routing is hot; a name lookup per hop would show up).
         self._metrics_registry = None
         self._hops_histogram = None
+        #: Architecture seams (repro.arch): an optional placement strategy
+        #: remapping directory keys, and an optional routing policy
+        #: offering extra next-hop candidates.  Both default to None — the
+        #: plain-Pastry behaviour — and candidates from the policy pass
+        #: through the same monotone progress rule as structural hops.
+        self._placement = None
+        self._routing_policy = None
 
     # --- membership -------------------------------------------------------
     def set_liveness(self, liveness: Optional[Callable[[int], bool]]) -> None:
         """Install (or clear) the liveness oracle used by publish/lookup."""
         self._liveness = liveness
+
+    def set_placement(self, placement) -> None:
+        """Install (or clear) a placement strategy (repro.arch).
+
+        ``placement.map_key(key)`` remaps every directory key at the
+        publish/lookup boundary; entries are stored and re-homed under
+        the mapped key, so both sides agree without coordination.
+        """
+        self._placement = placement
+
+    def set_routing_policy(self, policy) -> None:
+        """Install (or clear) a routing policy offering shortcut hops."""
+        self._routing_policy = policy
+
+    def _map_key(self, key: int) -> int:
+        if self._placement is None:
+            return key
+        return self._placement.map_key(key)
 
     def _is_live(self, node_id: int) -> bool:
         return self._liveness is None or self._liveness(node_id)
@@ -341,13 +366,38 @@ class PastryOverlay:
                 and (ring_distance(candidate, key), candidate) < own_order
             )
 
+        # Routing-policy shortcuts (repro.arch): the best *improving*
+        # candidate the policy offers.  Filtered through the same monotone
+        # order as every structural hop, so a policy can only shorten
+        # routes — it cannot create loops or change the responsible node.
+        policy_hop: Optional[int] = None
+        policy_order = own_order
+        if self._routing_policy is not None:
+            for candidate in self._routing_policy.extra_candidates(
+                node.node_id, key
+            ):
+                if candidate not in self._nodes or candidate in avoid:
+                    continue
+                order = (ring_distance(candidate, key), candidate)
+                if order < policy_order:
+                    policy_hop = candidate
+                    policy_order = order
+
+        def best_of(structural: Optional[int]) -> Optional[int]:
+            if policy_hop is None:
+                return structural
+            if structural is None:
+                return policy_hop
+            structural_order = (ring_distance(structural, key), structural)
+            return policy_hop if policy_order < structural_order else structural
+
         # Leaf-set range: deliver to the numerically closest member.
         if node.leaf_set.covers(key) or not node.leaf_set.members():
             closest = node.leaf_set.closest_to(key)
             if improves(closest):
-                return closest
+                return best_of(closest)
             if not avoid:
-                return None
+                return best_of(None)
             # The closest member is being avoided: fall through to the
             # general scan so the route can settle on an alternate.
         else:
@@ -355,11 +405,11 @@ class PastryOverlay:
             # numeric progress too).
             table_hop = node.routing_table.next_hop(key)
             if improves(table_hop):
-                return table_hop
+                return best_of(table_hop)
         # Rare case: any known node strictly closer to the key.
         candidates = node.routing_table.known_nodes() + node.leaf_set.members()
-        best = None
-        best_order = own_order
+        best = policy_hop
+        best_order = policy_order
         for candidate in candidates:
             if candidate not in self._nodes or candidate in avoid:
                 continue
@@ -384,6 +434,7 @@ class PastryOverlay:
         misplace it) — the route comes back ``delivered=False`` and the
         caller backs off and republishes later.
         """
+        key = self._map_key(key)
         route = self.route(from_id, key)
         registry = get_registry()
         registry.counter("dht.publishes").inc()
@@ -412,6 +463,7 @@ class PastryOverlay:
         incomplete churn repair); if every candidate is down the result is
         ``(None, route)`` with ``delivered=False``.
         """
+        key = self._map_key(key)
         registry = get_registry()
         registry.counter("dht.lookups").inc()
         route = self.route(from_id, key)

@@ -120,6 +120,12 @@ class SoupNode:
         self.relayed_mobiles: set = set()
         #: Inbound objects discarded for missing/invalid signatures.
         self.dropped_objects = 0
+        #: Optional :class:`repro.arch.ReadPathStrategy` installed by the
+        #: deployment (shared across nodes); ``None`` keeps every profile
+        #: read on the owner/mirror path.  The cache's epoch clock ticks
+        #: every ``read_cache_epoch_s`` simulated seconds.
+        self.read_cache = None
+        self.read_cache_epoch_s = 60.0
 
         #: Reliability layer: acknowledged sends with retry/backoff, a
         #: per-destination circuit breaker, and a failure detector whose
@@ -453,8 +459,25 @@ class SoupNode:
         """Fetch a user's (recent) data, preferring the owner, else mirrors.
 
         Observations about the owner's mirrors land in the experience set
-        when the owner is a friend (Sec. 4.4).
+        when the owner is a friend (Sec. 4.4).  With a read cache installed
+        (``architecture = "cache"``), a fresh locally cached copy serves the
+        read without touching owner or mirrors — and without producing any
+        experience-set observations, the trade-off the head-to-head
+        comparison measures.
         """
+        cache = self.read_cache
+        if cache is None:
+            return self._request_profile_remote(owner_id, fetch_bytes)
+        epoch = int(self._now() / self.read_cache_epoch_s)
+        if cache.try_serve(self.node_id, owner_id, epoch):
+            return True
+        served = self._request_profile_remote(owner_id, fetch_bytes)
+        cache.on_fetch(self.node_id, owner_id, epoch, served)
+        return served
+
+    def _request_profile_remote(
+        self, owner_id: int, fetch_bytes: Optional[int] = None
+    ) -> bool:
         entry = self.lookup_user(owner_id)
         if entry is None:
             return False

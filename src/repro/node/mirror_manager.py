@@ -73,6 +73,9 @@ class MirrorManager:
         #: Erasure-coded placement of a large profile (Sec. 8 extension);
         #: None while the profile is replicated in full.
         self.coded_plan = None
+        #: Optional :class:`repro.arch.MirrorSelectionStrategy` installed by
+        #: the deployment; ``None`` keeps the paper-faithful Algorithm 1.
+        self.selection_strategy = None
 
     # --- knowledge -----------------------------------------------------
     def learn_node(self, node_id: int, is_friend: bool = False) -> None:
@@ -155,14 +158,25 @@ class MirrorManager:
         excluded = (
             {self.owner_id} | set(exclude) | self.rejected_by | self.dead_mirrors
         )
-        result = select_mirrors(
-            ranking=self.build_ranking(self.knowledge.friends()),
-            friends=self.knowledge.friends(),
-            config=self.config,
-            rng=self.rng,
-            exploration_pool=self.knowledge.unranked_nodes(),
-            exclude=excluded,
-        )
+        if self.selection_strategy is None:
+            result = select_mirrors(
+                ranking=self.build_ranking(self.knowledge.friends()),
+                friends=self.knowledge.friends(),
+                config=self.config,
+                rng=self.rng,
+                exploration_pool=self.knowledge.unranked_nodes(),
+                exclude=excluded,
+            )
+        else:
+            result = self.selection_strategy.select(
+                self.owner_id,
+                self.build_ranking(self.knowledge.friends()),
+                self.knowledge.friends(),
+                self.config,
+                self.rng,
+                exploration_pool=self.knowledge.unranked_nodes(),
+                exclude=excluded,
+            )
         self.rejected_by.clear()
         self.selected_mirrors = list(result.mirrors)
         self.last_estimated_error = result.estimated_error
@@ -205,6 +219,8 @@ class MirrorManager:
         self.announced_mirrors = list(accepted)
         self.knowledge.mark_mirrors(iter(accepted))
         self.knowledge.decay_ttls()
+        if self.selection_strategy is not None:
+            self.selection_strategy.on_commit(self.owner_id, list(accepted), 0)
 
     # --- storage for others ---------------------------------------------------
     def handle_store_request(

@@ -137,6 +137,7 @@ class SoupSimulation:
         self._build_population(graph)
         self._build_online_matrix()
         self._build_attacks()
+        self._build_architecture()
 
         self._col_joined = np.array([n.joined for n in self.nodes], dtype=bool)
         self._col_departed = np.array([n.departed for n in self.nodes], dtype=bool)
@@ -224,6 +225,8 @@ class SoupSimulation:
         would silently disagree with the object state."""
         self.nodes[node_id].departed = True
         self._col_departed[node_id] = True
+        if self.dht_probe is not None:
+            self.dht_probe.on_depart(node_id)
 
     def stale_announcements_of(self, owner: int) -> Set[int]:
         return self._stale_announced.get(owner, set())
@@ -262,6 +265,9 @@ class SoupSimulation:
         # Traitors bait selection with "exceptional storage capacities".
         first_traitor = base_n + self.n_altruists + self.n_sybils
         capacities[first_traitor:] = 10 * self.soup.storage_median_profiles
+        #: Sampled storage capacities (profiles) — architecture strategies
+        #: read these for slot accounting and elections.
+        self.capacities = capacities
 
         self.nodes: List[_NodeState] = []
         for node_id in range(self.n_total):
@@ -397,6 +403,59 @@ class SoupSimulation:
             self.ties = TieStrengthModel()
             self.ties.assign(edges, self.np_rng, attacker_ids=attacker_ids)
 
+    def _build_architecture(self) -> None:
+        """Instantiate the configured architecture (repro.arch).
+
+        The default ``"soup"`` run with ``measure_dht=False`` binds
+        *nothing*: every per-epoch hook below stays behind an
+        ``is not None`` check that is False, the strategies draw no RNG,
+        and the equivalence suite keeps the path byte-identical.
+        """
+        config = self.config
+        self.arch = None
+        self.dht_probe = None
+        self._selection_strategy = None
+        self._read_path = None
+        if config.architecture == "soup" and not config.measure_dht:
+            return
+        from repro.arch import create_architecture
+        from repro.arch.dhtprobe import DhtProbe
+
+        self.arch = create_architecture(config.architecture, config)
+        self._selection_strategy = self.arch.selection
+        self._read_path = self.arch.read_path
+        overlay_strategies = (
+            self.arch.placement is not None or self.arch.routing is not None
+        )
+        # DHT-layer strategies are measured *on* the probe ring, so an
+        # architecture that overrides placement/routing implies the probe.
+        if config.measure_dht or overlay_strategies:
+            self.dht_probe = DhtProbe(self.arch)
+        if overlay_strategies:
+            friends_of = {
+                node.node_id: node.friends
+                for node in self.nodes
+                if node.node_id < self.n_base
+            }
+            for strategy in (self.arch.placement, self.arch.routing):
+                if strategy is not None:
+                    strategy.bind_social_graph(friends_of, self.dht_probe.dht_id)
+
+    # ------------------------------------------------------------------
+    # architecture view (read-only helpers for repro.arch strategies)
+    # ------------------------------------------------------------------
+    def observed_uptime(self, epoch: int) -> np.ndarray:
+        """Per-node fraction of epochs spent online through ``epoch``."""
+        return self.online_matrix[:, : epoch + 1].mean(axis=1)
+
+    def is_electable(self, node_id: int) -> bool:
+        """Joined, benign, not departed — eligible for super-peer duty."""
+        return bool(
+            self._col_joined[node_id]
+            and not self._col_departed[node_id]
+            and self._col_benign[node_id]
+        )
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -457,6 +516,22 @@ class SoupSimulation:
         self.result.anomalies = anomalies
         for rule, count in sorted(anomalies.items()):
             self.metrics.counter(f"engine.anomaly.{rule}").inc(count)
+        if self.arch is not None:
+            from repro.arch import gini
+
+            if self.dht_probe is not None:
+                self.arch.extra_metrics["dht"] = self.dht_probe.metrics()
+            groups = self.arch.metrics()
+            # Storage-share fairness over benign nodes: how evenly the
+            # hosting burden is spread (0 = equal, →1 = concentrated).
+            if len(self._pair_mirrors):
+                hosted = np.bincount(self._pair_mirrors, minlength=self.n_total)
+            else:
+                hosted = np.zeros(self.n_total, dtype=np.int64)
+            storage = groups.setdefault("storage", {})
+            storage["gini"] = gini(hosted[self.benign_ids])
+            storage["top_half_share"] = self.result.top_half_replica_share
+            self.result.arch = groups
         self.result.metrics = self.metrics.snapshot()
         logger.info(
             "run complete: steady availability=%.3f",
@@ -479,6 +554,11 @@ class SoupSimulation:
         if self.faults is not None:
             self.faults.on_epoch_start(self, epoch)
         online_now = self.online_matrix[:, epoch]
+        self._epoch_now = epoch
+        if self.dht_probe is not None:
+            self.dht_probe.begin_epoch(epoch, online_now)
+        if self._read_path is not None:
+            self._read_path.begin_epoch(epoch)
         self._activate_joins(epoch)
         online_ids = np.nonzero(online_now)[0]
         active_since_round.update(int(i) for i in online_ids)
@@ -579,6 +659,12 @@ class SoupSimulation:
             for node_id in ready:
                 self.nodes[int(node_id)].joined = True
             self._col_joined[ready] = True
+            if self.dht_probe is not None:
+                # Ascending node id — the same probe-join order as the
+                # reference loop below, so both modes build an identical
+                # shadow ring.
+                for node_id in ready:
+                    self.dht_probe.on_join(int(node_id))
         else:
             for node in self.nodes:
                 if (
@@ -589,6 +675,8 @@ class SoupSimulation:
                 ):
                     node.joined = True
                     self._col_joined[node.node_id] = True
+                    if self.dht_probe is not None:
+                        self.dht_probe.on_join(node.node_id)
         if self.departure_epoch is not None and epoch == self.departure_epoch:
             for node_id in self.departing_ids:
                 node = self.nodes[node_id]
@@ -700,9 +788,22 @@ class SoupSimulation:
         the request — which the requester observes exactly like an offline
         mirror, so overload feeds the rankings (Sec. 5.2.5).
         """
+        if self.dht_probe is not None:
+            # Shadow-ring directory lookup: measures hops/failures under
+            # the active routing policy; never affects the fetch below.
+            self.dht_probe.on_lookup(node.node_id, friend.node_id)
+        read_path = self._read_path
+        if read_path is not None and read_path.try_serve(
+            node.node_id, friend.node_id, epoch
+        ):
+            # Cache hit: served locally, mirrors untouched — so the
+            # experience set records *nothing* for this read.  Starving
+            # Eq. (1) of observations is the cache tier's real trade-off.
+            return
         es = node.experience_set_for(friend.node_id)
         online_now = self.online_matrix[:, epoch]
         capacity = self.config.mirror_request_capacity
+        served_any = False
         for mirror_id in friend.announced_mirrors:
             stores = friend.node_id in self.replica_locations.get(mirror_id, ())
             success = bool(online_now[mirror_id]) and stores
@@ -712,7 +813,11 @@ class SoupSimulation:
                     success = False  # request denied: mirror overloaded
                 else:
                     self._served_this_epoch[mirror_id] = served + 1
+            if success:
+                served_any = True
             es.observe(mirror_id, success)
+        if read_path is not None:
+            read_path.on_fetch(node.node_id, friend.node_id, epoch, served_any)
 
     # ------------------------------------------------------------------
     # selection rounds
@@ -720,6 +825,10 @@ class SoupSimulation:
     def _run_selection_round(self, participants: List[int], epoch: int) -> None:
         self._drops_this_round = 0
         self._placements_this_round = 0
+        if self._selection_strategy is not None:
+            # Round boundary for the strategy (e.g. super-peer election
+            # and slot refresh) — a pure function of the engine view.
+            self._selection_strategy.begin_round(self, epoch)
 
         # Phase 1: experience-set exchanges (and dropping-score exchange).
         for node_id in participants:
@@ -860,14 +969,25 @@ class SoupSimulation:
             if entry.node_id not in known
         ]
 
-        result = select_mirrors(
-            ranking=ranking,
-            friends=node.kb.friends(),
-            config=self.soup,
-            rng=self.rng,
-            exploration_pool=node.kb.unranked_nodes(),
-            exclude=excluded,
-        )
+        if self._selection_strategy is None:
+            result = select_mirrors(
+                ranking=ranking,
+                friends=node.kb.friends(),
+                config=self.soup,
+                rng=self.rng,
+                exploration_pool=node.kb.unranked_nodes(),
+                exclude=excluded,
+            )
+        else:
+            result = self._selection_strategy.select(
+                node.node_id,
+                ranking,
+                node.kb.friends(),
+                self.soup,
+                self.rng,
+                exploration_pool=node.kb.unranked_nodes(),
+                exclude=excluded,
+            )
         node.rejected_by.clear()
         node.last_estimated_error = result.estimated_error
         if result.estimated_error is not None:
@@ -948,6 +1068,10 @@ class SoupSimulation:
         node.pending_placements &= new_set
         node.selected_mirrors = new_mirrors
         node.announced_mirrors = accepted
+        if self._selection_strategy is not None:
+            self._selection_strategy.on_commit(node.node_id, accepted, epoch)
+        if self.dht_probe is not None:
+            self.dht_probe.on_publish(node.node_id, accepted, epoch)
         # The owner has just rebuilt its announced set from live accepts, so
         # earlier drop notices are no longer pending for it.
         self._stale_announced.pop(node.node_id, None)
@@ -1026,6 +1150,9 @@ class SoupSimulation:
             else:
                 node.rejected_by.add(mirror_id)
                 self.metrics.counter("engine.replicas.rejected").inc()
+        if placed and self.dht_probe is not None:
+            # The announced set changed: the owner republishes it.
+            self.dht_probe.on_publish(node.node_id, node.announced_mirrors, epoch)
         return placed
 
     # ------------------------------------------------------------------
@@ -1257,6 +1384,14 @@ class SoupSimulation:
         if len(self._pair_owners):
             mirror_online = online_now[self._pair_mirrors]
             available[self._pair_owners[mirror_online]] = True
+        if self._read_path is not None:
+            # Cache tier: an owner with a fresh copy at an online reader
+            # is reachable even with every mirror dark.
+            cached = self._read_path.available_owners(
+                online_now, getattr(self, "_epoch_now", 0)
+            )
+            if cached:
+                available[np.asarray(cached, dtype=np.int64)] = True
         return available
 
     def _measure(

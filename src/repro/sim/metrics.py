@@ -141,6 +141,11 @@ class SimulationResult:
     #: anomaly rule -> finding count from the in-engine detectors
     #: (repair_loop, churn_storm, mirror_flapping — repro.obs.analysis).
     anomalies: Dict[str, int] = field(default_factory=dict)
+    #: Per-architecture metric groups (repro.arch): ``{component:
+    #: {metric: value}}``, e.g. ``{"cache": {"hit_rate": 0.4}}``.  None
+    #: for plain-soup runs without the DHT probe, so default results
+    #: serialize exactly as before.
+    arch: Optional[Dict[str, Dict[str, float]]] = None
     #: Scalar metrics-registry snapshot at the end of each epoch
     #: (counters, gauges, histogram count/mean — see repro.obs.registry).
     metrics_by_epoch: List[Dict[str, float]] = field(default_factory=list)
@@ -226,6 +231,17 @@ class SimulationResult:
             "anomalies": {
                 name: int(count) for name, count in sorted(self.anomalies.items())
             },
+            "arch": (
+                {
+                    component: {
+                        metric: float(value)
+                        for metric, value in sorted(numbers.items())
+                    }
+                    for component, numbers in sorted(self.arch.items())
+                }
+                if self.arch is not None
+                else None
+            ),
             "metrics_by_epoch": self.metrics_by_epoch,
             "metrics": self.metrics,
         }
@@ -291,6 +307,17 @@ class SimulationResult:
                 str(name): int(count)
                 for name, count in payload.get("anomalies", {}).items()
             },
+            arch=(
+                {
+                    str(component): {
+                        str(metric): float(value)
+                        for metric, value in numbers.items()
+                    }
+                    for component, numbers in payload["arch"].items()
+                }
+                if payload.get("arch") is not None
+                else None
+            ),
             metrics_by_epoch=list(payload.get("metrics_by_epoch", [])),
             metrics=payload.get("metrics"),
         )
@@ -321,6 +348,13 @@ class SimulationResult:
         }
         for rule, count in sorted(self.anomalies.items()):
             numbers[f"anomaly_{rule}"] = float(count)
+        if self.arch is not None:
+            # Per-architecture groups flattened to dotted flat keys
+            # ("arch.cache.hit_rate"), so sweep aggregation reduces them
+            # across seeds and gates reach them via resolve_metric.
+            for component, group in sorted(self.arch.items()):
+                for metric, value in sorted(group.items()):
+                    numbers[f"arch.{component}.{metric}"] = float(value)
         if self.reliability is not None:
             numbers.update(self.reliability.summary())
         return numbers

@@ -170,6 +170,70 @@ def sweep_table(cells, metrics=SWEEP_TABLE_METRICS) -> List[str]:
     return lines
 
 
+#: Columns of the ``soup compare`` head-to-head table: (summary metric,
+#: column header).  The ``arch.*`` names are the flattened per-strategy
+#: metric groups (see ``SimulationResult.summary``); a metric an
+#: architecture does not produce renders as ``-``.
+COMPARE_TABLE_METRICS = (
+    ("availability_steady", "avail"),
+    ("replicas_steady", "replicas"),
+    ("arch.dht.mean_lookup_hops", "lookup_hops"),
+    ("arch.dht.control_messages", "control_msgs"),
+    ("arch.storage.gini", "storage_gini"),
+    ("arch.cache.hit_rate", "cache_hit"),
+)
+
+#: Overrides the compare harness injects on every row — elided from the
+#: table's row labels because they carry no information there.
+_COMPARE_HIDDEN_OVERRIDES = ("architecture", "measure_dht")
+
+
+def compare_table(cells, metrics=COMPARE_TABLE_METRICS) -> List[str]:
+    """Render aggregated cells of a ``soup compare`` run: one row per
+    architecture (× any residual grid cell), mean across seeds with the
+    ``[p10, p90]`` spread when a cell holds several."""
+    if not cells:
+        return ["compare: no completed tasks (run or resume the sweep first)"]
+    headers = ["architecture", "seeds"] + [header for _, header in metrics]
+    rows: List[List[str]] = []
+    for cell in cells:
+        stats = cell.stats()
+        label = str(cell.overrides.get("architecture", "soup"))
+        residual = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(cell.overrides.items())
+            if key not in _COMPARE_HIDDEN_OVERRIDES
+        )
+        if residual:
+            label = f"{label} ({residual})"
+        row = [label, str(len(cell.seeds))]
+        for metric, _ in metrics:
+            reduced = stats.get(metric)
+            if reduced is None:
+                row.append("-")
+            elif reduced["n"] > 1:
+                row.append(
+                    f"{reduced['mean']:.3f} [{reduced['p10']:.3f}, "
+                    f"{reduced['p90']:.3f}]"
+                )
+            else:
+                row.append(f"{reduced['mean']:.3f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return lines
+
+
 def markdown_report(results: Dict[str, SimulationResult]) -> str:
     """A markdown table summarizing several runs (sweep output)."""
     header = (

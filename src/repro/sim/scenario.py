@@ -167,6 +167,33 @@ class ScenarioConfig:
     #: Scenarios that attack the signature scheme itself need "full".
     crypto_mode: str = "full"
 
+    # --- architecture (repro.arch) ----------------------------------------------
+    #: Which architecture runs the seams: ``"soup"`` (the paper's design,
+    #: byte-identical to the pre-refactor engine), ``"superpeer"``
+    #: (SuperNova-style super-peer mirror economy), ``"social_dht"``
+    #: (socially-aware Pastry placement + friend-shortcut routing), or
+    #: ``"cache"`` (LRU/TTL read-cache tier over mirrors).  See
+    #: docs/ARCHITECTURES.md.
+    architecture: str = "soup"
+    #: Run the shadow DHT probe (repro.arch.dhtprobe): an observational
+    #: Pastry ring mirroring joins/departures/publishes/lookups so the
+    #: run reports mean lookup hops and control traffic.  Off by default
+    #: (the probe never feeds back, but it costs time); ``soup compare``
+    #: enables it on every row so hop counts are comparable.
+    measure_dht: bool = False
+    #: Fraction of the population elected as super-peers.
+    arch_superpeer_fraction: float = 0.05
+    #: Observed-uptime bar for super-peer candidacy (also the "weak
+    #: owner" threshold below which owners receive super-peer offers).
+    arch_superpeer_min_uptime: float = 0.6
+    #: Fixed hosting slots per super-peer; None derives slots from the
+    #: super-peer's sampled storage capacity.
+    arch_superpeer_slots: Optional[int] = None
+    #: Read-cache entries per reader (``architecture="cache"``).
+    arch_cache_capacity: int = 8
+    #: Epochs a cached profile stays fresh.
+    arch_cache_ttl_epochs: int = 6
+
     # --- correctness harness ----------------------------------------------------
     #: Run the per-epoch runtime invariant checker (repro.sim.invariants);
     #: a failed check raises InvariantViolation with a one-line repro string.
@@ -228,6 +255,31 @@ class ScenarioConfig:
             raise ValueError(
                 f"crypto_mode must be 'full' or 'by_id', got {self.crypto_mode!r}"
             )
+        if self.architecture != "soup":
+            # Fail at construction (sweep-expansion time), like faults.
+            from repro.arch import ARCHITECTURES
+
+            if self.architecture not in ARCHITECTURES:
+                raise ValueError(
+                    f"unknown architecture {self.architecture!r} "
+                    f"(known: {sorted(ARCHITECTURES)})"
+                )
+        if not 0.0 < self.arch_superpeer_fraction <= 1.0:
+            raise ValueError(
+                "arch_superpeer_fraction must be in (0, 1], "
+                f"got {self.arch_superpeer_fraction}"
+            )
+        if not 0.0 <= self.arch_superpeer_min_uptime <= 1.0:
+            raise ValueError(
+                "arch_superpeer_min_uptime must be in [0, 1], "
+                f"got {self.arch_superpeer_min_uptime}"
+            )
+        if self.arch_superpeer_slots is not None and self.arch_superpeer_slots < 1:
+            raise ValueError("arch_superpeer_slots must be positive when set")
+        if self.arch_cache_capacity < 1:
+            raise ValueError("arch_cache_capacity must be positive")
+        if self.arch_cache_ttl_epochs < 1:
+            raise ValueError("arch_cache_ttl_epochs must be positive")
         if self.repair_suspicion_epochs < 1:
             raise ValueError("repair_suspicion_epochs must be positive")
         if self.push_retry_attempts < 1:

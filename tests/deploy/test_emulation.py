@@ -85,3 +85,46 @@ def test_by_id_crypto_mode_matches_full_deployment():
     assert by_id_report.photos_shared == full_report.photos_shared
     assert by_id_report.profile_requests == full_report.profile_requests
     assert by_id_report.profile_failures == full_report.profile_failures
+
+
+class TestDeploymentArchitectures:
+    """The pluggable architecture layer also drives the live deployment."""
+
+    @staticmethod
+    def run(architecture):
+        deployment = Deployment(
+            n_desktop=8, n_mobile=2, seed=7, architecture=architecture
+        )
+        report = deployment.run(duration_s=300.0, selection_rounds=4)
+        return deployment, report
+
+    def test_default_is_soup_with_no_arch_metrics(self):
+        _, report = self.run("soup")
+        assert report.architecture == "soup"
+        assert report.arch_metrics == {}
+
+    def test_cache_architecture_serves_reads_locally(self):
+        deployment, report = self.run("cache")
+        assert report.architecture == "cache"
+        cache = report.arch_metrics["cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+        assert all(u.read_cache is not None for u in deployment.users)
+
+    def test_superpeer_architecture_elects_and_accounts(self):
+        _, report = self.run("superpeer")
+        economy = report.arch_metrics["selection"]
+        assert economy["superpeer_count"] >= 1
+        assert economy["elections"] >= 1  # one election per selection round run
+        assert 0.0 <= economy["slot_utilization"] <= 1.0
+
+    def test_social_dht_architecture_keeps_workload_intact(self):
+        _, report = self.run("social_dht")
+        assert report.architecture == "social_dht"
+        assert report.arch_metrics["placement"]["keys_remapped"] > 0
+        assert "shortcut_offers" in report.arch_metrics["routing"]
+        assert report.availability > 0.99
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment(n_desktop=4, architecture="peerson")

@@ -50,6 +50,36 @@ class TestResolveMetric:
         assert resolve_metric(report, "samples.first.v") is None  # not an int
         assert resolve_metric(report, "samples.0.v.deeper") is None
 
+    def test_flat_keys_with_literal_dots(self):
+        """SimulationResult.summary() flattens per-strategy metric groups
+        into keys that contain dots; gates must reach them."""
+        report = {
+            "arch.cache.hit_rate": 0.42,
+            "arch.dht.mean_lookup_hops": 1.8,
+            "availability_steady": 0.97,
+        }
+        assert resolve_metric(report, "arch.cache.hit_rate") == 0.42
+        assert resolve_metric(report, "arch.dht.mean_lookup_hops") == 1.8
+        assert resolve_metric(report, "arch.cache.miss_rate") is None
+
+    def test_longest_match_wins_with_backtracking(self):
+        """A literal dotted key shadows a nested walk of the same spelling,
+        but the resolver backtracks to shorter prefixes when the longer
+        match dead-ends."""
+        report = {
+            "a.b": {"c": 1.0},
+            "a": {"b": {"c": 2.0}, "x": {"y": 3.0}},
+        }
+        # Longest prefix "a.b" matches first and its remainder resolves.
+        assert resolve_metric(report, "a.b.c") == 1.0
+        # "a.x" is not a key: backtrack to "a", then walk x.y.
+        assert resolve_metric(report, "a.x.y") == 3.0
+
+    def test_mixed_flat_and_structured_hops(self):
+        """Dotted flat keys compose with list indexing on either side."""
+        report = {"arch.dht": {"samples": [{"hops": 2.0}, {"hops": 3.0}]}}
+        assert resolve_metric(report, "arch.dht.samples.-1.hops") == 3.0
+
 
 class TestEvaluate:
     def test_all_ops(self):

@@ -1,0 +1,110 @@
+"""Property tests for the pluggable architecture subsystem (repro.arch).
+
+Every registered :class:`~repro.arch.MirrorSelectionStrategy` must honour
+the K-replication contract Algorithm 1 guarantees, whatever it does to
+the candidate ranking: never more than ``max_mirrors`` mirrors (plus the
+one exploration node), no duplicates, and never a node from ``exclude``
+— which is how the engine passes blacklisted, rejecting, and offline
+nodes into selection.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import (
+    SoupSelectionStrategy,
+    architecture_names,
+    create_architecture,
+)
+from repro.core.config import SoupConfig
+
+node_ids = st.integers(1, 2_000)
+ranks = st.floats(0.0, 1.0, allow_nan=False)
+rankings = st.lists(
+    st.tuples(node_ids, ranks), min_size=0, max_size=50, unique_by=lambda p: p[0]
+)
+
+#: Population size for the synthetic engine view — larger than any drawn
+#: node id so strategies can index uptime/capacity arrays by node id.
+_N = 2_048
+
+
+class _EngineView:
+    """The duck-typed slice of the engine a strategy's begin_round sees."""
+
+    def __init__(self, uptime: np.ndarray, capacities: np.ndarray) -> None:
+        self._uptime = uptime
+        self.capacities = capacities
+
+    def observed_uptime(self, epoch: int) -> np.ndarray:
+        return self._uptime
+
+    def is_electable(self, node_id: int) -> bool:
+        return True
+
+
+@given(
+    ranking=rankings,
+    owner=node_ids,
+    exclude_picks=st.sets(st.integers(0, 49), max_size=10),
+    pool=st.sets(st.integers(3_000, 3_500), max_size=5),
+    seed=st.integers(0, 20),
+    view_seed=st.integers(0, 10_000),
+)
+def test_every_selection_strategy_preserves_replication_invariant(
+    ranking, owner, exclude_picks, pool, seed, view_seed
+):
+    """K-cap, no duplicates, no excluded/blacklisted/offline nodes —
+    for every architecture's selection strategy, after a real election
+    round over a randomized engine view."""
+    config = SoupConfig()
+    view_rng = np.random.default_rng(view_seed)
+    view = _EngineView(
+        uptime=view_rng.random(_N),
+        capacities=view_rng.uniform(1.0, 100.0, _N),
+    )
+    exclude = {ranking[i][0] for i in exclude_picks if i < len(ranking)}
+    exclude.add(owner)
+
+    for name in architecture_names():
+        strategy = create_architecture(name).selection or SoupSelectionStrategy()
+        strategy.begin_round(view, 0)
+        result = strategy.select(
+            owner,
+            ranking,
+            (),
+            config,
+            random.Random(seed),
+            exploration_pool=sorted(pool),
+            exclude=exclude,
+        )
+        mirrors = result.mirrors
+        assert len(mirrors) <= config.max_mirrors + 1, name
+        assert len(set(mirrors)) == len(mirrors), name
+        assert not exclude & set(mirrors), name
+        assert owner not in mirrors, name
+
+
+@given(ranking=rankings, seed=st.integers(0, 20))
+def test_soup_strategy_is_algorithm_one_verbatim(ranking, seed):
+    """The identity strategy returns exactly what select_mirrors returns
+    for the same inputs and RNG stream."""
+    from repro.core.selection import select_mirrors
+
+    config = SoupConfig()
+    expected = select_mirrors(
+        ranking=ranking,
+        friends=(),
+        config=config,
+        rng=random.Random(seed),
+        exploration_pool=(),
+        exclude=(),
+    )
+    actual = SoupSelectionStrategy().select(
+        0, ranking, (), config, random.Random(seed)
+    )
+    assert actual.mirrors == expected.mirrors
+    assert actual.estimated_error == expected.estimated_error

@@ -49,6 +49,20 @@ SCENARIOS = [
             check_invariants=True,
         ),
     ),
+    # Non-default architecture + shadow-DHT probe: repro.arch strategies
+    # are RNG-free and the probe draws no randomness, so columnar and
+    # reference must stay byte-identical here too.
+    (
+        "arch_superpeer_dht",
+        dict(
+            dataset="facebook",
+            scale=0.008,
+            n_days=4,
+            seed=9,
+            architecture="superpeer",
+            measure_dht=True,
+        ),
+    ),
 ]
 
 
@@ -99,3 +113,14 @@ def test_engine_mode_validation():
         ScenarioConfig(engine_mode="vectorized").validate()
     with pytest.raises(ValueError):
         ScenarioConfig(crypto_mode="none").validate()
+
+
+def test_architecture_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(architecture="peerson").validate()
+    with pytest.raises(ValueError):
+        ScenarioConfig(architecture="superpeer", arch_superpeer_fraction=1.5).validate()
+    with pytest.raises(ValueError):
+        ScenarioConfig(architecture="cache", arch_cache_capacity=0).validate()
+    for name in ("soup", "superpeer", "social_dht", "cache"):
+        ScenarioConfig(architecture=name).validate()

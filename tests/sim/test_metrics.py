@@ -135,7 +135,29 @@ def rich_result(result):
     )
     result.metrics_by_epoch = [{"epochs": 1.0}, {"epochs": 2.0}]
     result.metrics = {"epochs": {"count": 2.0}}
+    result.arch = {
+        "cache": {"hit_rate": 0.4, "hits": 12.0},
+        "dht": {"mean_lookup_hops": 2.5},
+    }
     return result
+
+
+class TestArchMetrics:
+    def test_arch_round_trips(self, rich_result):
+        restored = SimulationResult.from_json(rich_result.to_json())
+        assert restored.arch == rich_result.arch
+
+    def test_arch_none_round_trips(self, result):
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.arch is None
+
+    def test_summary_flattens_arch_groups(self, rich_result):
+        summary = rich_result.summary()
+        assert summary["arch.cache.hit_rate"] == pytest.approx(0.4)
+        assert summary["arch.dht.mean_lookup_hops"] == pytest.approx(2.5)
+
+    def test_summary_without_arch_has_no_arch_keys(self, result):
+        assert not any(key.startswith("arch.") for key in result.summary())
 
 
 class TestJsonRoundTrip:

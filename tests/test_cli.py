@@ -398,6 +398,73 @@ class TestSweepCommand:
         assert "scale" in captured.err
 
 
+class TestCompareCommand:
+    COMPARE_ARGS = (
+        "compare",
+        "--base", "scale=0.004", "--base", "n_days=2",
+        "--seeds", "3",
+        "--jobs", "1",
+    )
+
+    def test_compare_runs_all_architectures_one_table(self, capsys, tmp_path):
+        import json
+
+        run_dir = tmp_path / "run"
+        code, out = run_cli(capsys, *self.COMPARE_ARGS, "--out", str(run_dir))
+        assert code == 0
+        # One table row per architecture, plus the acceptance metrics.
+        for arch in ("soup", "superpeer", "social_dht", "cache"):
+            assert arch in out
+        for column in ("avail", "lookup_hops", "control_msgs", "storage_gini"):
+            assert column in out
+        payload = json.loads((run_dir / "compare.json").read_text())
+        assert payload["schema"] == "soup-compare/v1"
+        archs = {cell["architecture"] for cell in payload["cells"]}
+        assert archs == {"soup", "superpeer", "social_dht", "cache"}
+        for cell in payload["cells"]:
+            assert "arch.dht.mean_lookup_hops" in cell["stats"]
+            assert "arch.storage.gini" in cell["stats"]
+
+    def test_compare_subset_and_resume(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        code, _ = run_cli(
+            capsys, *self.COMPARE_ARGS, "--archs", "soup,cache",
+            "--out", str(run_dir),
+        )
+        assert code == 0
+        code = main([
+            *self.COMPARE_ARGS, "--archs", "soup,cache", "--out", str(run_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 cached" in captured.err
+
+    def test_compare_rejects_unknown_architecture(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys, "compare", "--archs", "peerson", "--out", str(tmp_path / "r"),
+        )
+        assert code == 2
+
+    def test_sim_architecture_flag_prints_arch_metrics(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "--dataset", "epinions", "--scale", "0.004",
+            "--days", "2", "--seed", "3", "--architecture", "cache",
+            "--measure-dht",
+        )
+        assert code == 0
+        assert "arch.cache:" in out and "hit_rate=" in out
+        assert "arch.dht:" in out and "arch.storage:" in out
+
+    def test_deploy_architecture_flag_prints_arch_metrics(self, capsys):
+        code, out = run_cli(
+            capsys, "deploy", "--desktop", "8", "--mobile", "2",
+            "--duration", "300", "--rounds", "4",
+            "--architecture", "superpeer",
+        )
+        assert code == 0
+        assert "arch.selection:" in out and "superpeer_count=" in out
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["does-not-exist"])
