@@ -4,25 +4,48 @@ The suite (:mod:`repro.bench.suite`) measures the simulator's hot paths —
 epoch-loop throughput, SimNetwork message rate, sweep-orchestrator
 overhead, crypto-mode sign/verify rates — and serializes each run as a
 schema-versioned ``BENCH_*.json`` artifact (:mod:`repro.bench.artifacts`,
-schema ``soup-bench/v1``).  ``soup bench --check --baseline PATH`` diffs a
-fresh run against a committed baseline and fails on regressions beyond a
-configurable threshold; CI runs the smoke profile on every push.
+schema ``soup-bench/v2``; v1 remains loadable).  ``soup bench --check
+--baseline PATH`` diffs a fresh run against a committed baseline and fails
+on regressions beyond a configurable threshold; v2 artifacts carry git
+provenance and per-phase breakdowns, so a failed check names the commits
+compared and attributes the regression to the phase(s) whose share of the
+run grew (:func:`repro.bench.artifacts.attribute_phases`).
+
+The perf *trajectory* lives in ``benchmarks/baselines/HISTORY.jsonl``
+(:mod:`repro.bench.history`): one appended line per recorded run, rendered
+by ``soup bench history`` / ``soup bench trend`` and gated in CI by
+``soup bench trend --check-history``.
 
 See ``docs/BENCHMARKS.md``.
 """
 
 from repro.bench.artifacts import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
     DEFAULT_THRESHOLD,
+    PHASE_ATTRIBUTION_POINTS,
+    SUPPORTED_BENCH_SCHEMAS,
     BenchResult,
     Comparison,
     ComparisonRow,
+    attribute_phases,
     build_artifact,
     compare,
     load_artifact,
     validate_artifact,
     write_artifact,
 )
+from repro.bench.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA,
+    append_history,
+    check_history,
+    history_entry,
+    load_history,
+    render_history_lines,
+    render_trend_lines,
+)
+from repro.bench.provenance import git_provenance, short_sha
 from repro.bench.suite import (
     PROFILES,
     BenchProfile,
@@ -34,19 +57,33 @@ from repro.bench.suite import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V1",
+    "DEFAULT_HISTORY_PATH",
     "DEFAULT_THRESHOLD",
+    "HISTORY_SCHEMA",
+    "PHASE_ATTRIBUTION_POINTS",
+    "SUPPORTED_BENCH_SCHEMAS",
     "BenchProfile",
     "BenchResult",
     "Comparison",
     "ComparisonRow",
     "PROFILES",
+    "append_history",
+    "attribute_phases",
     "benchmark_names",
     "build_artifact",
+    "check_history",
     "compare",
+    "git_provenance",
+    "history_entry",
     "load_artifact",
+    "load_history",
     "register",
+    "render_history_lines",
+    "render_trend_lines",
     "resolve_profile",
     "run_suite",
+    "short_sha",
     "validate_artifact",
     "write_artifact",
 ]

@@ -1,0 +1,251 @@
+"""The perf trajectory: ``benchmarks/baselines/HISTORY.jsonl``.
+
+One JSON line per recorded ``soup bench`` run, append-only, committed to
+the repository — the per-PR throughput trajectory the ROADMAP called for.
+Each entry condenses one ``BENCH_*.json`` artifact to what trend analysis
+needs: git provenance, per-case throughput/wall, and the per-phase
+breakdown (so a regression *between history entries* is attributable to a
+phase exactly like a baseline diff).
+
+``soup bench history`` lists the trajectory, ``soup bench trend`` renders
+a per-case sparkline, and ``soup bench trend --check-history`` gates CI:
+it re-judges the newest entry against the best median-smoothed view of
+its predecessors and exits 4 — naming case *and* phase — when the newest
+run regressed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.artifacts import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    Comparison,
+    compare,
+)
+from repro.bench.provenance import short_sha
+
+HISTORY_SCHEMA = "soup-bench-history/v1"
+
+#: Default committed trajectory file.
+DEFAULT_HISTORY_PATH = "benchmarks/baselines/HISTORY.jsonl"
+
+
+def history_entry(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """Condense one bench artifact into a history line."""
+    provenance = artifact.get("provenance") or {}
+    return {
+        "schema": HISTORY_SCHEMA,
+        "created": artifact.get("created", ""),
+        "profile": artifact.get("profile", ""),
+        "seed": artifact.get("seed"),
+        "git_sha": provenance.get("git_sha"),
+        "git_dirty": provenance.get("git_dirty"),
+        "results": {
+            name: {
+                "name": entry["name"],
+                "throughput": float(entry["throughput"]),
+                "wall_seconds": float(entry["wall_seconds"]),
+                "unit": entry.get("unit", "ops/s"),
+                "phases": dict(entry.get("phases", {})),
+            }
+            for name, entry in artifact.get("results", {}).items()
+        },
+    }
+
+
+def validate_entry(entry: Dict[str, Any]) -> None:
+    if not isinstance(entry, dict):
+        raise ValueError("history entry must be a JSON object")
+    if entry.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(
+            f"expected schema {HISTORY_SCHEMA!r}, got {entry.get('schema')!r}"
+        )
+    results = entry.get("results")
+    if not isinstance(results, dict):
+        raise ValueError("history entry has no 'results' mapping")
+    for name, case in results.items():
+        if float(case["throughput"]) < 0:
+            raise ValueError(f"history case {name!r} has negative throughput")
+
+
+def append_history(path: str, entry: Dict[str, Any]) -> None:
+    """Append one entry (the file is JSONL and append-only by contract)."""
+    validate_entry(entry)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as sink:
+        sink.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Load and validate every entry, in file (= chronological) order."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(target.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+        validate_entry(entry)
+        entries.append(entry)
+    return entries
+
+
+def _entry_provenance(entry: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "git_sha": entry.get("git_sha"),
+        "git_dirty": entry.get("git_dirty"),
+        "created": entry.get("created", ""),
+    }
+
+
+def _pseudo_artifact(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """A history entry re-shaped as a v2 artifact so :func:`compare` (and
+    its phase attribution) applies unchanged."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "profile": entry.get("profile", ""),
+        "seed": entry.get("seed"),
+        "created": entry.get("created", ""),
+        "provenance": _entry_provenance(entry),
+        "results": entry["results"],
+    }
+
+
+def case_names(entries: List[Dict[str, Any]]) -> List[str]:
+    names: List[str] = []
+    for entry in entries:
+        for name in entry["results"]:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def case_series(entries: List[Dict[str, Any]], case: str) -> List[float]:
+    """Throughput of ``case`` across entries (entries missing it skipped)."""
+    return [
+        float(entry["results"][case]["throughput"])
+        for entry in entries
+        if case in entry["results"]
+    ]
+
+
+def render_history_lines(
+    entries: List[Dict[str, Any]],
+    case: Optional[str] = None,
+    last: Optional[int] = None,
+) -> List[str]:
+    """One line per entry: sha, date, profile, per-case throughputs."""
+    if not entries:
+        return ["history: no entries"]
+    if last is not None:
+        entries = entries[-last:]
+    names = [case] if case else case_names(entries)
+    lines = [
+        f"{'sha':<14} {'created':<21} {'profile':<8} "
+        + " ".join(f"{name:>18}" for name in names)
+    ]
+    for entry in entries:
+        cells = []
+        for name in names:
+            result = entry["results"].get(name)
+            cells.append(
+                f"{result['throughput']:>18.1f}" if result else f"{'-':>18}"
+            )
+        created = str(entry.get("created", ""))[:19]
+        lines.append(
+            f"{short_sha(_entry_provenance(entry)):<14} {created:<21} "
+            f"{entry.get('profile', ''):<8} " + " ".join(cells)
+        )
+    return lines
+
+
+def render_trend_lines(entries: List[Dict[str, Any]]) -> List[str]:
+    """Per-case trajectory: sparkline, first→last ratio, extrema."""
+    from repro.sim.reporting import sparkline
+
+    if not entries:
+        return ["trend: no history entries"]
+    lines = []
+    for name in case_names(entries):
+        series = case_series(entries, name)
+        if not series:
+            continue
+        first, latest = series[0], series[-1]
+        ratio = latest / first if first > 0 else float("inf")
+        lines.append(
+            f"{name:<24} {sparkline(series):<20} "
+            f"n={len(series)} first={first:.1f} last={latest:.1f} "
+            f"last/first={ratio:.2f}"
+        )
+    return lines
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_history(
+    entries: List[Dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = 5,
+) -> Tuple[Optional[Comparison], List[str]]:
+    """Judge the newest entry against its predecessors.
+
+    The baseline for each case is the *median* throughput over the last
+    ``window`` prior entries — one anomalously fast historical run cannot
+    permanently fail the gate, and one anomalously slow one cannot mask a
+    real regression.  Phase breakdowns are taken from the most recent
+    prior entry that has them, so attribution works on the check output
+    exactly like a baseline diff.  Returns ``(comparison, lines)``;
+    ``comparison`` is None when fewer than two entries exist.
+    """
+    if len(entries) < 2:
+        return None, ["check-history: fewer than two entries; nothing to judge"]
+    *prior, newest = entries
+    window_entries = prior[-window:]
+    baseline_results: Dict[str, Any] = {}
+    for name in case_names(window_entries):
+        series = case_series(window_entries, name)
+        if not series:
+            continue
+        phases: Dict[str, float] = {}
+        wall = 0.0
+        unit = "ops/s"
+        for entry in reversed(window_entries):
+            result = entry["results"].get(name)
+            if result is None:
+                continue
+            wall = float(result.get("wall_seconds", 0.0))
+            unit = result.get("unit", unit)
+            if result.get("phases"):
+                phases = dict(result["phases"])
+                break
+        baseline_results[name] = {
+            "name": name,
+            "throughput": _median(series),
+            "wall_seconds": wall,
+            "unit": unit,
+            "phases": phases,
+        }
+    baseline = _pseudo_artifact(window_entries[-1])
+    baseline["results"] = baseline_results
+    comparison = compare(baseline, _pseudo_artifact(newest), threshold)
+    lines = [
+        f"check-history: newest entry vs median of last "
+        f"{len(window_entries)} (threshold {threshold:.0%})"
+    ]
+    lines.extend(comparison.report_lines())
+    return comparison, lines

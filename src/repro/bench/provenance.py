@@ -1,0 +1,63 @@
+"""Git provenance for benchmark artifacts: which tree produced the number.
+
+A perf trajectory is only as good as its x-axis — ``BENCH_*.json``
+artifacts and ``HISTORY.jsonl`` entries therefore carry the commit SHA
+and a dirty-tree flag, so a baseline diff can say *which commits* it is
+comparing and a history plot maps straight onto the PR sequence.
+
+Everything degrades gracefully: outside a git checkout (or with git not
+installed) the fields are simply ``None`` — provenance is metadata, never
+a reason for a benchmark run to fail.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def _git(args, cwd: Optional[str]) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip()
+
+
+def git_provenance(
+    cwd: Optional[str] = None, created: Optional[str] = None
+) -> Dict[str, Any]:
+    """The provenance block embedded in every artifact.
+
+    ``git_sha`` / ``git_dirty`` are ``None`` when not in a git checkout;
+    ``created`` carries the artifact's own timestamp so the provenance
+    block is self-contained when an artifact is inspected in isolation.
+    """
+    sha = _git(["rev-parse", "HEAD"], cwd)
+    dirty: Optional[bool] = None
+    if sha is not None:
+        status = _git(["status", "--porcelain"], cwd)
+        dirty = bool(status) if status is not None else None
+    return {
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "created": created or "",
+    }
+
+
+def short_sha(provenance: Optional[Dict[str, Any]]) -> str:
+    """``a1b2c3d`` / ``a1b2c3d+dirty`` / ``unknown`` — for report lines."""
+    if not provenance or not provenance.get("git_sha"):
+        return "unknown"
+    label = str(provenance["git_sha"])[:7]
+    if provenance.get("git_dirty"):
+        label += "+dirty"
+    return label

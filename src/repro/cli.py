@@ -50,6 +50,9 @@ def _obs_flags(p) -> None:
     p.add_argument("--profile", action="store_true",
                    help="time wall-clock hot paths and print a per-phase "
                         "breakdown at exit")
+    p.add_argument("--profile-trace", action="store_true",
+                   help="with --trace: also emit a perf_profile event with "
+                        "the per-epoch phase breakdown into the trace")
     p.add_argument("--log-level", default=None, metavar="LEVEL",
                    choices=("debug", "info", "warning", "error"),
                    help="attach a stderr handler to the repro.* loggers")
@@ -81,11 +84,12 @@ def _setup_observability(args):
         )
         tracer = Tracer.to_path(args.trace, event_filter)
         set_tracer(tracer)
-    if getattr(args, "profile", False):
+    if getattr(args, "profile", False) or getattr(args, "profile_trace", False):
         from repro.obs.profiling import PROFILER
 
         PROFILER.reset()
         PROFILER.enable()
+        PROFILER.trace = bool(getattr(args, "profile_trace", False))
     return tracer
 
 
@@ -95,13 +99,15 @@ def _teardown_observability(args, tracer) -> None:
 
         set_tracer(None)
         tracer.close()
-    if getattr(args, "profile", False):
+    if getattr(args, "profile", False) or getattr(args, "profile_trace", False):
         from repro.obs.profiling import PROFILER
 
         PROFILER.disable()
-        print("", file=sys.stderr)
-        for line in PROFILER.report_lines(top_level="engine.epoch"):
-            print(line, file=sys.stderr)
+        PROFILER.trace = False
+        if getattr(args, "profile", False):
+            print("", file=sys.stderr)
+            for line in PROFILER.report_lines(top_level="engine.epoch"):
+                print(line, file=sys.stderr)
 
 
 def _correctness_overrides(args) -> dict:
@@ -581,12 +587,17 @@ def _cmd_sweep(args) -> int:
 
         outcome = run_sweep(
             spec, args.out, jobs=args.jobs, limit=args.limit, progress=progress,
+            profile_phases=args.profile_phases,
         )
         print(
             f"sweep {spec.name}: {len(outcome.executed)} run, "
             f"{len(outcome.skipped)} cached, {len(outcome.failed)} failed",
             file=sys.stderr,
         )
+        if args.profile_phases and outcome.phases.totals():
+            print("", file=sys.stderr)
+            for line in outcome.phases.report_lines(top_level="runtime.task"):
+                print(line, file=sys.stderr)
         if outcome.interrupted:
             print(
                 f"sweep {spec.name}: interrupted; checkpoint saved, "
@@ -862,6 +873,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the aggregated cells as JSON")
     ps.add_argument("--verbose", action="store_true",
                     help="also log cached (skipped) tasks")
+    ps.add_argument("--profile-phases", action="store_true",
+                    help="capture each task's phase breakdown in its "
+                         "artifact, merge across workers, and print the "
+                         "folded per-phase table at exit")
 
     pc = sub.add_parser(
         "compare",
@@ -902,15 +917,41 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--duration", type=int, default=300)
     pf.add_argument("--seed", type=int, default=7)
 
+    pp = sub.add_parser(
+        "perf",
+        help="profile one epoch-loop run and export the per-phase "
+             "breakdown: table, folded stacks (flamegraph input), "
+             "Chrome trace-event JSON (see docs/OBSERVABILITY.md)",
+    )
+    pp.add_argument("--dataset", default="facebook")
+    pp.add_argument("--scale", type=float, default=0.02)
+    pp.add_argument("--days", type=int, default=4)
+    pp.add_argument("--seed", type=int, default=42)
+    pp.add_argument("--engine", default="columnar",
+                    choices=("columnar", "reference"),
+                    help="engine path to profile (both are instrumented)")
+    pp.add_argument("--folded", default=None, metavar="PATH",
+                    help="write folded-stack lines ('path micros') for "
+                         "flamegraph.pl / speedscope")
+    pp.add_argument("--chrome", default=None, metavar="PATH",
+                    help="write Chrome trace-event JSON "
+                         "(chrome://tracing, Perfetto)")
+    pp.add_argument("--by-epoch", action="store_true",
+                    help="also print the per-epoch phase breakdown")
+    pp.add_argument("--json", action="store_true",
+                    help="print the phase breakdown as JSON to stdout")
+
     pb = sub.add_parser(
         "bench",
-        help="run the standing perf suite; emit a soup-bench/v1 artifact "
-             "and optionally diff it against a baseline "
-             "(see docs/BENCHMARKS.md)",
+        help="run the standing perf suite; emit a soup-bench/v2 artifact, "
+             "optionally diff it against a baseline and record the perf "
+             "trajectory ('soup bench history' / 'soup bench trend'; "
+             "see docs/BENCHMARKS.md)",
     )
     pb.add_argument("names", nargs="*", metavar="BENCH",
                     help="benchmarks to run (default: the whole suite; "
-                         "see --list)")
+                         "see --list), or the verbs 'history' / 'trend' "
+                         "to inspect the recorded perf trajectory")
     pb.add_argument("--list", action="store_true",
                     help="list the registered benchmarks and exit")
     pb.add_argument("--bench-profile", default="smoke", metavar="PROFILE",
@@ -937,6 +978,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "regression is flagged (default: 0.30)")
     pb.add_argument("--json", action="store_true",
                     help="print the artifact JSON to stdout")
+    pb.add_argument("--append-history", default=None, metavar="PATH",
+                    help="append this run to a HISTORY.jsonl perf "
+                         "trajectory (see docs/BENCHMARKS.md)")
+    pb.add_argument("--history", default=None, metavar="PATH",
+                    help="trajectory file for 'history'/'trend' "
+                         "(default: benchmarks/baselines/HISTORY.jsonl)")
+    pb.add_argument("--last", type=int, default=None, metavar="N",
+                    help="with 'history': only show the last N entries")
+    pb.add_argument("--case", default=None, metavar="BENCH",
+                    help="with 'history': only show this benchmark's column")
+    pb.add_argument("--check-history", action="store_true",
+                    help="with 'trend': exit 4 if the newest history entry "
+                         "regresses against the median of its predecessors")
+    pb.add_argument("--window", type=int, default=5, metavar="N",
+                    help="with --check-history: median window of prior "
+                         "entries used as the baseline (default: 5)")
 
     prs = sub.add_parser(
         "resilience",
@@ -1076,20 +1133,144 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_perf(args) -> int:
+    from repro.obs.perf import chrome_trace, folded_lines
+    from repro.obs.profiling import PROFILER
+    from repro.sim.engine import run_scenario
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        n_days=args.days,
+        seed=args.seed,
+        engine_mode=args.engine,
+    )
+    PROFILER.reset()
+    PROFILER.enable()
+    PROFILER.record_events = bool(args.chrome)
+    try:
+        result = run_scenario(config)
+    finally:
+        PROFILER.disable()
+        PROFILER.record_events = False
+
+    print(f"dataset={args.dataset} scale={args.scale} days={args.days} "
+          f"seed={args.seed} engine={args.engine} "
+          f"steady={result.steady_state_availability():.3f}",
+          file=sys.stderr)
+    for line in PROFILER.report_lines(top_level="engine.epoch"):
+        print(line)
+    if args.by_epoch:
+        print("\nper-epoch phase wall seconds:")
+        for epoch in PROFILER.epochs():
+            phases = PROFILER.epoch_phases(epoch)
+            rendered = " ".join(
+                f"{name.rsplit('.', 1)[-1]}={wall:.4f}"
+                for name, wall in sorted(phases.items())
+            )
+            print(f"epoch {epoch:>4}: {rendered}")
+    if args.folded:
+        lines = folded_lines(PROFILER)
+        with open(args.folded, "w", encoding="utf-8") as sink:
+            sink.write("\n".join(lines) + "\n")
+        print(f"folded stacks: {args.folded} ({len(lines)} frames)",
+              file=sys.stderr)
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as sink:
+            json.dump(chrome_trace(PROFILER), sink)
+            sink.write("\n")
+        print(f"chrome trace: {args.chrome}", file=sys.stderr)
+    if args.json:
+        from repro.obs.perf import phase_breakdown
+
+        print(json.dumps(
+            {
+                "phases": phase_breakdown(PROFILER),
+                "totals": PROFILER.totals(),
+                "cpu_totals": PROFILER.cpu_totals(),
+                "counts": PROFILER.counts(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    return 0
+
+
+def _regression_summary(comparison) -> str:
+    """The exit-4 line: every regressed case, with its attributed phase(s)
+    in brackets when the artifacts carry phase breakdowns."""
+    parts = []
+    for row in comparison.regressions:
+        if row.attributed_phases:
+            parts.append(f"{row.name} [{', '.join(row.attributed_phases)}]")
+        else:
+            parts.append(row.name)
+    return f"perf regression: {'; '.join(parts)}"
+
+
+def _cmd_bench_history(args) -> int:
+    from repro.bench import (
+        DEFAULT_HISTORY_PATH,
+        DEFAULT_THRESHOLD,
+        check_history,
+        load_history,
+        render_history_lines,
+        render_trend_lines,
+    )
+
+    mode = args.names[0]
+    if len(args.names) > 1:
+        print(f"bench {mode}: unexpected arguments {args.names[1:]}",
+              file=sys.stderr)
+        return 2
+    history_path = args.history or DEFAULT_HISTORY_PATH
+    try:
+        entries = load_history(history_path)
+    except ValueError as exc:
+        print(f"bench {mode}: {exc}", file=sys.stderr)
+        return 2
+    if mode == "history":
+        for line in render_history_lines(entries, case=args.case,
+                                         last=args.last):
+            print(line)
+        return 0
+    for line in render_trend_lines(entries):
+        print(line)
+    if args.check_history:
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        comparison, lines = check_history(
+            entries, threshold=threshold, window=args.window
+        )
+        print()
+        for line in lines:
+            print(line)
+        if comparison is not None and not comparison.ok:
+            print(_regression_summary(comparison), file=sys.stderr)
+            return 4
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from datetime import datetime, timezone
 
     from repro.bench import (
         DEFAULT_THRESHOLD,
+        append_history,
         benchmark_names,
         build_artifact,
         compare,
+        history_entry,
         load_artifact,
         resolve_profile,
         run_suite,
         write_artifact,
     )
 
+    if args.names and args.names[0] in ("history", "trend"):
+        return _cmd_bench_history(args)
     if args.list:
         for name in benchmark_names():
             print(name)
@@ -1117,6 +1298,9 @@ def _cmd_bench(args) -> int:
     print(f"artifact: {out_path}", file=sys.stderr)
     if args.json:
         print(json.dumps(artifact, indent=2, sort_keys=True))
+    if args.append_history:
+        append_history(args.append_history, history_entry(artifact))
+        print(f"history: appended to {args.append_history}", file=sys.stderr)
 
     if args.baseline:
         threshold = (
@@ -1127,8 +1311,7 @@ def _cmd_bench(args) -> int:
         for line in comparison.report_lines():
             print(line)
         if args.check and not comparison.ok:
-            names_ = ", ".join(row.name for row in comparison.regressions)
-            print(f"perf regression: {names_}", file=sys.stderr)
+            print(_regression_summary(comparison), file=sys.stderr)
             return 4
     elif args.check:
         print("bench --check requires --baseline", file=sys.stderr)
@@ -1396,6 +1579,8 @@ def _dispatch(args) -> int:
         return _cmd_replay(args)
     if command == "bench":
         return _cmd_bench(args)
+    if command == "perf":
+        return _cmd_perf(args)
     raise AssertionError(f"unhandled command {command}")
 
 

@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.profiling import PROFILER
+
 
 class EventLoop:
     """Deterministic discrete-event scheduler."""
@@ -44,6 +46,15 @@ class EventLoop:
 
         ``max_events`` guards against runaway feedback loops in tests.
         """
+        # The network-flush phase: draining scheduled deliveries is the
+        # event-loop world's hot path, so it gets a timer of its own
+        # (deliveries nest under it as net.flush;net.deliver).
+        if PROFILER.enabled:
+            with PROFILER.span("net.flush"):
+                return self._run_until(end_time, max_events)
+        return self._run_until(end_time, max_events)
+
+    def _run_until(self, end_time: float, max_events: Optional[int]) -> int:
         processed = 0
         while self._queue and self._queue[0][0] <= end_time:
             if max_events is not None and processed >= max_events:

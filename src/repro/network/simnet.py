@@ -34,6 +34,7 @@ from repro.network.transport import (  # noqa: F401  (re-exported compat names)
     Transport,
 )
 from repro.obs import get_registry
+from repro.obs.profiling import PROFILER
 
 logger = logging.getLogger("repro.network.simnet")
 
@@ -136,6 +137,24 @@ class SimNetwork(Transport):
         self.loop.schedule(delay, event)
 
     def _deliver(
+        self,
+        sender: int,
+        receiver: int,
+        message: Any,
+        size_bytes: int,
+        receive_duration: float,
+    ) -> None:
+        # Hot path: skip even the no-op span unless profiling is on.
+        if PROFILER.enabled:
+            with PROFILER.span("net.deliver"):
+                return self._deliver_now(
+                    sender, receiver, message, size_bytes, receive_duration
+                )
+        return self._deliver_now(
+            sender, receiver, message, size_bytes, receive_duration
+        )
+
+    def _deliver_now(
         self,
         sender: int,
         receiver: int,

@@ -15,6 +15,7 @@ from repro.crypto.abe import AbeAuthority, AbeCiphertext, AbePrivateKey, decrypt
 from repro.crypto.access import AccessStructure, attr
 from repro.crypto.by_id import sign_by_id, verify_by_id
 from repro.crypto.keys import KeyPair
+from repro.obs.profiling import PROFILER
 
 
 class SecurityManager:
@@ -56,6 +57,12 @@ class SecurityManager:
     def sign_object(self, obj: SoupObject) -> SoupObject:
         """Attach the owner's signature; "requests to modify any data must
         be encapsulated in an appropriately signed SOUP object"."""
+        if PROFILER.enabled:
+            with PROFILER.span("crypto.sign"):
+                return self._sign_object(obj)
+        return self._sign_object(obj)
+
+    def _sign_object(self, obj: SoupObject) -> SoupObject:
         if self.crypto_mode == "by_id":
             obj.signature = sign_by_id(obj.signing_bytes(), self.keys.soup_id)
         else:
@@ -72,6 +79,12 @@ class SecurityManager:
         known — and the signature must embed the source's own ID, so
         forged-source objects are rejected in both modes.
         """
+        if PROFILER.enabled:
+            with PROFILER.span("crypto.verify"):
+                return self._verify_object(obj)
+        return self._verify_object(obj)
+
+    def _verify_object(self, obj: SoupObject) -> bool:
         if obj.signature is None:
             return False
         public_key = self._known_public_keys.get(obj.source)

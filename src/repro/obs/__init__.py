@@ -10,9 +10,13 @@ near-zero-cost when disabled:
 * :mod:`repro.obs.registry` — named counters, gauges and histograms
   (``MetricsRegistry``) that subsystems register into; the simulator
   snapshots the registry per epoch into its result.
-* :mod:`repro.obs.profiling` — ``span()`` wall-clock timing of real hot
-  paths behind ``--profile``.  Wall-clock never leaks into the simulated
-  world: profiling only measures how long *our code* takes to run it.
+* :mod:`repro.obs.profiling` — nestable ``span()`` wall/CPU phase timers
+  over real hot paths behind ``--profile``.  Wall-clock never leaks into
+  the simulated world: profiling only measures how long *our code* takes
+  to run it.
+* :mod:`repro.obs.perf` — the performance observability plane on top of
+  the phase timers: folded-stack and Chrome trace export (``soup perf``)
+  and the per-phase breakdowns embedded in ``soup-bench/v2`` artifacts.
 
 Naming conventions and the event schema are documented in
 ``docs/OBSERVABILITY.md``.
@@ -40,6 +44,14 @@ from repro.obs.flight import (
     LamportClock,
     LiveObservability,
     RouterTracer,
+)
+from repro.obs.perf import (
+    PhaseReport,
+    capture_phases,
+    chrome_trace,
+    folded_lines,
+    phase_breakdown,
+    phase_shares,
 )
 from repro.obs.profiling import PROFILER, Profiler
 from repro.obs.registry import (
@@ -72,7 +84,13 @@ __all__ = [
     "LamportClock",
     "LiveObservability",
     "PROFILER",
+    "PhaseReport",
     "Profiler",
+    "capture_phases",
+    "chrome_trace",
+    "folded_lines",
+    "phase_breakdown",
+    "phase_shares",
     "RouterTracer",
     "TraceAnalysis",
     "TraceMergeError",

@@ -1,12 +1,23 @@
-"""Profiling hooks: wall-clock spans over real hot paths.
+"""Profiling hooks: nestable wall/CPU phase timers over real hot paths.
 
 Unlike tracing and metrics — which live inside the simulated world and
 must stay deterministic — profiling measures how long *our code* takes on
-the host machine: selection rounds, DHT routing, crypto, full epoch
-steps.  It is therefore strictly an outside-the-simulation concern, off by
-default, and designed so the disabled path costs one attribute read and a
-branch per call site (the <5 % overhead guard in
-``benchmarks/test_profiling_overhead.py`` keeps it honest).
+the host machine: selection rounds, protective dropping, DHT routing,
+crypto, network delivery, full epoch steps.  It is therefore strictly an
+outside-the-simulation concern, off by default, and designed so the
+disabled path costs one attribute read and a branch per call site (the
+<5 % overhead guard in ``benchmarks/test_profiling_overhead.py`` keeps it
+honest).
+
+Spans nest: entering ``engine.dropping`` inside ``engine.selection_round``
+inside ``engine.epoch`` accumulates under the folded path
+``engine.epoch;engine.selection_round;engine.dropping`` — exactly the
+``stack count`` format flamegraph tooling consumes (see
+:mod:`repro.obs.perf` for the exporters).  Each finished span adds its
+wall *and* CPU (``time.process_time``) elapsed to its path, and — when an
+epoch is set via :meth:`Profiler.set_epoch` — to that epoch's bucket, so
+per-epoch phase breakdowns (``perf_profile`` trace events, ``soup perf
+--by-epoch``) come for free.
 
 Usage::
 
@@ -19,12 +30,27 @@ Usage::
         with PROFILER.span("dht.route"):
             return self._route(...)
     return self._route(...)
+
+Accumulator state is a commutative monoid under :meth:`Profiler.merge_state`
+(exact for call counts, float-sum for elapsed time) — the same invariant
+the metrics registry guarantees — so per-worker phase timings from a
+process-pool sweep fold into one breakdown in any order.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Histogram buckets (seconds) used when ``feed_metrics`` routes finished
+#: spans into the current :class:`~repro.obs.registry.MetricsRegistry`.
+PHASE_HISTOGRAM_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Cap on retained per-span events (Chrome trace export); beyond this the
+#: accumulators keep counting but individual events are dropped.
+MAX_SPAN_EVENTS = 250_000
 
 
 class _NullSpan:
@@ -43,29 +69,57 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    __slots__ = ("_profiler", "_name", "_start")
+    __slots__ = ("_profiler", "_name", "_start", "_cpu_start")
 
     def __init__(self, profiler: "Profiler", name: str) -> None:
         self._profiler = profiler
         self._name = name
         self._start = 0.0
+        self._cpu_start = 0.0
 
     def __enter__(self) -> "_Span":
+        self._profiler._push(self._name)
+        self._cpu_start = time.process_time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._profiler.record(self._name, time.perf_counter() - self._start)
+        wall = time.perf_counter() - self._start
+        cpu = time.process_time() - self._cpu_start
+        self._profiler._pop(wall, cpu, self._start)
 
 
 class Profiler:
-    """Accumulates wall-clock time per named phase."""
+    """Nestable wall/CPU accumulators per named phase.
+
+    All state is keyed by *folded path* (``a;b;c`` — the span stack at the
+    time the span ran); :meth:`totals` / :meth:`counts` aggregate by leaf
+    name for the flat per-phase view the CLI report renders.
+    """
 
     def __init__(self) -> None:
         self.enabled = False
-        self._totals: Dict[str, float] = {}
+        #: When True, the engine emits one ``perf_profile`` trace event per
+        #: epoch (only if a tracer is also enabled).  Off by default so
+        #: enabling phase timers never perturbs a trace byte-for-byte.
+        self.trace = False
+        #: When True, every finished span also observes its wall seconds
+        #: into the current registry's ``perf.phase.<leaf>`` histogram.
+        self.feed_metrics = False
+        #: When True, individual span events are retained (bounded by
+        #: :data:`MAX_SPAN_EVENTS`) for Chrome trace export.
+        self.record_events = False
+        self._wall: Dict[str, float] = {}
+        self._cpu: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._epoch: Optional[int] = None
+        self._by_epoch: Dict[int, Dict[str, float]] = {}
+        #: (path, start_offset_s, wall_s, cpu_s) tuples when recording.
+        self._events: List[Tuple[str, float, float, float]] = []
+        self._origin = time.perf_counter()
 
+    # --- lifecycle -------------------------------------------------------
     def enable(self) -> None:
         self.enabled = True
 
@@ -73,25 +127,157 @@ class Profiler:
         self.enabled = False
 
     def reset(self) -> None:
-        self._totals.clear()
+        self._wall.clear()
+        self._cpu.clear()
         self._counts.clear()
+        self._stack.clear()
+        self._epoch = None
+        self._by_epoch.clear()
+        self._events.clear()
+        self._origin = time.perf_counter()
 
+    # --- span machinery --------------------------------------------------
     def span(self, name: str):
         """A context manager timing the block (no-op when disabled)."""
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name)
 
+    def _push(self, name: str) -> None:
+        stack = self._stack
+        path = stack[-1] + ";" + name if stack else name
+        stack.append(path)
+
+    def _pop(self, wall: float, cpu: float, start: float) -> None:
+        path = self._stack.pop()
+        self._wall[path] = self._wall.get(path, 0.0) + wall
+        self._cpu[path] = self._cpu.get(path, 0.0) + cpu
+        self._counts[path] = self._counts.get(path, 0) + 1
+        epoch = self._epoch
+        if epoch is not None:
+            bucket = self._by_epoch.get(epoch)
+            if bucket is None:
+                bucket = self._by_epoch[epoch] = {}
+            bucket[path] = bucket.get(path, 0.0) + wall
+        if self.record_events and len(self._events) < MAX_SPAN_EVENTS:
+            self._events.append((path, start - self._origin, wall, cpu))
+        if self.feed_metrics:
+            from repro.obs.registry import get_registry
+
+            leaf = path.rsplit(";", 1)[-1]
+            get_registry().histogram(
+                "perf.phase." + leaf, buckets=PHASE_HISTOGRAM_BUCKETS
+            ).observe(wall)
+
     def record(self, name: str, elapsed_s: float) -> None:
-        self._totals[name] = self._totals.get(name, 0.0) + elapsed_s
-        self._counts[name] = self._counts.get(name, 0) + 1
+        """Accumulate a pre-measured duration under ``name`` (wall only,
+        at the current nesting context)."""
+        path = self._stack[-1] + ";" + name if self._stack else name
+        self._wall[path] = self._wall.get(path, 0.0) + elapsed_s
+        self._cpu[path] = self._cpu.get(path, 0.0)
+        self._counts[path] = self._counts.get(path, 0) + 1
 
-    def totals(self) -> Dict[str, float]:
-        return dict(self._totals)
+    # --- epoch bucketing -------------------------------------------------
+    def set_epoch(self, epoch: Optional[int]) -> None:
+        """Bucket subsequently finished spans under ``epoch`` (None stops
+        bucketing).  The engine calls this once per epoch when enabled."""
+        self._epoch = epoch
 
-    def counts(self) -> Dict[str, int]:
+    def epoch_phases(self, epoch: int) -> Dict[str, float]:
+        """Leaf-aggregated wall seconds for one epoch's bucket."""
+        merged: Dict[str, float] = {}
+        for path, wall in self._by_epoch.get(epoch, {}).items():
+            leaf = path.rsplit(";", 1)[-1]
+            merged[leaf] = merged.get(leaf, 0.0) + wall
+        return merged
+
+    def epochs(self) -> List[int]:
+        return sorted(self._by_epoch)
+
+    # --- views -----------------------------------------------------------
+    def folded(self) -> Dict[str, float]:
+        """Wall seconds keyed by folded path (``a;b;c``)."""
+        return dict(self._wall)
+
+    def folded_cpu(self) -> Dict[str, float]:
+        return dict(self._cpu)
+
+    def folded_counts(self) -> Dict[str, int]:
         return dict(self._counts)
 
+    def events(self) -> List[Tuple[str, float, float, float]]:
+        """Recorded (path, start_offset_s, wall_s, cpu_s) span events."""
+        return list(self._events)
+
+    def _aggregate(self, source: Dict[str, float]) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for path, value in source.items():
+            leaf = path.rsplit(";", 1)[-1]
+            merged[leaf] = merged.get(leaf, 0.0) + value
+        return merged
+
+    def totals(self) -> Dict[str, float]:
+        """Wall seconds aggregated by leaf phase name."""
+        return self._aggregate(self._wall)
+
+    def cpu_totals(self) -> Dict[str, float]:
+        """CPU seconds aggregated by leaf phase name."""
+        return self._aggregate(self._cpu)
+
+    def counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for path, value in self._counts.items():
+            leaf = path.rsplit(";", 1)[-1]
+            merged[leaf] = merged.get(leaf, 0) + value
+        return merged
+
+    def self_times(self) -> Dict[str, float]:
+        """Exclusive wall seconds per folded path: each path's total minus
+        the time spent in its direct children.  Sums to the total measured
+        time, which is what makes per-phase *shares* well defined."""
+        child_sums: Dict[str, float] = {}
+        for path, wall in self._wall.items():
+            if ";" in path:
+                parent = path.rsplit(";", 1)[0]
+                child_sums[parent] = child_sums.get(parent, 0.0) + wall
+        return {
+            path: max(0.0, wall - child_sums.get(path, 0.0))
+            for path, wall in self._wall.items()
+        }
+
+    # --- mergeable state (sweep workers) ---------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full accumulator state, JSON-safe, for cross-process merge."""
+        return {
+            "wall": dict(self._wall),
+            "cpu": dict(self._cpu),
+            "counts": dict(self._counts),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another profiler's ``state_dict()`` into this one.
+
+        Counts merge exactly; wall/CPU are float sums, so — like histogram
+        totals in the metrics registry — permuting the merge order agrees
+        to ulp-level rounding (property-tested in tests/obs/test_perf.py).
+        """
+        if not state:
+            return
+        for path, value in state.get("wall", {}).items():
+            self._wall[path] = self._wall.get(path, 0.0) + float(value)
+        for path, value in state.get("cpu", {}).items():
+            self._cpu[path] = self._cpu.get(path, 0.0) + float(value)
+        for path, value in state.get("counts", {}).items():
+            self._counts[path] = self._counts.get(path, 0) + int(value)
+
+    @classmethod
+    def merged(cls, states) -> "Profiler":
+        profiler = cls()
+        for state in states:
+            profiler.merge_state(state)
+        return profiler
+
+    # --- reporting -------------------------------------------------------
     def report_lines(self, top_level: Optional[str] = None) -> List[str]:
         """Per-phase breakdown table, widest share first.
 
@@ -99,24 +285,30 @@ class Profiler:
         full epoch step); without it, shares are relative to the largest
         phase total.
         """
-        if not self._totals:
+        totals = self.totals()
+        if not totals:
             return ["profile: no spans recorded"]
+        cpu_totals = self.cpu_totals()
+        counts = self.counts()
         denominator = (
-            self._totals.get(top_level, 0.0)
+            totals.get(top_level, 0.0)
             if top_level is not None
-            else max(self._totals.values())
+            else max(totals.values())
         )
-        denominator = denominator or max(self._totals.values())
+        denominator = denominator or max(totals.values())
         lines = [
-            f"{'phase':<28} {'calls':>8} {'total s':>10} {'mean ms':>10} {'share':>7}"
+            f"{'phase':<28} {'calls':>8} {'total s':>10} {'cpu s':>10} "
+            f"{'mean ms':>10} {'share':>7}"
         ]
-        for name in sorted(self._totals, key=self._totals.get, reverse=True):
-            total = self._totals[name]
-            count = self._counts[name]
+        for name in sorted(totals, key=totals.get, reverse=True):
+            total = totals[name]
+            count = counts[name]
             mean_ms = 1000.0 * total / count if count else 0.0
             share = 100.0 * total / denominator if denominator else 0.0
             lines.append(
-                f"{name:<28} {count:>8} {total:>10.3f} {mean_ms:>10.3f} {share:>6.1f}%"
+                f"{name:<28} {count:>8} {total:>10.3f} "
+                f"{cpu_totals.get(name, 0.0):>10.3f} "
+                f"{mean_ms:>10.3f} {share:>6.1f}%"
             )
         return lines
 

@@ -484,13 +484,30 @@ class SoupSimulation:
         push_registry(self.metrics)
         try:
             for epoch in range(n_epochs):
+                if PROFILER.enabled:
+                    PROFILER.set_epoch(epoch)
                 with PROFILER.span("engine.epoch"):
                     self._run_epoch(
                         epoch, round_period, active_since_round,
                         availability, overhead, cohorts, cohort_series,
                         snapshot_epochs,
                     )
+                if (
+                    PROFILER.enabled
+                    and PROFILER.trace
+                    and self._tracer.enabled
+                ):
+                    self._tracer.emit(
+                        "perf_profile",
+                        epoch=epoch,
+                        phases={
+                            name: round(wall, 9)
+                            for name, wall in PROFILER.epoch_phases(epoch).items()
+                        },
+                    )
         finally:
+            if PROFILER.enabled:
+                PROFILER.set_epoch(None)
             pop_registry()
 
         self.result.availability = availability
@@ -831,8 +848,9 @@ class SoupSimulation:
             self._selection_strategy.begin_round(self, epoch)
 
         # Phase 1: experience-set exchanges (and dropping-score exchange).
-        for node_id in participants:
-            self._exchange_experience(self.nodes[node_id], epoch)
+        with PROFILER.span("engine.sync"):
+            for node_id in participants:
+                self._exchange_experience(self.nodes[node_id], epoch)
 
         # Phase 2: ingest reports, re-rank, run Algorithm 1, place replicas.
         churn_hist = self.metrics.histogram("engine.selection.churn")
@@ -863,19 +881,20 @@ class SoupSimulation:
         # in w's published mirror set").  This is what catches flooders at
         # nodes they never revisit.
         score_hist = self.metrics.histogram("engine.dropping.score")
-        for node_id in participants:
-            node = self.nodes[node_id]
-            for owner in node.store.stored_owners():
-                score = node.store.dropping_score(owner)
-                if score > 0.0:
-                    score_hist.observe(score)
-                removed = node.store.observe_published_mirrors(
-                    owner, self.nodes[owner].announced_mirrors
-                )
-                for removed_owner in removed:
-                    self.replica_locations[node_id].discard(removed_owner)
-                    self.mark_stale_announcement(removed_owner, node_id)
-                    self._trace_drop(removed_owner, node_id, "mismatch", epoch)
+        with PROFILER.span("engine.dropping"):
+            for node_id in participants:
+                node = self.nodes[node_id]
+                for owner in node.store.stored_owners():
+                    score = node.store.dropping_score(owner)
+                    if score > 0.0:
+                        score_hist.observe(score)
+                    removed = node.store.observe_published_mirrors(
+                        owner, self.nodes[owner].announced_mirrors
+                    )
+                    for removed_owner in removed:
+                        self.replica_locations[node_id].discard(removed_owner)
+                        self.mark_stale_announcement(removed_owner, node_id)
+                        self._trace_drop(removed_owner, node_id, "mismatch", epoch)
 
         self.metrics.counter("engine.selection.rounds").inc()
         if churn_count:
@@ -952,42 +971,44 @@ class SoupSimulation:
         # "randomly select mirrors from her contacts" fallback, which also
         # keeps Algorithm 1 supplied with trial candidates until enough
         # measured mirrors exist to reach the ε target.
-        ranking = [
-            (candidate, rank)
-            for candidate, rank in node.ranker.ranking()
-            if rank > 0.0
-        ]
-        known = {candidate for candidate, _ in ranking}
-        for candidate, rank in node.bootstrap.ranking():
-            if candidate not in known:
-                ranking.append((candidate, rank))
-                known.add(candidate)
-        prior = self.soup.bootstrap_prior
-        ranking += [
-            (entry.node_id, prior)
-            for entry in node.kb
-            if entry.node_id not in known
-        ]
+        with PROFILER.span("engine.scoring"):
+            ranking = [
+                (candidate, rank)
+                for candidate, rank in node.ranker.ranking()
+                if rank > 0.0
+            ]
+            known = {candidate for candidate, _ in ranking}
+            for candidate, rank in node.bootstrap.ranking():
+                if candidate not in known:
+                    ranking.append((candidate, rank))
+                    known.add(candidate)
+            prior = self.soup.bootstrap_prior
+            ranking += [
+                (entry.node_id, prior)
+                for entry in node.kb
+                if entry.node_id not in known
+            ]
 
-        if self._selection_strategy is None:
-            result = select_mirrors(
-                ranking=ranking,
-                friends=node.kb.friends(),
-                config=self.soup,
-                rng=self.rng,
-                exploration_pool=node.kb.unranked_nodes(),
-                exclude=excluded,
-            )
-        else:
-            result = self._selection_strategy.select(
-                node.node_id,
-                ranking,
-                node.kb.friends(),
-                self.soup,
-                self.rng,
-                exploration_pool=node.kb.unranked_nodes(),
-                exclude=excluded,
-            )
+        with PROFILER.span("engine.selection"):
+            if self._selection_strategy is None:
+                result = select_mirrors(
+                    ranking=ranking,
+                    friends=node.kb.friends(),
+                    config=self.soup,
+                    rng=self.rng,
+                    exploration_pool=node.kb.unranked_nodes(),
+                    exclude=excluded,
+                )
+            else:
+                result = self._selection_strategy.select(
+                    node.node_id,
+                    ranking,
+                    node.kb.friends(),
+                    self.soup,
+                    self.rng,
+                    exploration_pool=node.kb.unranked_nodes(),
+                    exclude=excluded,
+                )
         node.rejected_by.clear()
         node.last_estimated_error = result.estimated_error
         if result.estimated_error is not None:

@@ -13,7 +13,9 @@ import pytest
 from repro import cli
 from repro.bench import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
     BenchResult,
+    attribute_phases,
     build_artifact,
     compare,
     load_artifact,
@@ -26,9 +28,10 @@ from repro.bench import (
 from repro.bench import suite as suite_module
 
 
-def _result(name, throughput, wall=1.0):
+def _result(name, throughput, wall=1.0, phases=None):
     return BenchResult(
-        name=name, wall_seconds=wall, throughput=throughput, unit="ops/s"
+        name=name, wall_seconds=wall, throughput=throughput, unit="ops/s",
+        phases=phases or {},
     )
 
 
@@ -88,6 +91,117 @@ def test_compare_flags_only_regressions_beyond_threshold():
     assert compare(baseline, current, threshold=0.60).ok
     with pytest.raises(ValueError):
         compare(baseline, current, threshold=1.5)
+
+
+def test_v1_artifact_still_loads(tmp_path):
+    """Committed full-size baselines stay on v1; they must keep loading
+    and comparing (without phases/provenance, attribution simply stays
+    empty)."""
+    v1 = {
+        "schema": BENCH_SCHEMA_V1,
+        "profile": "smoke",
+        "seed": 5,
+        "created": "2026-01-01T00:00:00+00:00",
+        "host": {},
+        "results": {
+            "epoch_loop": {
+                "name": "epoch_loop",
+                "wall_seconds": 1.0,
+                "throughput": 100.0,
+                "unit": "node-epochs/s",
+                "detail": {},
+            }
+        },
+    }
+    path = tmp_path / "BENCH_v1.json"
+    path.write_text(json.dumps(v1))
+    loaded = load_artifact(str(path))
+    current = build_artifact([_result("epoch_loop", 40.0)], profile="smoke", seed=5)
+    comparison = compare(loaded, current, threshold=0.30)
+    assert not comparison.ok
+    assert comparison.regressions[0].attributed_phases == ()
+    assert comparison.baseline_provenance is None
+
+
+def test_artifact_carries_git_provenance():
+    artifact = build_artifact([_result("a", 1.0)], profile="smoke", seed=5)
+    provenance = artifact["provenance"]
+    assert set(provenance) >= {"git_sha", "git_dirty", "created"}
+    # The test suite runs inside the repo's git checkout.
+    assert provenance["git_sha"] is None or len(provenance["git_sha"]) == 40
+
+
+def test_report_lines_name_the_commits_compared():
+    baseline = build_artifact(
+        [_result("a", 100.0)], profile="smoke", seed=5,
+        provenance={"git_sha": "a" * 40, "git_dirty": False, "created": ""},
+    )
+    current = build_artifact(
+        [_result("a", 90.0)], profile="smoke", seed=5,
+        provenance={"git_sha": "b" * 40, "git_dirty": True, "created": ""},
+    )
+    lines = compare(baseline, current).report_lines()
+    assert lines[0] == "baseline aaaaaaa vs current bbbbbbb+dirty"
+
+
+# --- phase attribution ----------------------------------------------------
+
+
+def test_attribute_phases_names_the_grown_share():
+    attributed, shares = attribute_phases(
+        {"dropping": 0.1, "selection": 0.9},
+        {"dropping": 1.1, "selection": 0.9},
+    )
+    assert attributed == ("dropping",)
+    base_share, cur_share = shares["dropping"]
+    assert base_share == pytest.approx(0.1)
+    assert cur_share == pytest.approx(0.55)
+
+
+def test_attribute_phases_ignores_uniform_slowdown():
+    # Everything 3x slower: shares unchanged, nothing clears the bar, and
+    # the fallback has no positive growth to name.
+    attributed, _ = attribute_phases(
+        {"a": 0.2, "b": 0.8}, {"a": 0.6, "b": 2.4}
+    )
+    assert attributed == ()
+
+
+def test_attribute_phases_falls_back_to_largest_growth():
+    attributed, _ = attribute_phases(
+        {"a": 0.50, "b": 0.50}, {"a": 0.52, "b": 0.48}, points=0.5
+    )
+    assert attributed == ("a",)
+
+
+def test_attribute_phases_empty_without_breakdowns():
+    assert attribute_phases({}, {"a": 1.0}) == ((), {})
+    assert attribute_phases({"a": 1.0}, {}) == ((), {})
+
+
+def test_compare_attributes_only_regressed_rows():
+    baseline = build_artifact(
+        [
+            _result("slow", 100.0, phases={"dropping": 0.1, "selection": 0.9}),
+            _result("fine", 100.0, phases={"dropping": 0.1, "selection": 0.9}),
+        ],
+        profile="smoke",
+        seed=5,
+    )
+    current = build_artifact(
+        [
+            _result("slow", 40.0, phases={"dropping": 1.6, "selection": 0.9}),
+            _result("fine", 99.0, phases={"dropping": 1.6, "selection": 0.9}),
+        ],
+        profile="smoke",
+        seed=5,
+    )
+    comparison = compare(baseline, current, threshold=0.30)
+    by_name = {row.name: row for row in comparison.rows}
+    assert by_name["slow"].attributed_phases == ("dropping",)
+    assert by_name["fine"].attributed_phases == ()
+    joined = "\n".join(comparison.report_lines())
+    assert "attributed phase(s): dropping" in joined
 
 
 # --- suite registry -------------------------------------------------------
@@ -197,3 +311,51 @@ def test_committed_baseline_is_valid():
     payload = load_artifact("benchmarks/baselines/BENCH_baseline.json")
     assert payload["profile"] == "smoke"
     assert "epoch_loop" in payload["results"]
+    assert payload["results"]["epoch_loop"]["phases"], (
+        "the committed baseline must carry a phase breakdown so "
+        "regressions attribute"
+    )
+
+
+def test_bench_check_attributes_injected_dropping_slowdown(tmp_path, capsys):
+    """The acceptance path end to end: slow down only the dropping phase
+    (a sleep inside ``ReplicaStore.dropping_score``, which runs inside the
+    ``engine.dropping`` span) and ``soup bench --check`` must exit 4
+    naming both the case and the phase."""
+    from repro.core.dropping import ReplicaStore
+
+    baseline_path = tmp_path / "BENCH_baseline.json"
+    current_path = tmp_path / "BENCH_current.json"
+    assert cli.main(["bench", "epoch_loop", "--out", str(baseline_path)]) == 0
+
+    original = ReplicaStore.dropping_score
+
+    def slowed(self, owner):
+        time.sleep(0.0002)
+        return original(self, owner)
+
+    ReplicaStore.dropping_score = slowed
+    try:
+        code = cli.main(
+            [
+                "bench", "epoch_loop",
+                "--out", str(current_path),
+                "--baseline", str(baseline_path),
+                "--check",
+                "--threshold", "0.5",
+            ]
+        )
+    finally:
+        ReplicaStore.dropping_score = original
+    captured = capsys.readouterr()
+    assert code == 4, captured.out + captured.err
+    assert "perf regression: epoch_loop [dropping]" in captured.err
+    assert "attributed phase(s): dropping" in captured.out
+
+    current = json.loads(current_path.read_text())
+    phases = current["results"]["epoch_loop"]["phases"]
+    baseline_phases = json.loads(baseline_path.read_text())[
+        "results"]["epoch_loop"]["phases"]
+    dropping_share = phases["dropping"] / sum(phases.values())
+    baseline_share = baseline_phases["dropping"] / sum(baseline_phases.values())
+    assert dropping_share > baseline_share + 0.05

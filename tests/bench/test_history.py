@@ -1,0 +1,206 @@
+"""The perf trajectory: HISTORY.jsonl round-trips, trend, and the CI gate.
+
+``check_history`` is the timing-free part of the regression plane, so it
+is tested with crafted entries: the baseline is the *median* of a window
+of prior runs (outlier-resistant in both directions), and a flagged entry
+is attributed to the phase whose share of the run grew.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.bench import (
+    HISTORY_SCHEMA,
+    BenchResult,
+    append_history,
+    build_artifact,
+    check_history,
+    history_entry,
+    load_history,
+    render_history_lines,
+    render_trend_lines,
+)
+
+
+def _artifact(throughput, phases=None, sha="aaaaaaaaaaaa", created="2026-08-08"):
+    return build_artifact(
+        [
+            BenchResult(
+                name="epoch_loop",
+                wall_seconds=1.0,
+                throughput=throughput,
+                unit="node-epochs/s",
+                phases=phases or {},
+            )
+        ],
+        profile="smoke",
+        seed=5,
+        created=created,
+        provenance={"git_sha": sha, "git_dirty": False, "created": created},
+    )
+
+
+def _entry(throughput, phases=None, sha="aaaaaaaaaaaa"):
+    return history_entry(_artifact(throughput, phases=phases, sha=sha))
+
+
+# --- round trips ----------------------------------------------------------
+
+
+def test_history_entry_condenses_artifact():
+    entry = _entry(100.0, phases={"dropping": 0.1, "selection": 0.9})
+    assert entry["schema"] == HISTORY_SCHEMA
+    assert entry["git_sha"] == "aaaaaaaaaaaa"
+    assert entry["git_dirty"] is False
+    case = entry["results"]["epoch_loop"]
+    assert case["throughput"] == 100.0
+    assert case["phases"] == {"dropping": 0.1, "selection": 0.9}
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "sub" / "HISTORY.jsonl"  # parent dir is created
+    first = _entry(100.0)
+    second = _entry(110.0, sha="bbbbbbbbbbbb")
+    append_history(str(path), first)
+    append_history(str(path), second)
+    assert load_history(str(path)) == [first, second]
+    # One compact JSON object per line — the append-only JSONL contract.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0]) == first
+
+
+def test_load_missing_history_is_empty(tmp_path):
+    assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+
+def test_load_rejects_corrupt_line_with_lineno(tmp_path):
+    path = tmp_path / "HISTORY.jsonl"
+    append_history(str(path), _entry(100.0))
+    with path.open("a") as sink:
+        sink.write("not json\n")
+    with pytest.raises(ValueError, match=":2"):
+        load_history(str(path))
+
+
+def test_append_validates_schema(tmp_path):
+    with pytest.raises(ValueError, match="schema"):
+        append_history(str(tmp_path / "h.jsonl"), {"schema": "nope"})
+
+
+# --- rendering ------------------------------------------------------------
+
+
+def test_render_history_lines_lists_entries():
+    lines = render_history_lines([_entry(100.0), _entry(110.0, sha="bbbbbbbbbbbb")])
+    assert len(lines) == 3  # header + 2 entries
+    assert "epoch_loop" in lines[0]
+    assert "aaaaaaa" in lines[1] and "bbbbbbb" in lines[2]
+    assert render_history_lines([]) == ["history: no entries"]
+
+
+def test_render_trend_lines_show_ratio():
+    lines = render_trend_lines([_entry(100.0), _entry(50.0)])
+    assert len(lines) == 1
+    assert "last/first=0.50" in lines[0]
+
+
+# --- the gate -------------------------------------------------------------
+
+
+def test_check_history_needs_two_entries():
+    comparison, lines = check_history([_entry(100.0)])
+    assert comparison is None
+    assert "fewer than two entries" in lines[0]
+
+
+def test_check_history_passes_on_stable_series():
+    entries = [_entry(100.0), _entry(102.0), _entry(98.0), _entry(101.0)]
+    comparison, _ = check_history(entries, threshold=0.30)
+    assert comparison is not None and comparison.ok
+
+
+def test_check_history_flags_regression_and_attributes_phase():
+    healthy_phases = {"dropping": 0.05, "selection": 0.95}
+    entries = [
+        _entry(100.0, phases=healthy_phases),
+        _entry(101.0, phases=healthy_phases),
+        _entry(99.0, phases=healthy_phases),
+        # Newest: throughput halved, dropping went from 5% to 68%.
+        _entry(50.0, phases={"dropping": 1.05, "selection": 0.95}),
+    ]
+    comparison, lines = check_history(entries, threshold=0.30)
+    assert comparison is not None and not comparison.ok
+    row = comparison.regressions[0]
+    assert row.name == "epoch_loop"
+    assert row.attributed_phases == ("dropping",)
+    assert any("dropping" in line for line in lines)
+
+
+def test_check_history_baseline_is_median_of_window():
+    # One anomalously fast historical run must not fail a normal newest run.
+    entries = [
+        _entry(100.0),
+        _entry(1000.0),  # outlier
+        _entry(101.0),
+        _entry(99.0),
+        _entry(100.0),  # newest: in line with the median
+    ]
+    comparison, _ = check_history(entries, threshold=0.30, window=4)
+    assert comparison is not None and comparison.ok
+    # A mean-based baseline would have been ~325 and flagged this.
+
+
+# --- the CLI verbs --------------------------------------------------------
+
+
+def _seed_history(tmp_path, entries):
+    path = tmp_path / "HISTORY.jsonl"
+    for entry in entries:
+        append_history(str(path), entry)
+    return str(path)
+
+
+def test_cli_bench_history_and_trend(tmp_path, capsys):
+    path = _seed_history(tmp_path, [_entry(100.0), _entry(105.0)])
+    assert cli.main(["bench", "history", "--history", path]) == 0
+    out = capsys.readouterr().out
+    assert "epoch_loop" in out and "aaaaaaa" in out
+    assert cli.main(["bench", "trend", "--history", path]) == 0
+    assert "last/first" in capsys.readouterr().out
+
+
+def test_cli_trend_check_history_exit_4_names_case_and_phase(tmp_path, capsys):
+    path = _seed_history(
+        tmp_path,
+        [
+            _entry(100.0, phases={"dropping": 0.05, "selection": 0.95}),
+            _entry(100.0, phases={"dropping": 0.05, "selection": 0.95}),
+            _entry(40.0, phases={"dropping": 1.5, "selection": 0.95}),
+        ],
+    )
+    assert cli.main(["bench", "trend", "--history", path, "--check-history"]) == 4
+    captured = capsys.readouterr()
+    assert "perf regression: epoch_loop [dropping]" in captured.err
+
+
+def test_cli_trend_check_history_passes_clean(tmp_path, capsys):
+    path = _seed_history(tmp_path, [_entry(100.0), _entry(101.0)])
+    assert cli.main(["bench", "trend", "--history", path, "--check-history"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_history_rejects_extra_names(tmp_path, capsys):
+    path = _seed_history(tmp_path, [_entry(100.0)])
+    assert cli.main(["bench", "history", "extra", "--history", path]) == 2
+    capsys.readouterr()
+
+
+def test_committed_history_is_valid_and_nonempty():
+    entries = load_history("benchmarks/baselines/HISTORY.jsonl")
+    assert entries, "committed HISTORY.jsonl must carry at least one entry"
+    for entry in entries:
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert "epoch_loop" in entry["results"]
